@@ -1,0 +1,190 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Each platform benchmark runs the *real* Go pmaxT at every process count
+// the paper's table reports, on a workload scaled down from 6102×76×150000
+// by a fixed factor so a full sweep finishes in seconds.  Alongside the
+// measured wall time, each sub-benchmark reports:
+//
+//	paper_total_s  the paper's measured total for that platform/procs
+//	model_total_s  the calibrated analytic model's total (full workload)
+//	speedup        the measured speedup of this run versus 1 process
+//
+// Absolute times differ from the paper (different hardware, scaled
+// workload); the claim under test is the *shape* of the speedup series and
+// the faithfulness of the model that regenerates the published cells.
+// Run with:
+//
+//	go test -bench=. -benchmem
+package sprint_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sprint"
+	"sprint/internal/perfmodel"
+)
+
+// Scaled reference workload: 1/32 of the genes, 1/100 of the permutations.
+const (
+	benchGenes = perfmodel.RefGenes / 32  // 190
+	benchPerms = perfmodel.RefPerms / 100 // 1500
+)
+
+var benchData = sync.OnceValue(func() *sprint.Dataset {
+	opt := sprint.PaperDataset()
+	opt.Genes = benchGenes
+	d, err := sprint.GenerateDataset(opt)
+	if err != nil {
+		panic(err)
+	}
+	return d
+})
+
+// baselineSerial measures the 1-process total once per benchmark binary,
+// for the speedup metric.
+var baselineSerial = sync.OnceValue(func() float64 {
+	d := benchData()
+	opt := sprint.DefaultOptions()
+	opt.B = benchPerms
+	opt.Seed = 42
+	res, err := sprint.PMaxT(d.X, d.Labels, 1, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res.Profile.Total().Seconds()
+})
+
+// benchPlatformTable is the shared body of the Table I–V benchmarks.
+func benchPlatformTable(b *testing.B, pl perfmodel.Platform) {
+	d := benchData()
+	for _, row := range perfmodel.PaperTable(pl.Name) {
+		row := row
+		b.Run(fmt.Sprintf("procs=%d", row.Procs), func(b *testing.B) {
+			opt := sprint.DefaultOptions()
+			opt.B = benchPerms
+			opt.Seed = 42
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := sprint.PMaxT(d.X, d.Labels, row.Procs, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Profile.Total().Seconds()
+			}
+			b.ReportMetric(row.Profile().Total(), "paper_total_s")
+			b.ReportMetric(pl.Predict(row.Procs).Total(), "model_total_s")
+			if total > 0 {
+				b.ReportMetric(baselineSerial()/total, "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkTableI_HECToR regenerates Table I (Cray XT4, p = 1..512).
+func BenchmarkTableI_HECToR(b *testing.B) { benchPlatformTable(b, perfmodel.HECToR()) }
+
+// BenchmarkTableII_ECDF regenerates Table II (ECDF cluster, p = 1..128).
+func BenchmarkTableII_ECDF(b *testing.B) { benchPlatformTable(b, perfmodel.ECDF()) }
+
+// BenchmarkTableIII_EC2 regenerates Table III (Amazon EC2, p = 1..32).
+func BenchmarkTableIII_EC2(b *testing.B) { benchPlatformTable(b, perfmodel.EC2()) }
+
+// BenchmarkTableIV_Ness regenerates Table IV (Ness SMP, p = 1..16).
+func BenchmarkTableIV_Ness(b *testing.B) { benchPlatformTable(b, perfmodel.Ness()) }
+
+// BenchmarkTableV_QuadCore regenerates Table V (quad-core desktop,
+// p = 1..4) — the one platform class we genuinely have.
+func BenchmarkTableV_QuadCore(b *testing.B) { benchPlatformTable(b, perfmodel.QuadCore()) }
+
+// BenchmarkFigure3_Speedup regenerates the Figure 3 speedup series: for
+// every platform it reports the paper's total speedup at the platform's
+// maximum process count, the model's, and the measured speedup of the real
+// implementation at that count.
+func BenchmarkFigure3_Speedup(b *testing.B) {
+	d := benchData()
+	for _, pl := range perfmodel.All() {
+		pl := pl
+		b.Run(pl.Name, func(b *testing.B) {
+			rows := perfmodel.PaperTable(pl.Name)
+			last := rows[len(rows)-1]
+			opt := sprint.DefaultOptions()
+			opt.B = benchPerms
+			opt.Seed = 42
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := sprint.PMaxT(d.X, d.Labels, last.Procs, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Profile.Total().Seconds()
+			}
+			modelTot, _ := pl.Speedup(last.Procs)
+			b.ReportMetric(last.Speedup, "paper_speedup")
+			b.ReportMetric(modelTot, "model_speedup")
+			if total > 0 {
+				b.ReportMetric(baselineSerial()/total, "measured_speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkTableVI_LargeDatasets regenerates Table VI: high permutation
+// counts on exon-array sized matrices at 256 processes.  The real run
+// scales the workload by 1/400 (rows and permutations together) so each
+// row completes in well under a second; paper and model totals are
+// reported unscaled.
+func BenchmarkTableVI_LargeDatasets(b *testing.B) {
+	h := perfmodel.HECToR()
+	genData := sync.OnceValues(func() (*sprint.Dataset, error) {
+		opt := sprint.PaperDataset()
+		opt.Genes = 73224 / 20 // 3661 rows covers both scaled datasets
+		return sprint.GenerateDataset(opt)
+	})
+	for _, row := range perfmodel.PaperTableVI() {
+		row := row
+		name := fmt.Sprintf("genes=%d/perms=%d", row.Genes, row.Perms)
+		b.Run(name, func(b *testing.B) {
+			d, err := genData()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := d.X[:row.Genes/20]
+			opt := sprint.DefaultOptions()
+			opt.B = row.Perms / 2000
+			opt.Seed = 42
+			for i := 0; i < b.N; i++ {
+				if _, err := sprint.PMaxT(rows, d.Labels, perfmodel.TableVIProcs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m := h.PredictWorkload(row.Genes, row.Samples, row.Perms, perfmodel.TableVIProcs)
+			b.ReportMetric(row.TotalSec, "paper_total_s")
+			b.ReportMetric(m.Total(), "model_total_s")
+			b.ReportMetric(row.SerialSec, "paper_serial_s")
+			b.ReportMetric(h.SerialApprox(row.Genes, row.Perms), "model_serial_s")
+		})
+	}
+}
+
+// BenchmarkFigure2_SkipRule measures the cost of the generator forwarding
+// that Figure 2's distribution relies on: jumping straight to a late chunk
+// must not cost more than starting at the beginning (O(1) for the
+// on-the-fly generator).
+func BenchmarkFigure2_SkipRule(b *testing.B) {
+	d := benchData()
+	opt := sprint.DefaultOptions()
+	opt.B = benchPerms
+	opt.Seed = 42
+	for _, procs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sprint.PMaxT(d.X, d.Labels, procs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Command datagen generates synthetic microarray datasets in the CSV
+// layout consumed by cmd/pmaxt.  It stands in for the pre-processed gene
+// expression matrices of the paper's evaluation (6102×76 in Tables I–V,
+// 36612×76 and 73224×76 in Table VI), which are not public.
+//
+// Usage:
+//
+//	datagen -genes 6102 -samples 76 -out paper.csv
+//	datagen -paper -out paper.csv          # the Tables I–V dataset shape
+//	datagen -exon 6 -out exon36612.csv     # the small Table VI dataset
+//	datagen -genes 100 -samples 12 -paired # a paired design on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sprint/internal/microarray"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	genes := fs.Int("genes", 1000, "number of genes (rows)")
+	samples := fs.Int("samples", 76, "number of samples (columns)")
+	classes := fs.Int("classes", 2, "number of classes")
+	diff := fs.Float64("diff", 0.05, "fraction of genes with a true class effect")
+	effect := fs.Float64("effect", 1.5, "effect size in within-class standard deviations")
+	missing := fs.Float64("missing", 0, "fraction of missing values")
+	paired := fs.Bool("paired", false, "lay out samples as (0,1) pairs for the pairt test")
+	blocked := fs.Bool("blocked", false, "lay out samples as treatment blocks for the blockf test")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	paper := fs.Bool("paper", false, "generate the paper's 6102x76 benchmark dataset shape")
+	exon := fs.Int("exon", 0, "generate a Table VI exon-array dataset (6 -> 36612 genes, 12 -> 73224)")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := microarray.GenOptions{
+		Genes: *genes, Samples: *samples, Classes: *classes,
+		DiffFraction: *diff, EffectSize: *effect, MissingRate: *missing,
+		Paired: *paired, Blocked: *blocked, Seed: *seed,
+	}
+	if *paper {
+		opt = microarray.PaperDataset()
+		opt.Seed = *seed
+	}
+	if *exon > 0 {
+		opt = microarray.ExonDataset(*exon)
+		opt.Seed = *seed
+	}
+	d, err := microarray.Generate(opt)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := d.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d x %d dataset (%.2f MB, %d classes, seed %d)\n",
+		d.Rows(), d.Cols(), d.SizeMB(), opt.Classes, opt.Seed)
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sprint/internal/microarray"
+)
+
+func TestRunWritesValidCSVToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-genes", "15", "-samples", "8", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := microarray.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if d.Rows() != 15 || d.Cols() != 8 {
+		t.Errorf("dims %dx%d", d.Rows(), d.Cols())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-genes", "5", "-samples", "6", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := microarray.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 5 {
+		t.Errorf("rows = %d", d.Rows())
+	}
+	if out.Len() != 0 {
+		t.Error("wrote to stdout despite -out")
+	}
+}
+
+func TestRunPaperShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "paper.csv")
+	if err := run([]string{"-paper", "-out", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	d, err := microarray.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 6102 || d.Cols() != 76 {
+		t.Errorf("paper dataset %dx%d, want 6102x76", d.Rows(), d.Cols())
+	}
+}
+
+func TestRunPairedDesign(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-genes", "4", "-samples", "6", "-paired"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.Contains(header, ".c0") || !strings.Contains(header, ".c1") {
+		t.Errorf("paired header missing classes: %s", header)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if err := run([]string{"-genes", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("genes=0 accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

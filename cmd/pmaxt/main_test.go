@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sprint"
+)
+
+// writeDataset creates a small CSV dataset for CLI tests.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	data, err := sprint.GenerateDataset(sprint.DatasetOptions{
+		Genes: 50, Samples: 12, Classes: 2,
+		DiffFraction: 0.1, EffectSize: 3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := data.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunParallelAnalysis(t *testing.T) {
+	path := writeDataset(t)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-np", "3", "-B", "500", "-seed", "2", "-top", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"pmaxT", "3 process(es)", "500 permutations", ".DE", "profile (master):", "main kernel"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSerialBaseline(t *testing.T) {
+	path := writeDataset(t)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-serial", "-B", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mt.maxT (serial)") {
+		t.Errorf("serial header missing:\n%s", out.String())
+	}
+}
+
+func TestSerialAndParallelCLIAgree(t *testing.T) {
+	path := writeDataset(t)
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-data", path, "-serial", "-B", "400", "-seed", "7", "-profile=false"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-np", "4", "-B", "400", "-seed", "7", "-profile=false"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	// The ranked gene tables (everything after the header line) must be
+	// identical: same genes, same statistics, same p-values.
+	trim := func(s string) string {
+		i := strings.Index(s, "#")
+		return s[i:]
+	}
+	if trim(serial.String()) != trim(parallel.String()) {
+		t.Errorf("serial and parallel CLI outputs differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunCompleteEnumerationFlag(t *testing.T) {
+	// 12 samples, 6v6 -> C(12,6) = 924 complete permutations.
+	path := writeDataset(t)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-B", "0", "-np", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "924 permutations (complete: true)") {
+		t.Errorf("complete enumeration not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -data accepted")
+	}
+	if err := run([]string{"-data", "/does/not/exist.csv"}, &bytes.Buffer{}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	path := writeDataset(t)
+	if err := run([]string{"-data", path, "-test", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bogus test accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Differential expression study: why the paper's users want many
+// permutations, and what the maxT adjustment buys them.
+//
+// The experiment runs the same analysis three times with increasing
+// permutation counts and compares raw versus Westfall–Young adjusted
+// p-values.  Two effects should be visible, both central to the paper's
+// motivation:
+//
+//  1. Resolution: with B permutations no p-value can be below 1/B, so
+//     small permutation counts cannot certify strong discoveries at all —
+//     "these users wish to execute more permutations to better validate
+//     their experimental results" (Section 3.2).
+//  2. Error control: raw p-values produce false positives among thousands
+//     of null genes, while the step-down maxT adjustment controls the
+//     family-wise error rate.
+//
+// Run with:
+//
+//	go run ./examples/differential
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"sprint"
+)
+
+func main() {
+	const genes, trueDE = 3000, 15
+	data, err := sprint.GenerateDataset(sprint.DatasetOptions{
+		Genes: genes, Samples: 30, Classes: 2,
+		DiffFraction: float64(trueDE) / genes, EffectSize: 2.2, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dataset: %d genes (%d truly differential), %d samples\n\n",
+		genes, trueDE, data.Cols())
+	fmt.Printf("%10s %12s %16s %16s %16s %14s\n",
+		"B", "min adj p", "raw hits @0.05", "raw false pos", "adj hits @0.05", "adj false pos")
+
+	for _, b := range []int64{100, 1000, 20000} {
+		opt := sprint.DefaultOptions()
+		opt.B = b
+		opt.Seed = 4
+		res, err := sprint.PMaxT(data.X, data.Labels, runtime.NumCPU(), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rawHits, rawFP, adjHits, adjFP int
+		minAdj := 1.0
+		for i := range res.AdjP {
+			if res.AdjP[i] < minAdj {
+				minAdj = res.AdjP[i]
+			}
+			if res.RawP[i] <= 0.05 {
+				rawHits++
+				if !data.Differential[i] {
+					rawFP++
+				}
+			}
+			if res.AdjP[i] <= 0.05 {
+				adjHits++
+				if !data.Differential[i] {
+					adjFP++
+				}
+			}
+		}
+		fmt.Printf("%10d %12.5f %16d %16d %16d %14d\n",
+			res.B, minAdj, rawHits, rawFP, adjHits, adjFP)
+	}
+
+	fmt.Println(`
+reading the table:
+  - raw p-values at 0.05 admit ~5% of the ~3000 null genes as false
+    positives regardless of B;
+  - adjusted p-values keep false positives at zero (FWER control), and
+    higher B lowers the attainable minimum so true effects separate from
+    the 1/B floor — the reason pmaxT exists.`)
+}

@@ -1,0 +1,67 @@
+// Platform advisor: the paper's core question, as a tool.
+//
+// "The speed-up in results across the benchmark systems offers a route for
+// life scientists to scale up their analyses based on the infrastructure
+// available to them" (Section 5).  Given an analysis size, this example
+// asks the calibrated platform models: how long would this run take on my
+// desktop, the department SMP, a cloud allocation, a university cluster,
+// or the national supercomputer — and at what process count does each stop
+// helping?
+//
+// Run with:
+//
+//	go run ./examples/platforms
+package main
+
+import (
+	"fmt"
+
+	"sprint/internal/perfmodel"
+)
+
+func main() {
+	// The analysis a life scientist might actually need: an Affymetrix
+	// exon-array sized matrix with a million permutations (Section 5
+	// mentions feature counts of 280k-5M; Table VI benchmarks 1M
+	// permutations on 36612 and 73224 genes).
+	const genes, samples = 36612, 76
+	const perms = 1_000_000
+
+	fmt.Printf("workload: %d genes x %d samples, %d permutations\n\n", genes, samples, perms)
+	fmt.Printf("%-20s %8s %14s %14s %10s\n",
+		"platform", "procs", "elapsed", "vs 1 proc", "efficiency")
+
+	for _, pl := range perfmodel.All() {
+		t1 := pl.PredictWorkload(genes, samples, perms, 1).Total()
+		for _, p := range pl.ProcCounts() {
+			prof := pl.PredictWorkload(genes, samples, perms, p)
+			total := prof.Total()
+			speedup := t1 / total
+			eff := speedup / float64(p)
+			marker := ""
+			if eff < 0.60 && p > 1 {
+				marker = "  <- diminishing returns"
+			}
+			fmt.Printf("%-20s %8d %14s %13.1fx %9.0f%%%s\n",
+				pl.Name, p, fmtDuration(total), speedup, eff*100, marker)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("suggested workflow (Section 5 of the paper):")
+	fmt.Println("  refine the analysis at small B on the desktop, validate on the")
+	fmt.Println("  department SMP or a small cloud allocation, then run the full")
+	fmt.Println("  permutation count on the cluster or national service - the pmaxT")
+	fmt.Println("  call and its results are identical everywhere.")
+}
+
+func fmtDuration(seconds float64) string {
+	switch {
+	case seconds >= 3600:
+		return fmt.Sprintf("%.1f h", seconds/3600)
+	case seconds >= 60:
+		return fmt.Sprintf("%.1f min", seconds/60)
+	default:
+		return fmt.Sprintf("%.1f s", seconds)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"sprint/internal/maxt"
+	"sprint/internal/perm"
+	"sprint/internal/rng"
+	"sprint/internal/stat"
+)
+
+// This file implements the paper's future-work item 1: "Better support for
+// fault tolerance and checkpointing ... this may be of increasing
+// importance as life scientists wish to perform even more tests on ever
+// larger datasets."
+//
+// The permutation loop is embarrassingly restartable: the entire mutable
+// state is the pair of exceedance-count vectors plus the index of the next
+// permutation.  A Checkpoint captures exactly that, together with a
+// fingerprint of the inputs so that a checkpoint cannot silently resume a
+// different analysis.
+
+// Checkpoint is a resumable snapshot of a permutation run.
+type Checkpoint struct {
+	// Fingerprint ties the checkpoint to (options, labels, data shape,
+	// data sample); resuming with a different analysis fails loudly.
+	Fingerprint uint64
+	// TotalB is the planned permutation count and Complete records the
+	// generator choice.
+	TotalB   int64
+	Complete bool
+	// Next is the first unprocessed permutation index.
+	Next int64
+	// Raw, Adj and Done are the accumulated exceedance counts and the
+	// number of permutations they cover.
+	Raw, Adj []int64
+	Done     int64
+}
+
+// Encode serialises the checkpoint.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// fingerprint summarises the analysis identity: validated options, the
+// class labels and a sample of the data.  Any change that could alter the
+// permutation stream or the statistics changes the fingerprint.
+func fingerprint(cfg config, x [][]float64, classlabel []int) uint64 {
+	h := rng.Mix64(uint64(cfg.test)<<32 ^ uint64(cfg.side)<<24 ^ uint64(boolToInt64(cfg.fixedSeed))<<16 ^ uint64(boolToInt64(cfg.nonpara)))
+	h = rng.Mix64(h ^ uint64(cfg.b) ^ cfg.seed<<1)
+	h = rng.Mix64(h ^ uint64(len(x))<<32 ^ uint64(len(x[0])))
+	for _, l := range classlabel {
+		h = rng.Mix64(h ^ uint64(l+1))
+	}
+	// Sample up to 64 cells spread across the matrix.
+	rows, cols := len(x), len(x[0])
+	for i := 0; i < 64; i++ {
+		r := (i * 2654435761) % rows
+		c := (i * 40503) % cols
+		v := x[r][c]
+		if math.IsNaN(v) {
+			h = rng.Mix64(h ^ 0x7ff8dead)
+		} else {
+			h = rng.Mix64(h ^ math.Float64bits(v))
+		}
+	}
+	return h
+}
+
+// ErrCheckpointMismatch reports a checkpoint that does not belong to the
+// requested analysis.
+var ErrCheckpointMismatch = fmt.Errorf("core: checkpoint does not match this analysis (options, labels or data changed)")
+
+// MaxTCheckpointed runs the serial permutation loop with periodic
+// checkpoints.  Every `every` permutations (and once at the end) it calls
+// save with a snapshot; if save returns an error the run stops and returns
+// that error, leaving the caller free to retry later from the last saved
+// state.  Pass resume = nil for a fresh run, or a previously saved
+// checkpoint to continue one.  The final result is bit-identical to an
+// uninterrupted MaxT with the same options.
+func MaxTCheckpointed(x [][]float64, classlabel []int, opt Options, resume *Checkpoint, every int64, save func(*Checkpoint) error) (*Result, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("core: checkpoint interval %d must be positive", every)
+	}
+	cfg, err := parseOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("core: empty input matrix")
+	}
+	clean := scrubNA(x, cfg.na)
+	design, err := stat.NewDesign(cfg.test, classlabel)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := maxt.NewPrep(clean, design, cfg.side, cfg.nonpara)
+	if err != nil {
+		return nil, err
+	}
+	useComplete, totalB, err := planPermutations(cfg, design)
+	if err != nil {
+		return nil, err
+	}
+	fp := fingerprint(cfg, clean, classlabel)
+
+	counts := maxt.NewCounts(prep.Rows())
+	start := int64(0)
+	if resume != nil {
+		if resume.Fingerprint != fp || resume.TotalB != totalB || resume.Complete != useComplete {
+			return nil, ErrCheckpointMismatch
+		}
+		if len(resume.Raw) != prep.Rows() || len(resume.Adj) != prep.Rows() {
+			return nil, ErrCheckpointMismatch
+		}
+		copy(counts.Raw, resume.Raw)
+		copy(counts.Adj, resume.Adj)
+		counts.B = resume.Done
+		start = resume.Next
+	}
+
+	var gen perm.Generator
+	switch {
+	case useComplete:
+		gen, err = perm.NewComplete(design)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.fixedSeed:
+		gen = perm.NewRandom(design, cfg.seed, totalB)
+	default:
+		// Materialise only the remaining permutations: the stored
+		// generator forwards past [0, start) exactly as a rank would.
+		gen = perm.NewStored(design, cfg.seed, totalB, start, totalB)
+	}
+
+	scratch := prep.NewScratch()
+	for lo := start; lo < totalB; lo += every {
+		hi := lo + every
+		if hi > totalB {
+			hi = totalB
+		}
+		maxt.Process(prep, gen, lo, hi, counts, scratch)
+		snap := &Checkpoint{
+			Fingerprint: fp,
+			TotalB:      totalB,
+			Complete:    useComplete,
+			Next:        hi,
+			Raw:         append([]int64(nil), counts.Raw...),
+			Adj:         append([]int64(nil), counts.Adj...),
+			Done:        counts.B,
+		}
+		if save != nil {
+			if err := save(snap); err != nil {
+				return nil, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
+			}
+		}
+	}
+
+	final := maxt.Finalize(prep, counts)
+	return &Result{
+		Stat:     final.Stat,
+		RawP:     final.RawP,
+		AdjP:     final.AdjP,
+		Order:    final.Order,
+		B:        final.B,
+		Complete: useComplete,
+		NProcs:   1,
+	}, nil
+}

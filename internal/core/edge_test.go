@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage: minimum designs, degenerate data, extreme process
+// counts, and boundary permutation counts.
+
+func TestSingleGeneMatrix(t *testing.T) {
+	x := [][]float64{{1.3, 2.7, 1.9, 6.1, 7.3, 6.8}}
+	lab := twoClass(3, 3)
+	serial, err := MaxT(x, lab, Options{B: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := PMaxT(x, lab, 4, Options{B: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "single-gene", serial, par)
+	// With one gene, raw and adjusted p-values coincide (the successive
+	// maximum of one statistic is the statistic).
+	if serial.RawP[0] != serial.AdjP[0] {
+		t.Errorf("single gene: rawp %v != adjp %v", serial.RawP[0], serial.AdjP[0])
+	}
+}
+
+func TestMinimumDesignFourColumns(t *testing.T) {
+	// Smallest valid two-sample design: 2 vs 2 columns, C(4,2) = 6.
+	x := synthMatrix(8, 4, 2, 3)
+	res, err := MaxT(x, twoClass(2, 2), Options{B: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.B != 6 {
+		t.Errorf("Complete=%v B=%d, want complete 6", res.Complete, res.B)
+	}
+	for i, p := range res.RawP {
+		if p < 1.0/6-1e-12 || p > 1 {
+			t.Errorf("row %d: p = %v out of range", i, p)
+		}
+	}
+}
+
+func TestBOfOne(t *testing.T) {
+	// B = 1 means only the observed labelling: every p-value is 1.
+	x := synthMatrix(5, 12, 1, 4)
+	res, err := MaxT(x, twoClass(6, 6), Options{B: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.RawP {
+		if res.RawP[i] != 1 || res.AdjP[i] != 1 {
+			t.Errorf("row %d: (%v, %v), want (1, 1)", i, res.RawP[i], res.AdjP[i])
+		}
+	}
+}
+
+func TestMoreProcsThanPermutations(t *testing.T) {
+	// 16 ranks for 10 permutations: some ranks get empty chunks; results
+	// must still match the serial run exactly.
+	x := synthMatrix(10, 12, 2, 9)
+	lab := twoClass(6, 6)
+	serial, err := MaxT(x, lab, Options{B: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fss := range []string{"y", "n"} {
+		opt := Options{B: 10, Seed: 2, FixedSeedSampling: fss}
+		s2, err := MaxT(x, lab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := PMaxT(x, lab, 16, opt)
+		if err != nil {
+			t.Fatalf("fss=%s: %v", fss, err)
+		}
+		if fss == "y" {
+			resultsEqual(t, "tiny-B-many-procs", serial, par)
+		}
+		resultsEqual(t, "tiny-B-many-procs-"+fss, s2, par)
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	// 64 goroutine ranks — far oversubscribed, exercising the collective
+	// trees at depth 6.
+	x := synthMatrix(12, 12, 2, 11)
+	lab := twoClass(6, 6)
+	serial, err := MaxT(x, lab, Options{B: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := PMaxT(x, lab, 64, Options{B: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "64-ranks", serial, par)
+}
+
+func TestAllRowsDegenerate(t *testing.T) {
+	// Constant rows: every statistic is NaN, every p-value NaN, and the
+	// run must complete without dividing by zero anywhere.
+	x := [][]float64{
+		{5, 5, 5, 5, 5, 5},
+		{2, 2, 2, 2, 2, 2},
+	}
+	res, err := PMaxT(x, twoClass(3, 3), 2, Options{B: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !math.IsNaN(res.RawP[i]) || !math.IsNaN(res.AdjP[i]) {
+			t.Errorf("row %d: p-values (%v, %v), want NaN", i, res.RawP[i], res.AdjP[i])
+		}
+	}
+}
+
+func TestMostlyMissingColumnStillRuns(t *testing.T) {
+	x := synthMatrix(10, 12, 2, 7)
+	// Knock out one entire column: per-gene group sizes drop by one but
+	// stay >= 2, so statistics remain defined.
+	for i := range x {
+		x[i][3] = math.NaN()
+	}
+	serial, err := MaxT(x, twoClass(6, 6), Options{B: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := PMaxT(x, twoClass(6, 6), 3, Options{B: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "missing-column", serial, par)
+}
+
+func TestTiesInObservedStatisticsDeterministicOrder(t *testing.T) {
+	// Duplicate rows produce exactly tied observed statistics; the order
+	// must break ties by row index, identically in serial and parallel.
+	row := []float64{1.1, 2.2, 0.9, 5.1, 6.2, 5.4}
+	x := [][]float64{row, append([]float64(nil), row...), append([]float64(nil), row...)}
+	serial, err := MaxT(x, twoClass(3, 3), Options{B: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range serial.Order {
+		if r != i {
+			t.Errorf("tied rows not in index order: %v", serial.Order)
+			break
+		}
+	}
+	par, err := PMaxT(x, twoClass(3, 3), 3, Options{B: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "tied-rows", serial, par)
+}
+
+func TestWideMatrixManyColumns(t *testing.T) {
+	// The paper's 76-column shape with both generators and a non-power-
+	// of-two rank count.
+	x := synthMatrix(20, 76, 2, 12)
+	lab := twoClass(38, 38)
+	for _, fss := range []string{"y", "n"} {
+		opt := Options{B: 64, Seed: 4, FixedSeedSampling: fss}
+		serial, err := MaxT(x, lab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := PMaxT(x, lab, 5, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, "wide-"+fss, serial, par)
+	}
+}
+
+func TestKernelMaxAtLeastMasterKernel(t *testing.T) {
+	x := synthMatrix(30, 12, 3, 13)
+	res, err := PMaxT(x, twoClass(6, 6), 6, Options{B: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelMax < res.Profile.MainKernel {
+		t.Errorf("KernelMax %v < master kernel %v", res.KernelMax, res.Profile.MainKernel)
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements pmaxT, the SPRINT parallel permutation testing
+// function, and MaxT, its serial mt.maxT-equivalent baseline.  The parallel
+// path follows the six execution steps of Section 3.2 of the paper and
+// reports the five timed sections of Tables I–V (pre-processing, broadcast
+// parameters, create data, main kernel, compute p-values).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sprint/internal/maxt"
+	"sprint/internal/perm"
+	"sprint/internal/stat"
+)
+
+// DefaultNA is the missing-value code of the multtest package (R's
+// .mt.naNUM).  Input cells equal to the configured NA code — or NaN — are
+// treated as missing and excluded from the computations.
+const DefaultNA = -93074815.62
+
+// DefaultMaxComplete caps the size of a complete enumeration requested with
+// B = 0.  When the exact count exceeds the cap, the run fails with an error
+// asking for an explicit smaller B, matching mt.maxT's behaviour ("the user
+// is asked to explicitly request a smaller number of permutations").
+const DefaultMaxComplete = 1 << 22
+
+// Options mirrors the R signature
+//
+//	pmaxT(X, classlabel, test="t", side="abs", fixed.seed.sampling="y",
+//	      B=10000, na=.mt.naNUM, nonpara="n")
+//
+// String-typed fields take the same values as their R counterparts so that
+// existing mt.maxT call sites translate one-to-one.  Zero values select the
+// documented defaults.
+type Options struct {
+	// Test selects the statistic: "t" (Welch, default), "t.equalvar",
+	// "wilcoxon", "f", "pairt" or "blockf".
+	Test string
+	// Side selects the rejection region: "abs" (default), "upper" or
+	// "lower".
+	Side string
+	// FixedSeedSampling chooses between the on-the-fly generator ("y",
+	// default) and storing the permutations in memory ("n").  Complete
+	// enumerations always run on the fly, as in the original code.
+	FixedSeedSampling string
+	// B is the permutation count, including the observed labelling.
+	// B = 0 requests the complete enumeration.  Defaults to 10000 when
+	// left at -1; an explicit 0 means complete.
+	B int64
+	// NA is the missing-value code.  Cells equal to NA (or NaN) are
+	// excluded.  Defaults to DefaultNA.
+	NA float64
+	// Nonpara enables rank-based nonparametric statistics: "n" (default)
+	// or "y".
+	Nonpara string
+	// Seed initialises the permutation RNG.  Runs with equal seeds and
+	// equal B produce identical results at any process count.
+	Seed uint64
+	// MaxComplete overrides DefaultMaxComplete when positive.
+	MaxComplete int64
+	// ScalarParams, when true, broadcasts the string options as
+	// pre-encoded scalar codes instead of length-prefixed strings — the
+	// paper's future-work item 3.  Results are identical; only the
+	// "Broadcast parameters" section changes.
+	ScalarParams bool
+}
+
+// DefaultOptions returns the documented mt.maxT defaults.
+func DefaultOptions() Options {
+	return Options{
+		Test:              "t",
+		Side:              "abs",
+		FixedSeedSampling: "y",
+		B:                 10000,
+		NA:                DefaultNA,
+		Nonpara:           "n",
+	}
+}
+
+// config is the validated, enum-typed form of Options.
+type config struct {
+	test         stat.Test
+	side         maxt.Side
+	fixedSeed    bool
+	b            int64
+	na           float64
+	nonpara      bool
+	seed         uint64
+	maxComplete  int64
+	scalarParams bool
+}
+
+// parseOptions validates opt and fills defaults, mirroring the parameter
+// checking of the pre-processing step (Step 1).
+func parseOptions(opt Options) (config, error) {
+	var cfg config
+	if opt.Test == "" {
+		opt.Test = "t"
+	}
+	if opt.Side == "" {
+		opt.Side = "abs"
+	}
+	if opt.FixedSeedSampling == "" {
+		opt.FixedSeedSampling = "y"
+	}
+	if opt.Nonpara == "" {
+		opt.Nonpara = "n"
+	}
+	if opt.NA == 0 {
+		opt.NA = DefaultNA
+	}
+	if opt.MaxComplete == 0 {
+		opt.MaxComplete = DefaultMaxComplete
+	}
+	var err error
+	if cfg.test, err = stat.ParseTest(opt.Test); err != nil {
+		return cfg, err
+	}
+	if cfg.side, err = maxt.ParseSide(opt.Side); err != nil {
+		return cfg, err
+	}
+	switch opt.FixedSeedSampling {
+	case "y":
+		cfg.fixedSeed = true
+	case "n":
+		cfg.fixedSeed = false
+	default:
+		return cfg, fmt.Errorf("core: fixed.seed.sampling must be \"y\" or \"n\", got %q", opt.FixedSeedSampling)
+	}
+	switch opt.Nonpara {
+	case "y":
+		cfg.nonpara = true
+	case "n":
+		cfg.nonpara = false
+	default:
+		return cfg, fmt.Errorf("core: nonpara must be \"y\" or \"n\", got %q", opt.Nonpara)
+	}
+	if opt.B < 0 {
+		return cfg, fmt.Errorf("core: B = %d must be >= 0 (0 requests complete permutations)", opt.B)
+	}
+	if opt.MaxComplete < 0 {
+		return cfg, fmt.Errorf("core: MaxComplete must be positive")
+	}
+	cfg.b = opt.B
+	cfg.na = opt.NA
+	cfg.seed = opt.Seed
+	cfg.maxComplete = opt.MaxComplete
+	cfg.scalarParams = opt.ScalarParams
+	return cfg, nil
+}
+
+// planPermutations decides between complete enumeration and random
+// sampling, following mt.maxT: B = 0 demands the complete enumeration (and
+// fails loudly if it exceeds the limit); B > 0 uses random sampling unless
+// the complete enumeration is smaller, in which case exact enumeration is
+// both cheaper and statistically stronger.
+func planPermutations(cfg config, d *stat.Design) (useComplete bool, total int64, err error) {
+	count, fits := perm.CompleteCount(d)
+	if cfg.b == 0 {
+		if !fits || count > cfg.maxComplete {
+			countStr := "more than 2^63"
+			if fits {
+				countStr = fmt.Sprintf("%d", count)
+			}
+			return false, 0, fmt.Errorf(
+				"core: complete permutations (%s) exceed the maximum allowed limit (%d); please request a smaller number of permutations explicitly via B",
+				countStr, cfg.maxComplete)
+		}
+		return true, count, nil
+	}
+	if fits && count <= cfg.b {
+		return true, count, nil
+	}
+	return false, cfg.b, nil
+}
+
+// scrubNA returns a copy of x with the NA code replaced by NaN.  The copy
+// happens once on the master (part of pre-processing); workers receive the
+// cleaned matrix.
+func scrubNA(x [][]float64, na float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		cp := make([]float64, len(row))
+		for j, v := range row {
+			if v == na {
+				cp[j] = math.NaN()
+			} else {
+				cp[j] = v
+			}
+		}
+		out[i] = cp
+	}
+	return out
+}

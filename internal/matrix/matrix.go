@@ -1,0 +1,92 @@
+// Package matrix provides the dense-matrix plumbing around pmaxT's input
+// handling, including the paper's future-work item 2: "The current
+// implementation performs an array transposition on the input dataset.
+// For this transformation, a new array is allocated.  Algorithms for
+// in-place non-square array transposition exist that are able to perform
+// this step without the need for additional memory."
+//
+// R stores matrices column-major; the C kernel wants gene rows contiguous.
+// TransposeInPlace implements the cycle-following algorithm for in-place
+// transposition of a rows×cols matrix stored flat, using O(1) extra memory
+// beyond a visited bitmap of ceil(n/8) bytes (the textbook compromise; a
+// truly bitmap-free variant exists but is dramatically slower for no
+// benefit here).
+package matrix
+
+import "fmt"
+
+// Transpose returns a new flat array holding the transpose of src, where
+// src is rows×cols in row-major order.  This is the allocating baseline
+// the paper's current implementation uses.
+func Transpose(src []float64, rows, cols int) []float64 {
+	if len(src) != rows*cols {
+		panic(fmt.Sprintf("matrix: %d elements for %dx%d", len(src), rows, cols))
+	}
+	dst := make([]float64, len(src))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+	return dst
+}
+
+// TransposeInPlace transposes a rows×cols row-major flat matrix in place
+// using cycle following: every element belongs to a permutation cycle of
+// the index mapping i -> (i*rows) mod (rows*cols-1); each cycle is rotated
+// once.  After the call the array is cols×rows row-major (equivalently,
+// the original matrix in column-major order).  Memory overhead is one bit
+// per element.
+func TransposeInPlace(a []float64, rows, cols int) {
+	n := rows * cols
+	if len(a) != n {
+		panic(fmt.Sprintf("matrix: %d elements for %dx%d", len(a), rows, cols))
+	}
+	if n <= 1 || rows == 1 || cols == 1 {
+		return // vector shapes are their own transpose in flat storage
+	}
+	m := n - 1
+	visited := make([]byte, (n+7)/8)
+	seen := func(i int) bool { return visited[i/8]&(1<<uint(i%8)) != 0 }
+	mark := func(i int) { visited[i/8] |= 1 << uint(i%8) }
+	// Index 0 and n-1 are fixed points.
+	mark(0)
+	mark(n - 1)
+	for start := 1; start < m; start++ {
+		if seen(start) {
+			continue
+		}
+		// Rotate the cycle beginning at start.  The element at position
+		// i must move to position (i*rows) mod m.
+		carry := a[start]
+		i := start
+		for {
+			next := (i * rows) % m
+			a[next], carry = carry, a[next]
+			mark(next)
+			i = next
+			if i == start {
+				break
+			}
+		}
+	}
+}
+
+// FromColumnMajor converts a column-major flat matrix (R's layout: rows
+// genes × cols samples, stored column by column) into the [][]float64
+// row-major form the analysis consumes, transposing in place first so that
+// peak extra memory is the row-header slice rather than a second matrix.
+// The input slice is consumed: it backs the returned rows.
+func FromColumnMajor(flat []float64, rows, cols int) [][]float64 {
+	if len(flat) != rows*cols {
+		panic(fmt.Sprintf("matrix: %d elements for %dx%d", len(flat), rows, cols))
+	}
+	// Column-major rows×cols is identical to row-major cols×rows; an
+	// in-place transpose of that yields row-major rows×cols.
+	TransposeInPlace(flat, cols, rows)
+	out := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return out
+}

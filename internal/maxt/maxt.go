@@ -1,0 +1,306 @@
+// Package maxt implements the Westfall–Young step-down maxT multiple
+// testing procedure that mt.maxT computes and pmaxT parallelises (Ge &
+// Dudoit 2003; Westfall & Young 1993).
+//
+// The procedure: compute the observed test statistic for every row (gene),
+// transform it according to the rejection-region side, and order rows by
+// decreasing transformed statistic.  For each permutation of the column
+// labels, recompute all statistics and form the successive maxima from the
+// bottom of the ordered list upward; the adjusted p-value of a row is the
+// fraction of permutations whose successive maximum at that row's position
+// reaches the observed value.  A final pass enforces monotonicity down the
+// ordered list.  Raw (unadjusted) p-values count per-row exceedances only.
+//
+// The package deliberately separates preparation (Prep), per-chunk counting
+// (Process into Counts) and the final reduction (Finalize): this is exactly
+// the split pmaxT needs, where each MPI rank processes a chunk of the
+// permutation sequence and the master merges the partial counts — Steps 4
+// and 5 of Section 3.2 of the paper.
+package maxt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sprint/internal/perm"
+	"sprint/internal/stat"
+)
+
+// Side selects the rejection region, mirroring mt.maxT's side parameter.
+type Side int
+
+const (
+	// Abs tests the absolute difference (side="abs", the default).
+	Abs Side = iota
+	// Upper tests the maximum (side="upper").
+	Upper
+	// Lower tests the minimum (side="lower").
+	Lower
+)
+
+var sideNames = map[Side]string{Abs: "abs", Upper: "upper", Lower: "lower"}
+
+// String returns the mt.maxT name of the side.
+func (s Side) String() string {
+	if n, ok := sideNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Side(%d)", int(s))
+}
+
+// ParseSide converts an mt.maxT side name into a Side.
+func ParseSide(s string) (Side, error) {
+	for side, name := range sideNames {
+		if name == s {
+			return side, nil
+		}
+	}
+	return 0, fmt.Errorf("maxt: unknown side %q (want abs, upper or lower)", s)
+}
+
+// transform applies the side transform: statistics are compared on the
+// transformed scale, where larger always means more extreme.
+func (s Side) transform(v float64) float64 {
+	switch s {
+	case Abs:
+		return math.Abs(v)
+	case Lower:
+		return -v
+	default:
+		return v
+	}
+}
+
+// Prep bundles the immutable inputs of a maxT run: the (possibly
+// rank-transformed) data, the design, the statistic evaluator, the observed
+// statistics and the induced row order.  A Prep is safe for concurrent use;
+// per-goroutine scratch lives in Scratch values.
+type Prep struct {
+	Design *stat.Design
+	Side   Side
+	X      [][]float64 // rows × columns, transformed copy
+	StatFn func(row []float64, lab []int) float64
+
+	Stat  []float64 // untransformed observed statistic per row
+	Obs   []float64 // side-transformed observed statistic per row
+	Order []int     // row indices by decreasing Obs; NaN rows at the end
+	Valid int       // number of rows with a computable observed statistic
+}
+
+// NewPrep copies x (rows × columns), applies the rank transform when the
+// test requires it (Wilcoxon) or when nonpara is set, computes observed
+// statistics under the design's labelling, and derives the step-down order.
+// The input matrix is not modified.
+func NewPrep(x [][]float64, d *stat.Design, side Side, nonpara bool) (*Prep, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("maxt: empty data matrix")
+	}
+	for i, row := range x {
+		if len(row) != d.N {
+			return nil, fmt.Errorf("maxt: row %d has %d columns, design has %d", i, len(row), d.N)
+		}
+	}
+	p := &Prep{
+		Design: d,
+		Side:   side,
+		X:      make([][]float64, len(x)),
+		StatFn: d.Func(),
+	}
+	needRanks := d.NeedsRanks() || nonpara
+	var scratch []int
+	for i, row := range x {
+		cp := append([]float64(nil), row...)
+		if needRanks {
+			if cap(scratch) < len(cp) {
+				scratch = make([]int, len(cp))
+			}
+			stat.Ranks(cp, scratch)
+		}
+		p.X[i] = cp
+	}
+	n := len(p.X)
+	p.Stat = make([]float64, n)
+	p.Obs = make([]float64, n)
+	for i, row := range p.X {
+		t := p.StatFn(row, d.Labels)
+		p.Stat[i] = t
+		if math.IsNaN(t) {
+			p.Obs[i] = math.NaN()
+		} else {
+			p.Obs[i] = side.transform(t)
+		}
+	}
+	p.Order = make([]int, n)
+	for i := range p.Order {
+		p.Order[i] = i
+	}
+	// Decreasing transformed statistic; NaN rows sink to the end; ties
+	// break on row index so the order — and therefore the parallel
+	// reduction — is deterministic.
+	sort.SliceStable(p.Order, func(a, b int) bool {
+		ra, rb := p.Order[a], p.Order[b]
+		va, vb := p.Obs[ra], p.Obs[rb]
+		na, nb := math.IsNaN(va), math.IsNaN(vb)
+		switch {
+		case na && nb:
+			return ra < rb
+		case na:
+			return false
+		case nb:
+			return true
+		case va != vb:
+			return va > vb
+		default:
+			return ra < rb
+		}
+	})
+	p.Valid = 0
+	for _, r := range p.Order {
+		if math.IsNaN(p.Obs[r]) {
+			break
+		}
+		p.Valid++
+	}
+	return p, nil
+}
+
+// Rows returns the number of rows (genes) in the prepared matrix.
+func (p *Prep) Rows() int { return len(p.X) }
+
+// Counts holds partial exceedance counts.  Raw[i] counts permutations whose
+// statistic for row i reaches the observed one; Adj[i] counts permutations
+// whose successive maximum at row i's ordered position reaches the observed
+// statistic.  Counts from disjoint permutation chunks merge by addition —
+// the global sum the master performs in Step 5.
+type Counts struct {
+	Raw []int64
+	Adj []int64
+	B   int64 // permutations accumulated
+}
+
+// NewCounts returns zeroed counts for n rows.
+func NewCounts(n int) *Counts {
+	return &Counts{Raw: make([]int64, n), Adj: make([]int64, n)}
+}
+
+// Merge adds o into c.
+func (c *Counts) Merge(o *Counts) {
+	if len(o.Raw) != len(c.Raw) {
+		panic("maxt: merging counts of different sizes")
+	}
+	for i := range c.Raw {
+		c.Raw[i] += o.Raw[i]
+		c.Adj[i] += o.Adj[i]
+	}
+	c.B += o.B
+}
+
+// Scratch holds per-goroutine working storage for Process, so concurrent
+// chunks never share mutable state.
+type Scratch struct {
+	lab []int
+	z   []float64
+}
+
+// NewScratch sizes scratch space for the given prep.
+func (p *Prep) NewScratch() *Scratch {
+	return &Scratch{
+		lab: make([]int, p.Design.N),
+		z:   make([]float64, len(p.X)),
+	}
+}
+
+// Process accumulates exceedance counts for permutation indices [lo, hi) of
+// gen into c.  It is the computational kernel of both mt.maxT and pmaxT:
+// the serial run processes [0, B); rank r of a parallel run processes its
+// chunk, with the master's chunk containing index 0 (the observed
+// labelling, Figure 2).  scratch may be nil, in which case temporary
+// storage is allocated.
+func Process(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scratch) {
+	if scratch == nil {
+		scratch = p.NewScratch()
+	}
+	lab, z := scratch.lab, scratch.z
+	order, obs := p.Order, p.Obs
+	for idx := lo; idx < hi; idx++ {
+		gen.Label(idx, lab)
+		for i, row := range p.X {
+			t := p.StatFn(row, lab)
+			if math.IsNaN(t) {
+				z[i] = math.Inf(-1) // never exceeds, never raises the max
+			} else {
+				z[i] = p.Side.transform(t)
+			}
+		}
+		// Raw counts: per-row comparison.
+		for i := range z {
+			if !math.IsNaN(obs[i]) && z[i] >= obs[i] {
+				c.Raw[i]++
+			}
+		}
+		// Successive maxima from the least significant valid row upward.
+		u := math.Inf(-1)
+		for j := p.Valid - 1; j >= 0; j-- {
+			r := order[j]
+			if z[r] > u {
+				u = z[r]
+			}
+			if u >= obs[r] {
+				c.Adj[r]++
+			}
+		}
+		c.B++
+	}
+}
+
+// Result carries the outputs of a maxT run, in the original row order.
+type Result struct {
+	Stat  []float64 // observed (untransformed) statistics
+	RawP  []float64 // unadjusted permutation p-values
+	AdjP  []float64 // Westfall–Young step-down maxT adjusted p-values
+	Order []int     // rows by decreasing significance
+	B     int64     // permutations actually used (including the observed)
+}
+
+// Finalize converts merged counts into p-values.  Rows whose observed
+// statistic was not computable receive NaN p-values.  Adjusted p-values are
+// made monotone non-decreasing down the significance order, the step-down
+// enforcement of Westfall & Young.
+func Finalize(p *Prep, c *Counts) *Result {
+	n := len(p.X)
+	res := &Result{
+		Stat:  append([]float64(nil), p.Stat...),
+		RawP:  make([]float64, n),
+		AdjP:  make([]float64, n),
+		Order: append([]int(nil), p.Order...),
+		B:     c.B,
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(p.Obs[i]) {
+			res.RawP[i] = math.NaN()
+			res.AdjP[i] = math.NaN()
+		} else {
+			res.RawP[i] = float64(c.Raw[i]) / float64(c.B)
+		}
+	}
+	prev := 0.0
+	for j := 0; j < p.Valid; j++ {
+		r := p.Order[j]
+		v := float64(c.Adj[r]) / float64(c.B)
+		if v < prev {
+			v = prev
+		}
+		res.AdjP[r] = v
+		prev = v
+	}
+	return res
+}
+
+// Run executes a complete serial maxT computation over all permutations of
+// gen: the reference mt.maxT behaviour.
+func Run(p *Prep, gen perm.Generator) *Result {
+	c := NewCounts(len(p.X))
+	Process(p, gen, 0, gen.Total(), c, nil)
+	return Finalize(p, c)
+}

@@ -1,0 +1,249 @@
+package microarray
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDimensionsAndLabels(t *testing.T) {
+	d, err := Generate(GenOptions{Genes: 100, Samples: 10, Classes: 2, DiffFraction: 0.1, EffectSize: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 100 || d.Cols() != 10 {
+		t.Fatalf("dims = %dx%d", d.Rows(), d.Cols())
+	}
+	// Balanced two-class split.
+	n1 := 0
+	for _, l := range d.Labels {
+		n1 += l
+	}
+	if n1 != 5 {
+		t.Errorf("class 1 count = %d, want 5", n1)
+	}
+	// 10 differential genes flagged and named.
+	nd := 0
+	for i, diff := range d.Differential {
+		if diff {
+			nd++
+			if !strings.HasSuffix(d.GeneNames[i], ".DE") {
+				t.Errorf("differential gene %d not suffixed: %q", i, d.GeneNames[i])
+			}
+		}
+	}
+	if nd != 10 {
+		t.Errorf("differential genes = %d, want 10", nd)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	opt := GenOptions{Genes: 20, Samples: 8, Classes: 2, Seed: 42}
+	a, _ := Generate(opt)
+	b, _ := Generate(opt)
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatalf("same seed, different data at (%d,%d)", i, j)
+			}
+		}
+	}
+	opt.Seed = 43
+	c, _ := Generate(opt)
+	if a.X[0][0] == c.X[0][0] && a.X[1][1] == c.X[1][1] && a.X[2][2] == c.X[2][2] {
+		t.Error("different seeds produced suspiciously identical data")
+	}
+}
+
+func TestGenerateEffectDirection(t *testing.T) {
+	d, _ := Generate(GenOptions{Genes: 50, Samples: 40, Classes: 2, DiffFraction: 0.2, EffectSize: 3, Seed: 7})
+	// Differential genes must have higher class-1 means.
+	for i := 0; i < 10; i++ {
+		var m0, m1 float64
+		for j, v := range d.X[i] {
+			if d.Labels[j] == 0 {
+				m0 += v
+			} else {
+				m1 += v
+			}
+		}
+		if m1 <= m0 {
+			t.Errorf("gene %d: class-1 mean not elevated", i)
+		}
+	}
+}
+
+func TestGeneratePairedLayout(t *testing.T) {
+	d, err := Generate(GenOptions{Genes: 10, Samples: 12, Classes: 2, Paired: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		if d.Labels[2*j] != 0 || d.Labels[2*j+1] != 1 {
+			t.Fatalf("pair %d labels = (%d,%d)", j, d.Labels[2*j], d.Labels[2*j+1])
+		}
+	}
+}
+
+func TestGenerateBlockedLayout(t *testing.T) {
+	d, err := Generate(GenOptions{Genes: 10, Samples: 12, Classes: 3, Blocked: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		for tr := 0; tr < 3; tr++ {
+			if d.Labels[b*3+tr] != tr {
+				t.Fatalf("block %d labels wrong: %v", b, d.Labels[b*3:b*3+3])
+			}
+		}
+	}
+}
+
+func TestGenerateMissingRate(t *testing.T) {
+	d, _ := Generate(GenOptions{Genes: 200, Samples: 20, Classes: 2, MissingRate: 0.1, Seed: 5})
+	missing := 0
+	for _, row := range d.X {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				missing++
+			}
+		}
+	}
+	total := 200 * 20
+	if missing < total/20 || missing > total/5 {
+		t.Errorf("missing = %d of %d, want ~10%%", missing, total)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []GenOptions{
+		{Genes: 0, Samples: 10},
+		{Genes: 10, Samples: 0},
+		{Genes: 10, Samples: 7, Classes: 2, Paired: true},
+		{Genes: 10, Samples: 10, Classes: 3, Blocked: true},
+		{Genes: 10, Samples: 10, Classes: 2, Paired: true, Blocked: true},
+		{Genes: 10, Samples: 10, DiffFraction: 1.5},
+		{Genes: 10, Samples: 10, MissingRate: -0.1},
+	}
+	for i, opt := range cases {
+		if _, err := Generate(opt); err == nil {
+			t.Errorf("case %d accepted: %+v", i, opt)
+		}
+	}
+}
+
+func TestPaperDatasetShape(t *testing.T) {
+	opt := PaperDataset()
+	if opt.Genes != 6102 || opt.Samples != 76 {
+		t.Errorf("paper dataset = %dx%d, want 6102x76", opt.Genes, opt.Samples)
+	}
+	if e := ExonDataset(6); e.Genes != 36612 {
+		t.Errorf("exon x6 = %d genes, want 36612", e.Genes)
+	}
+	if e := ExonDataset(12); e.Genes != 73224 {
+		t.Errorf("exon x12 = %d genes, want 73224", e.Genes)
+	}
+}
+
+func TestSizeMBMatchesPaper(t *testing.T) {
+	// The paper quotes 21.22 MB for 36612×76 and 42.45 MB for 73224×76.
+	d := &Dataset{X: make([][]float64, 36612)}
+	for i := range d.X {
+		d.X[i] = make([]float64, 76)
+	}
+	if got := d.SizeMB(); math.Abs(got-21.22) > 0.05 {
+		t.Errorf("36612x76 SizeMB = %.2f, want 21.22", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, _ := Generate(GenOptions{Genes: 30, Samples: 8, Classes: 2, DiffFraction: 0.1, MissingRate: 0.05, Seed: 9})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != d.Rows() || back.Cols() != d.Cols() {
+		t.Fatalf("round trip dims %dx%d", back.Rows(), back.Cols())
+	}
+	for j := range d.Labels {
+		if back.Labels[j] != d.Labels[j] {
+			t.Fatalf("label %d: %d != %d", j, back.Labels[j], d.Labels[j])
+		}
+	}
+	for i := range d.X {
+		if back.GeneNames[i] != d.GeneNames[i] {
+			t.Fatalf("gene name %d: %q != %q", i, back.GeneNames[i], d.GeneNames[i])
+		}
+		if back.Differential[i] != d.Differential[i] {
+			t.Fatalf("differential flag %d mismatch", i)
+		}
+		for j := range d.X[i] {
+			a, b := d.X[i][j], back.X[i][j]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // empty
+		"gene\n",                            // header too short
+		"gene,s01.c0,s02.c1\n",              // no data rows
+		"gene,s01,s02.c1\ng1,1,2\n",         // missing class suffix
+		"gene,s01.cX,s02.c1\ng1,1,2\n",      // bad class number
+		"gene,s01.c0,s02.c1\ng1,1\n",        // short row
+		"gene,s01.c0,s02.c1\ng1,1,badnum\n", // bad float
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestQuickCSVRoundTripValues(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		vals = vals[:2]
+		for i, v := range vals {
+			if math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+		d := &Dataset{
+			X:      [][]float64{vals},
+			Labels: []int{0, 1},
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		for j := range vals {
+			a, b := vals[j], back.X[0][j]
+			if math.IsNaN(a) != math.IsNaN(b) {
+				return false
+			}
+			if !math.IsNaN(a) && a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package papply implements the SPRINT architecture extension described in
+// Section 2 of the paper: "Allowing SPRINT workers to also exploit existing
+// serial R functionality means that when appropriate, the data, iteration
+// count or both can be partitioned by SPRINT across the workers, processed
+// by the serial R functionality with the results collected and reduced by
+// the master, and the final result returned to R.  From a user perspective
+// ... there is no need to perform the additional steps associated with
+// manual partitioning of data or iterations and the subsequent manual
+// collection and reduction of results."
+//
+// Here the "serial R function" is any Go closure.  Apply partitions a row
+// range, runs the closure on each rank's partition, and gathers+reduces on
+// the master — the mechanism Mitchell et al. used for the SPRINT Random
+// Forest classifier.
+package papply
+
+import (
+	"fmt"
+
+	"sprint/internal/mpi"
+	"sprint/internal/sprintfw"
+)
+
+// FunctionName is the registry name.
+const FunctionName = "papply"
+
+// Task describes one partitioned application.  Both function fields run on
+// every rank and must therefore be registered identically everywhere (the
+// SPRINT analogue: all R runtimes load the same script).
+type Task struct {
+	// N is the number of work items (rows, trees, iterations ...).
+	N int
+	// Apply processes items [lo, hi) and returns a partial result.
+	Apply func(lo, hi int) (any, error)
+	// Reduce combines partial results in rank order on the master.  For
+	// nil Reduce the master receives the slice of partials as-is.
+	Reduce func(partials []any) (any, error)
+}
+
+// Apply runs the task over nprocs ranks and returns the reduced result.
+func Apply(nprocs int, task Task) (any, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("papply: nprocs = %d must be positive", nprocs)
+	}
+	reg := sprintfw.NewRegistry()
+	reg.MustRegister(NewFunction())
+	var res any
+	err := sprintfw.Run(nprocs, reg, func(s *sprintfw.Session) error {
+		out, err := s.Call(FunctionName, &task)
+		if err != nil {
+			return err
+		}
+		res = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// NewFunction returns the sprintfw registration of papply.
+func NewFunction() sprintfw.Function {
+	return sprintfw.FuncOf(FunctionName, eval)
+}
+
+// Register adds papply to an existing SPRINT registry.
+func Register(reg *sprintfw.Registry) { reg.MustRegister(NewFunction()) }
+
+func eval(c *mpi.Comm, args any) (any, error) {
+	task, ok := args.(*Task)
+	if !ok {
+		return nil, fmt.Errorf("papply: called with %T, want *Task", args)
+	}
+	if task.N < 0 || task.Apply == nil {
+		return nil, fmt.Errorf("papply: invalid task (N=%d, Apply nil=%v)", task.N, task.Apply == nil)
+	}
+	lo := task.N * c.Rank() / c.Size()
+	hi := task.N * (c.Rank() + 1) / c.Size()
+	partial, err := task.Apply(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("papply: rank %d items [%d,%d): %w", c.Rank(), lo, hi, err)
+	}
+	partials := mpi.Gather(c, 0, partial)
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	if task.Reduce == nil {
+		return partials, nil
+	}
+	return task.Reduce(partials)
+}

@@ -1,0 +1,154 @@
+package papply
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestApplyPartitionsAndReduces(t *testing.T) {
+	// Sum of squares 0..99 computed in partitions.
+	task := Task{
+		N: 100,
+		Apply: func(lo, hi int) (any, error) {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i * i
+			}
+			return s, nil
+		},
+		Reduce: func(partials []any) (any, error) {
+			total := 0
+			for _, p := range partials {
+				total += p.(int)
+			}
+			return total, nil
+		},
+	}
+	want := 0
+	for i := 0; i < 100; i++ {
+		want += i * i
+	}
+	for _, np := range []int{1, 2, 3, 7, 16} {
+		got, err := Apply(np, task)
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		if got.(int) != want {
+			t.Errorf("np=%d: sum = %v, want %d", np, got, want)
+		}
+	}
+}
+
+func TestApplyNilReduceReturnsPartials(t *testing.T) {
+	task := Task{
+		N:     10,
+		Apply: func(lo, hi int) (any, error) { return hi - lo, nil },
+	}
+	got, err := Apply(4, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := got.([]any)
+	if len(parts) != 4 {
+		t.Fatalf("partials = %v", parts)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.(int)
+	}
+	if total != 10 {
+		t.Errorf("partition sizes sum to %d, want 10", total)
+	}
+}
+
+func TestApplyPartitionsAreContiguousAndOrdered(t *testing.T) {
+	task := Task{
+		N:     23,
+		Apply: func(lo, hi int) (any, error) { return [2]int{lo, hi}, nil },
+	}
+	got, err := Apply(5, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for rank, p := range got.([]any) {
+		b := p.([2]int)
+		if b[0] != prev {
+			t.Fatalf("rank %d starts at %d, want %d", rank, b[0], prev)
+		}
+		prev = b[1]
+	}
+	if prev != 23 {
+		t.Fatalf("partitions end at %d, want 23", prev)
+	}
+}
+
+func TestApplyWorkerErrorPropagates(t *testing.T) {
+	sentinel := errors.New("partition 2 failed")
+	task := Task{
+		N: 10,
+		Apply: func(lo, hi int) (any, error) {
+			if lo >= 4 && lo < 6 {
+				return nil, sentinel
+			}
+			return nil, nil
+		},
+	}
+	_, err := Apply(5, task)
+	if err == nil {
+		t.Fatal("worker error did not propagate")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestApplyReduceErrorPropagates(t *testing.T) {
+	task := Task{
+		N:      4,
+		Apply:  func(lo, hi int) (any, error) { return nil, nil },
+		Reduce: func(partials []any) (any, error) { return nil, fmt.Errorf("reduce failed") },
+	}
+	if _, err := Apply(2, task); err == nil {
+		t.Fatal("reduce error did not propagate")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	if _, err := Apply(0, Task{N: 1, Apply: func(lo, hi int) (any, error) { return nil, nil }}); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, err := Apply(2, Task{N: 1}); err == nil {
+		t.Error("nil Apply accepted")
+	}
+	if _, err := Apply(2, Task{N: -1, Apply: func(lo, hi int) (any, error) { return nil, nil }}); err == nil {
+		t.Error("negative N accepted")
+	}
+}
+
+func TestApplyMoreRanksThanItems(t *testing.T) {
+	// Ranks beyond the work receive empty partitions and must not break.
+	// (Apply runs concurrently on every rank: closures must not share
+	// mutable state without synchronisation.)
+	task := Task{
+		N: 3,
+		Apply: func(lo, hi int) (any, error) {
+			return hi - lo, nil
+		},
+		Reduce: func(partials []any) (any, error) {
+			s := 0
+			for _, p := range partials {
+				s += p.(int)
+			}
+			return s, nil
+		},
+	}
+	got, err := Apply(8, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 3 {
+		t.Errorf("total = %v, want 3", got)
+	}
+}

@@ -1,0 +1,187 @@
+// Package pcor implements SPRINT's original prototype function: the
+// parallel Pearson correlation of Hill et al. (2008), cited by the paper
+// as the function that "parallelized a key statistical correlation function
+// of important generic use to machine learning algorithms (clustering,
+// classification) in genomic data analysis" (Section 1).
+//
+// pcor computes the rows×rows correlation matrix of an expression matrix.
+// Unlike pmaxT — which distributes the permutation count — pcor distributes
+// the *output rows*: each rank computes the correlations of its row chunk
+// against all rows, and the master gathers the strips.  Having both
+// functions in the registry demonstrates the SPRINT framework's design
+// point that differently-parallelised functions share one worker pool.
+package pcor
+
+import (
+	"fmt"
+	"math"
+
+	"sprint/internal/mpi"
+	"sprint/internal/sprintfw"
+)
+
+// FunctionName is the registry name, matching SPRINT's pcor.
+const FunctionName = "pcor"
+
+// job carries the master's input into the collective evaluation.
+type job struct {
+	x [][]float64
+}
+
+// Result is the correlation matrix, row-major, with Matrix[i][j] the
+// Pearson correlation of rows i and j.  Rows with zero variance (or fewer
+// than two finite pairings) correlate as NaN.
+type Result struct {
+	Matrix [][]float64
+}
+
+// NewFunction returns the sprintfw registration of pcor.
+func NewFunction() sprintfw.Function {
+	return sprintfw.FuncOf(FunctionName, eval)
+}
+
+// Register adds pcor to an existing SPRINT registry.
+func Register(reg *sprintfw.Registry) { reg.MustRegister(NewFunction()) }
+
+// Pcor computes the correlation matrix of x on nprocs ranks through the
+// SPRINT framework.
+func Pcor(x [][]float64, nprocs int) (*Result, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("pcor: nprocs = %d must be positive", nprocs)
+	}
+	reg := sprintfw.NewRegistry()
+	Register(reg)
+	var res *Result
+	err := sprintfw.Run(nprocs, reg, func(s *sprintfw.Session) error {
+		out, err := s.Call(FunctionName, &job{x: x})
+		if err != nil {
+			return err
+		}
+		res = out.(*Result)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// eval is the collective body: broadcast the data, compute a row strip per
+// rank, gather the strips on the master.
+func eval(c *mpi.Comm, args any) (any, error) {
+	var x [][]float64
+	if c.Rank() == 0 {
+		j, ok := args.(*job)
+		if !ok {
+			return nil, fmt.Errorf("pcor: called with %T, want *job", args)
+		}
+		if len(j.x) == 0 {
+			return nil, fmt.Errorf("pcor: empty matrix")
+		}
+		for i, row := range j.x {
+			if len(row) != len(j.x[0]) {
+				return nil, fmt.Errorf("pcor: row %d has %d columns, row 0 has %d", i, len(row), len(j.x[0]))
+			}
+		}
+		x = j.x
+	}
+	x = mpi.Bcast(c, 0, x)
+	n := len(x)
+
+	// Standardise every row once: correlation of standardised rows is a
+	// plain dot product over the columns.
+	std := make([][]float64, n)
+	for i, row := range x {
+		std[i] = standardise(row)
+	}
+
+	lo, hi := chunk(n, c.Size(), c.Rank())
+	strip := make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		out := make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[j] = dotCorr(std[i], std[j])
+		}
+		strip[i-lo] = out
+	}
+
+	strips := mpi.Gather(c, 0, strip)
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	matrix := make([][]float64, 0, n)
+	for _, s := range strips {
+		matrix = append(matrix, s...)
+	}
+	return &Result{Matrix: matrix}, nil
+}
+
+// chunk splits n output rows across size ranks, same balanced contiguous
+// rule as pmaxT's permutation chunks.
+func chunk(n, size, rank int) (lo, hi int) {
+	return n * rank / size, n * (rank + 1) / size
+}
+
+// standardise returns (row - mean)/sd with NaN entries zeroed out (missing
+// values contribute nothing to the dot product), or all-NaN if the row has
+// no variance.
+func standardise(row []float64) []float64 {
+	var sum float64
+	var cnt int
+	for _, v := range row {
+		if !math.IsNaN(v) {
+			sum += v
+			cnt++
+		}
+	}
+	out := make([]float64, len(row))
+	if cnt < 2 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	mean := sum / float64(cnt)
+	var ss float64
+	for _, v := range row {
+		if !math.IsNaN(v) {
+			d := v - mean
+			ss += d * d
+		}
+	}
+	if ss == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	inv := 1 / math.Sqrt(ss)
+	for i, v := range row {
+		if math.IsNaN(v) {
+			out[i] = 0
+		} else {
+			out[i] = (v - mean) * inv
+		}
+	}
+	return out
+}
+
+// dotCorr is the correlation of two standardised rows.  A NaN marker in
+// either row (zero variance) propagates NaN.
+func dotCorr(a, b []float64) float64 {
+	if math.IsNaN(a[0]) || math.IsNaN(b[0]) {
+		return math.NaN()
+	}
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	// Clamp rounding excursions outside [-1, 1].
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	return dot
+}

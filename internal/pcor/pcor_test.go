@@ -1,0 +1,170 @@
+package pcor
+
+import (
+	"math"
+	"testing"
+
+	"sprint/internal/rng"
+)
+
+// refPearson is an independent two-pass Pearson correlation.
+func refPearson(a, b []float64) float64 {
+	var sa, sb float64
+	n := 0
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		sa += a[i]
+		sb += b[i]
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var num, da, db float64
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		num += (a[i] - ma) * (b[i] - mb)
+		da += (a[i] - ma) * (a[i] - ma)
+		db += (b[i] - mb) * (b[i] - mb)
+	}
+	if da == 0 || db == 0 {
+		return math.NaN()
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func randMatrix(rows, cols int, seed uint64) [][]float64 {
+	src := rng.New(seed)
+	x := make([][]float64, rows)
+	for i := range x {
+		x[i] = make([]float64, cols)
+		for j := range x[i] {
+			x[i][j] = src.NormFloat64()
+		}
+	}
+	return x
+}
+
+func TestPcorMatchesReference(t *testing.T) {
+	x := randMatrix(12, 20, 5)
+	res, err := Pcor(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		for j := range x {
+			want := refPearson(x[i], x[j])
+			got := res.Matrix[i][j]
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("corr(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPcorProperties(t *testing.T) {
+	x := randMatrix(10, 15, 9)
+	res, err := Pcor(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		// Diagonal exactly 1 (self-correlation of finite-variance rows).
+		if math.Abs(res.Matrix[i][i]-1) > 1e-12 {
+			t.Errorf("corr(%d,%d) = %v, want 1", i, i, res.Matrix[i][i])
+		}
+		for j := range x {
+			// Symmetry and range.
+			if res.Matrix[i][j] != res.Matrix[j][i] {
+				t.Errorf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if v := res.Matrix[i][j]; v < -1 || v > 1 {
+				t.Errorf("corr(%d,%d) = %v outside [-1,1]", i, j, v)
+			}
+		}
+	}
+}
+
+func TestPcorProcessCountInvariance(t *testing.T) {
+	x := randMatrix(9, 10, 13)
+	base, err := Pcor(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range []int{2, 3, 5, 9, 12} {
+		res, err := Pcor(x, np)
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		for i := range x {
+			for j := range x {
+				if base.Matrix[i][j] != res.Matrix[i][j] {
+					t.Fatalf("np=%d: corr(%d,%d) differs from serial", np, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPcorConstantRowGivesNaN(t *testing.T) {
+	x := [][]float64{
+		{1, 2, 3, 4},
+		{5, 5, 5, 5}, // zero variance
+	}
+	res, err := Pcor(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Matrix[0][1]) || !math.IsNaN(res.Matrix[1][1]) {
+		t.Errorf("constant-row correlations = %v, want NaN", res.Matrix[1])
+	}
+	if res.Matrix[0][0] != 1 {
+		t.Errorf("corr(0,0) = %v", res.Matrix[0][0])
+	}
+}
+
+func TestPcorPerfectCorrelations(t *testing.T) {
+	x := [][]float64{
+		{1, 2, 3, 4, 5},
+		{2, 4, 6, 8, 10},   // +1
+		{5, 4, 3, 2, 1},    // -1
+		{1.5, 0, 7, -2, 3}, // something else
+	}
+	res, err := Pcor(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Matrix[0][1]-1) > 1e-12 {
+		t.Errorf("corr(0,1) = %v, want 1", res.Matrix[0][1])
+	}
+	if math.Abs(res.Matrix[0][2]+1) > 1e-12 {
+		t.Errorf("corr(0,2) = %v, want -1", res.Matrix[0][2])
+	}
+}
+
+func TestPcorValidation(t *testing.T) {
+	if _, err := Pcor(nil, 2); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := Pcor([][]float64{{1, 2}, {1}}, 2); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Pcor([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+}
+
+func BenchmarkPcor100x76(b *testing.B) {
+	x := randMatrix(100, 76, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pcor(x, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

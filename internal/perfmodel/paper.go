@@ -1,0 +1,113 @@
+package perfmodel
+
+// The measured values published in the paper, transcribed from Tables I–VI.
+// They serve two purposes: calibration targets for the analytic model, and
+// the "paper" column of every side-by-side comparison in EXPERIMENTS.md and
+// cmd/benchtables.  The tables report minimum timings over five runs.
+
+// PaperRow is one row of Tables I–V.
+type PaperRow struct {
+	Procs                          int
+	Pre, Bcast, Data, Kernel, PVal float64
+	Speedup, SpeedupKernel         float64
+}
+
+// Profile repackages the section columns.
+func (r PaperRow) Profile() Profile {
+	return Profile{Pre: r.Pre, Bcast: r.Bcast, Data: r.Data, Kernel: r.Kernel, PVal: r.PVal}
+}
+
+// PaperTable returns the published rows for the named platform (the Name
+// field of a Platform), or nil if unknown.
+func PaperTable(name string) []PaperRow {
+	return paperTables[name]
+}
+
+var paperTables = map[string][]PaperRow{
+	// Table I: Profile of pmaxT implementation (HECToR).
+	"HECToR": {
+		{1, 0.260, 0.001, 0.010, 795.600, 0.002, 1.00, 1.00},
+		{2, 0.261, 0.004, 0.012, 406.204, 0.884, 1.95, 1.95},
+		{4, 0.259, 0.009, 0.013, 207.776, 0.005, 3.82, 3.82},
+		{8, 0.260, 0.013, 0.013, 104.169, 0.489, 7.58, 7.63},
+		{16, 0.259, 0.015, 0.013, 51.931, 0.713, 15.03, 15.32},
+		{32, 0.259, 0.017, 0.013, 25.993, 0.784, 29.40, 30.60},
+		{64, 0.259, 0.020, 0.013, 13.028, 0.611, 57.11, 61.06},
+		{128, 0.259, 0.023, 0.013, 6.516, 0.662, 106.48, 122.09},
+		{256, 0.260, 0.024, 0.013, 3.257, 0.611, 190.99, 244.27},
+		{512, 0.260, 0.028, 0.013, 1.633, 0.606, 313.09, 487.20},
+	},
+	// Table II: Profile of pmaxT implementation (ECDF).
+	"ECDF": {
+		{1, 0.157, 0.000, 0.003, 467.273, 0.000, 1.00, 1.00},
+		{2, 0.163, 0.002, 0.003, 234.848, 0.000, 1.99, 1.99},
+		{4, 0.162, 0.003, 0.004, 123.174, 0.000, 3.79, 3.79},
+		{8, 0.159, 0.004, 0.005, 79.576, 1.217, 5.77, 5.87},
+		{16, 0.158, 0.032, 0.005, 39.467, 1.224, 11.43, 11.84},
+		{32, 0.164, 0.072, 0.005, 19.862, 1.235, 21.91, 23.53},
+		{64, 0.157, 0.072, 0.005, 9.935, 1.297, 40.77, 47.03},
+		{128, 0.162, 0.086, 0.007, 5.813, 1.304, 63.40, 80.38},
+	},
+	// Table III: Profile of pmaxT implementation (Amazon EC2).
+	"Amazon EC2": {
+		{1, 0.272, 0.000, 0.006, 539.074, 0.000, 1.00, 1.00},
+		{2, 0.271, 0.004, 0.009, 291.514, 0.005, 1.84, 1.84},
+		{4, 0.273, 0.011, 0.014, 187.342, 0.043, 2.87, 2.87},
+		{8, 0.278, 0.880, 0.014, 90.806, 2.574, 5.70, 5.93},
+		{16, 0.268, 1.735, 0.022, 43.756, 4.983, 10.62, 12.32},
+		{32, 0.270, 2.917, 0.019, 22.308, 3.834, 18.37, 24.16},
+	},
+	// Table IV: Profile of pmaxT implementation (Ness).
+	"Ness": {
+		{1, 0.393, 0.000, 0.010, 852.223, 0.000, 1.00, 1.00},
+		{2, 0.467, 0.007, 0.012, 443.050, 0.001, 1.92, 1.92},
+		{4, 0.398, 0.029, 0.012, 216.595, 0.001, 3.93, 3.93},
+		{8, 0.394, 0.032, 0.014, 117.317, 0.001, 7.24, 7.26},
+		{16, 0.436, 0.109, 0.019, 84.442, 0.001, 10.03, 10.09},
+	},
+	// Table V: Profile of pmaxT implementation (Quad Core desktop).
+	"Quad-core desktop": {
+		{1, 0.140, 0.000, 0.007, 566.638, 0.001, 1.00, 1.00},
+		{2, 0.136, 0.003, 0.008, 282.623, 0.085, 2.00, 2.00},
+		{4, 0.135, 0.010, 0.013, 167.439, 0.705, 3.37, 3.38},
+	},
+}
+
+// PaperVIRow is one row of Table VI: elapsed pmaxT time on 256 HECToR
+// cores for large datasets and high permutation counts, against the
+// paper's extrapolated serial R run time.
+type PaperVIRow struct {
+	Genes, Samples int
+	SizeMB         float64
+	Perms          int64
+	TotalSec       float64 // measured pmaxT elapsed, 256 processes
+	SerialSec      float64 // paper's serial approximation
+}
+
+// PaperTableVI returns the published Table VI rows.
+func PaperTableVI() []PaperVIRow {
+	return []PaperVIRow{
+		{36612, 76, 21.22, 500000, 73.18, 20750},
+		{36612, 76, 21.22, 1000000, 146.64, 41500},
+		{36612, 76, 21.22, 2000000, 290.22, 83000},
+		{73224, 76, 42.45, 500000, 148.46, 35000},
+		{73224, 76, 42.45, 1000000, 294.61, 70000},
+		{73224, 76, 42.45, 2000000, 591.48, 140000},
+	}
+}
+
+// TableVIProcs is the process count used throughout Table VI.
+const TableVIProcs = 256
+
+// SerialROverhead is the calibrated slowdown of the original serial R
+// mt.maxT relative to the pmaxT C kernel rate on the same hardware; it
+// converts modelled kernel work into the paper's "serial run time
+// (approximation)" column.  Calibrated from the two Table VI datasets
+// (1.30 and 1.10 respectively); 1.20 splits the difference within ±9%.
+const SerialROverhead = 1.20
+
+// SerialApprox models the paper's serial-R extrapolation for a matrix of
+// the given rows and permutation count on the given platform.
+func (pl Platform) SerialApprox(rows int, b int64) float64 {
+	return pl.T1Kernel * (float64(rows) / RefGenes) * (float64(b) / RefPerms) * SerialROverhead
+}

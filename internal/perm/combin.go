@@ -1,0 +1,252 @@
+package perm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Overflow-safe combinatorics used by the complete-permutation generators.
+// All counting is done in int64 with explicit overflow detection: the paper
+// specifies that when the complete permutation count "exceeds the maximum
+// allowed limit, the user is asked to explicitly request a smaller number of
+// permutations", so an overflowing count is an expected, reportable
+// condition rather than a programming error.
+
+// ErrTooManyPermutations is wrapped by errors reporting that a complete
+// enumeration is too large to index.
+var ErrTooManyPermutations = fmt.Errorf("perm: complete permutation count exceeds the maximum allowed limit")
+
+// mulOK returns a*b and whether the product fits in int64.  a, b >= 0.
+func mulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(lo), true
+}
+
+// Binomial returns C(n, k) and whether it fits in int64.
+func Binomial(n, k int) (int64, bool) {
+	if k < 0 || k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	// Multiply/divide incrementally; the intermediate product uses a full
+	// 128-bit value so the result overflows only if the binomial itself
+	// does.  Each quotient is integral because C(n-k+i, i) is.
+	result := uint64(1)
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(result, uint64(n-k+i))
+		d := uint64(i)
+		if hi >= d {
+			return 0, false // quotient would not fit in 64 bits
+		}
+		q, _ := bits.Div64(hi, lo, d)
+		if q > math.MaxInt64 {
+			return 0, false
+		}
+		result = q
+	}
+	return int64(result), true
+}
+
+// Factorial returns n! and whether it fits in int64 (n <= 20).
+func Factorial(n int) (int64, bool) {
+	if n < 0 {
+		return 0, true
+	}
+	result := int64(1)
+	for i := 2; i <= n; i++ {
+		v, ok := mulOK(result, int64(i))
+		if !ok {
+			return 0, false
+		}
+		result = v
+	}
+	return result, true
+}
+
+// Multinomial returns n! / (counts[0]! * ... * counts[k-1]!) where n is the
+// sum of counts, and whether it fits in int64.  It is the number of distinct
+// arrangements of a multiset — the complete permutation count for the
+// F-test's label vector.
+func Multinomial(counts []int) (int64, bool) {
+	// Build incrementally as a product of binomials:
+	// multinomial = prod_i C(partialSum_i, counts_i).
+	result := int64(1)
+	partial := 0
+	for _, c := range counts {
+		partial += c
+		b, ok := Binomial(partial, c)
+		if !ok {
+			return 0, false
+		}
+		result, ok = mulOK(result, b)
+		if !ok {
+			return 0, false
+		}
+	}
+	return result, true
+}
+
+// Pow returns base^exp and whether it fits in int64.
+func Pow(base int64, exp int) (int64, bool) {
+	result := int64(1)
+	for i := 0; i < exp; i++ {
+		v, ok := mulOK(result, base)
+		if !ok {
+			return 0, false
+		}
+		result = v
+	}
+	return result, true
+}
+
+// CombinationUnrank writes into dst the rank-th k-combination of 0..n-1 in
+// colexicographic-compatible lexicographic order (the combinadic ordering:
+// rank 0 is {0,1,..,k-1}, the last rank is {n-k,..,n-1}).  dst must have
+// length k and rank must lie in [0, C(n,k)).
+func CombinationUnrank(n, k int, rank int64, dst []int) {
+	// Lexicographic unranking: choose the smallest first element whose
+	// suffix count covers the remaining rank.
+	elem := 0
+	for i := 0; i < k; i++ {
+		for {
+			c, _ := Binomial(n-elem-1, k-i-1)
+			if rank < c {
+				break
+			}
+			rank -= c
+			elem++
+		}
+		dst[i] = elem
+		elem++
+	}
+}
+
+// CombinationRank is the inverse of CombinationUnrank: it returns the
+// lexicographic rank of the strictly increasing k-combination comb of
+// 0..n-1.
+func CombinationRank(n int, comb []int) int64 {
+	k := len(comb)
+	rank := int64(0)
+	prev := -1
+	for i, c := range comb {
+		for e := prev + 1; e < c; e++ {
+			cnt, _ := Binomial(n-e-1, k-i-1)
+			rank += cnt
+		}
+		prev = c
+	}
+	return rank
+}
+
+// PermutationUnrank writes into dst the rank-th permutation of 0..k-1 in
+// lexicographic order using the factorial number system.  dst must have
+// length k and rank must lie in [0, k!).
+func PermutationUnrank(k int, rank int64, dst []int) {
+	// Factoradic digits.
+	var digits [21]int64 // k <= 20 because k! must fit in int64
+	for i := 1; i <= k; i++ {
+		digits[k-i] = rank % int64(i)
+		rank /= int64(i)
+	}
+	// Convert digits to a permutation by selecting from the remaining
+	// elements.
+	var pool [21]int
+	for i := 0; i < k; i++ {
+		pool[i] = i
+	}
+	remaining := k
+	for i := 0; i < k; i++ {
+		d := int(digits[i])
+		dst[i] = pool[d]
+		copy(pool[d:], pool[d+1:remaining])
+		remaining--
+	}
+}
+
+// PermutationRank is the inverse of PermutationUnrank.
+func PermutationRank(p []int) int64 {
+	k := len(p)
+	var pool [21]int
+	for i := 0; i < k; i++ {
+		pool[i] = i
+	}
+	remaining := k
+	rank := int64(0)
+	for i := 0; i < k; i++ {
+		d := 0
+		for pool[d] != p[i] {
+			d++
+		}
+		f, _ := Factorial(remaining - 1)
+		rank += int64(d) * f
+		copy(pool[d:], pool[d+1:remaining])
+		remaining--
+	}
+	return rank
+}
+
+// MultisetUnrank writes into dst the rank-th arrangement (in lexicographic
+// order by class value) of a multiset with the given per-class counts.
+// counts is not modified.  rank must lie in [0, Multinomial(counts)).
+func MultisetUnrank(counts []int, rank int64, dst []int) {
+	k := len(counts)
+	remaining := make([]int, k)
+	copy(remaining, counts)
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	for pos := 0; pos < n; pos++ {
+		for c := 0; c < k; c++ {
+			if remaining[c] == 0 {
+				continue
+			}
+			remaining[c]--
+			sub, _ := Multinomial(remaining)
+			if rank < sub {
+				dst[pos] = c
+				break
+			}
+			rank -= sub
+			remaining[c]++
+		}
+	}
+}
+
+// MultisetRank is the inverse of MultisetUnrank: the lexicographic rank of
+// arrangement arr among all arrangements of its multiset.
+func MultisetRank(arr []int) int64 {
+	k := 0
+	for _, v := range arr {
+		if v+1 > k {
+			k = v + 1
+		}
+	}
+	remaining := make([]int, k)
+	for _, v := range arr {
+		remaining[v]++
+	}
+	rank := int64(0)
+	for _, v := range arr {
+		for c := 0; c < v; c++ {
+			if remaining[c] == 0 {
+				continue
+			}
+			remaining[c]--
+			sub, _ := Multinomial(remaining)
+			rank += sub
+			remaining[c]++
+		}
+		remaining[v]--
+	}
+	return rank
+}

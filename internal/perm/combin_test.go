@@ -1,0 +1,234 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{76, 2, 2850}, {52, 5, 2598960}, {4, 7, 0}, {4, -1, 0},
+		{38, 19, 35345263800},
+	}
+	for _, tc := range cases {
+		got, ok := Binomial(tc.n, tc.k)
+		if !ok {
+			t.Errorf("Binomial(%d,%d) overflowed", tc.n, tc.k)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBinomialOverflow(t *testing.T) {
+	// C(76, 38) ~ 9.0e21 exceeds int64.
+	if _, ok := Binomial(76, 38); ok {
+		t.Error("Binomial(76,38) did not report overflow")
+	}
+	// C(66, 33) ~ 7.2e18 still fits.
+	if v, ok := Binomial(66, 33); !ok || v <= 0 {
+		t.Errorf("Binomial(66,33) = %d, ok=%v; want positive, true", v, ok)
+	}
+}
+
+func TestFactorialKnownValues(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		got, ok := Factorial(n)
+		if !ok || got != w {
+			t.Errorf("Factorial(%d) = %d (ok=%v), want %d", n, got, ok, w)
+		}
+	}
+	if v, ok := Factorial(20); !ok || v != 2432902008176640000 {
+		t.Errorf("Factorial(20) = %d, ok=%v", v, ok)
+	}
+	if _, ok := Factorial(21); ok {
+		t.Error("Factorial(21) did not report overflow")
+	}
+}
+
+func TestMultinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   int64
+	}{
+		{[]int{2, 2}, 6},
+		{[]int{3, 3}, 20},
+		{[]int{1, 1, 1}, 6},
+		{[]int{2, 2, 2}, 90},
+		{[]int{38, 38}, 0}, // overflow case checked below
+	}
+	for _, tc := range cases[:4] {
+		got, ok := Multinomial(tc.counts)
+		if !ok || got != tc.want {
+			t.Errorf("Multinomial(%v) = %d (ok=%v), want %d", tc.counts, got, ok, tc.want)
+		}
+	}
+	if _, ok := Multinomial([]int{38, 38}); ok {
+		t.Error("Multinomial(38,38) did not report overflow")
+	}
+}
+
+func TestPowOverflow(t *testing.T) {
+	if v, ok := Pow(2, 62); !ok || v != 1<<62 {
+		t.Errorf("Pow(2,62) = %d, ok=%v", v, ok)
+	}
+	if _, ok := Pow(2, 63); ok {
+		t.Error("Pow(2,63) did not report overflow")
+	}
+	if v, ok := Pow(720, 2); !ok || v != 518400 {
+		t.Errorf("Pow(720,2) = %d, ok=%v", v, ok)
+	}
+}
+
+func TestCombinationUnrankEnumeratesLexicographically(t *testing.T) {
+	const n, k = 6, 3
+	total, _ := Binomial(n, k)
+	prev := make([]int, k)
+	cur := make([]int, k)
+	seen := map[[3]int]bool{}
+	for r := int64(0); r < total; r++ {
+		CombinationUnrank(n, k, r, cur)
+		for i := 0; i < k; i++ {
+			if cur[i] < 0 || cur[i] >= n || (i > 0 && cur[i] <= cur[i-1]) {
+				t.Fatalf("rank %d: invalid combination %v", r, cur)
+			}
+		}
+		var key [3]int
+		copy(key[:], cur)
+		if seen[key] {
+			t.Fatalf("rank %d: duplicate combination %v", r, cur)
+		}
+		seen[key] = true
+		if r > 0 && !lexLess(prev, cur) {
+			t.Fatalf("rank %d: %v not after %v", r, cur, prev)
+		}
+		copy(prev, cur)
+	}
+	if int64(len(seen)) != total {
+		t.Fatalf("enumerated %d combinations, want %d", len(seen), total)
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestCombinationRankRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{5, 2}, {8, 4}, {10, 1}, {10, 10}, {12, 5}} {
+		total, _ := Binomial(tc.n, tc.k)
+		comb := make([]int, tc.k)
+		for r := int64(0); r < total; r++ {
+			CombinationUnrank(tc.n, tc.k, r, comb)
+			if got := CombinationRank(tc.n, comb); got != r {
+				t.Fatalf("n=%d k=%d: rank(unrank(%d)) = %d", tc.n, tc.k, r, got)
+			}
+		}
+	}
+}
+
+func TestPermutationRankRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		total, _ := Factorial(k)
+		p := make([]int, k)
+		seen := map[string]bool{}
+		for r := int64(0); r < total; r++ {
+			PermutationUnrank(k, r, p)
+			// Validate it is a permutation.
+			mask := 0
+			for _, v := range p {
+				mask |= 1 << uint(v)
+			}
+			if mask != 1<<uint(k)-1 {
+				t.Fatalf("k=%d rank=%d: not a permutation: %v", k, r, p)
+			}
+			key := fmtInts(p)
+			if seen[key] {
+				t.Fatalf("k=%d rank=%d: duplicate %v", k, r, p)
+			}
+			seen[key] = true
+			if got := PermutationRank(p); got != r {
+				t.Fatalf("k=%d: rank(unrank(%d)) = %d", k, r, got)
+			}
+		}
+	}
+}
+
+func fmtInts(p []int) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte('0' + v)
+	}
+	return string(b)
+}
+
+func TestPermutationUnrankIdentityAtZero(t *testing.T) {
+	p := make([]int, 6)
+	PermutationUnrank(6, 0, p)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("PermutationUnrank(6, 0) = %v, want identity", p)
+		}
+	}
+}
+
+func TestMultisetRankRoundTrip(t *testing.T) {
+	for _, counts := range [][]int{{2, 2}, {3, 2}, {2, 2, 2}, {1, 2, 3}} {
+		total, _ := Multinomial(counts)
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		arr := make([]int, n)
+		seen := map[string]bool{}
+		for r := int64(0); r < total; r++ {
+			MultisetUnrank(counts, r, arr)
+			// Validate multiset content.
+			have := make([]int, len(counts))
+			for _, v := range arr {
+				have[v]++
+			}
+			for c := range counts {
+				if have[c] != counts[c] {
+					t.Fatalf("counts %v rank %d: arrangement %v has wrong class counts", counts, r, arr)
+				}
+			}
+			key := fmtInts(arr)
+			if seen[key] {
+				t.Fatalf("counts %v rank %d: duplicate arrangement %v", counts, r, arr)
+			}
+			seen[key] = true
+			if got := MultisetRank(arr); got != r {
+				t.Fatalf("counts %v: rank(unrank(%d)) = %d", counts, r, got)
+			}
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("counts %v: enumerated %d, want %d", counts, len(seen), total)
+		}
+	}
+}
+
+func TestQuickCombinationRoundTrip(t *testing.T) {
+	f := func(rankSeed uint16) bool {
+		const n, k = 14, 6
+		total, _ := Binomial(n, k) // 3003
+		r := int64(rankSeed) % total
+		comb := make([]int, k)
+		CombinationUnrank(n, k, r, comb)
+		return CombinationRank(n, comb) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,419 @@
+package perm
+
+import (
+	"testing"
+
+	"sprint/internal/stat"
+)
+
+func mustDesign(t *testing.T, test stat.Test, labels []int) *stat.Design {
+	t.Helper()
+	d, err := stat.NewDesign(test, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func labelsEqual(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompleteCountPerDesign(t *testing.T) {
+	cases := []struct {
+		test   stat.Test
+		labels []int
+		want   int64
+	}{
+		{stat.Welch, []int{0, 0, 1, 1}, 6},         // C(4,2)
+		{stat.Welch, []int{0, 0, 0, 1, 1}, 10},     // C(5,2)
+		{stat.F, []int{0, 0, 1, 1, 2, 2}, 90},      // 6!/(2!2!2!)
+		{stat.PairT, []int{0, 1, 0, 1, 0, 1}, 8},   // 2^3
+		{stat.BlockF, []int{0, 1, 0, 1, 0, 1}, 8},  // (2!)^3
+		{stat.BlockF, []int{0, 1, 2, 1, 2, 0}, 36}, // (3!)^2
+	}
+	for _, tc := range cases {
+		d := mustDesign(t, tc.test, tc.labels)
+		got, ok := CompleteCount(d)
+		if !ok || got != tc.want {
+			t.Errorf("CompleteCount(%v, %v) = %d (ok=%v), want %d", tc.test, tc.labels, got, ok, tc.want)
+		}
+	}
+}
+
+func TestCompleteCountOverflow(t *testing.T) {
+	// 76 columns, 38 per class: C(76,38) overflows int64, exactly the
+	// situation where mt.maxT asks the user for an explicit B.
+	labels := make([]int, 76)
+	for i := 38; i < 76; i++ {
+		labels[i] = 1
+	}
+	d := mustDesign(t, stat.Welch, labels)
+	if _, ok := CompleteCount(d); ok {
+		t.Error("CompleteCount for C(76,38) did not report overflow")
+	}
+	if _, err := NewComplete(d); err == nil {
+		t.Error("NewComplete for C(76,38) succeeded, want ErrTooManyPermutations")
+	}
+}
+
+// checkCompleteGenerator verifies the three paper-mandated properties of a
+// complete generator: the observed labelling sits at index 0, every
+// labelling is distinct, and the enumeration covers exactly Total()
+// labellings that all preserve the design's structure.
+func checkCompleteGenerator(t *testing.T, d *stat.Design) {
+	t.Helper()
+	g, err := NewComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := make([]int, d.N)
+	g.Label(0, lab)
+	if !labelsEqual(lab, d.Labels) {
+		t.Fatalf("Label(0) = %v, want observed %v", lab, d.Labels)
+	}
+	seen := map[string]bool{}
+	counts := make([]int, d.K)
+	for idx := int64(0); idx < g.Total(); idx++ {
+		g.Label(idx, lab)
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, l := range lab {
+			counts[l]++
+		}
+		for c := range counts {
+			if counts[c] != d.Counts[c] {
+				t.Fatalf("idx %d: labelling %v changes class counts", idx, lab)
+			}
+		}
+		key := fmtInts(lab)
+		if seen[key] {
+			t.Fatalf("idx %d: duplicate labelling %v", idx, lab)
+		}
+		seen[key] = true
+	}
+	if int64(len(seen)) != g.Total() {
+		t.Fatalf("enumerated %d labellings, want %d", len(seen), g.Total())
+	}
+}
+
+func TestCompleteTwoSample(t *testing.T) {
+	// Observed labelling deliberately not the lexicographically first
+	// combination, so the observed-first reordering is exercised.
+	checkCompleteGenerator(t, mustDesign(t, stat.Welch, []int{1, 0, 1, 0, 0, 1}))
+}
+
+func TestCompleteTwoSampleObservedFirstCombination(t *testing.T) {
+	// Observed = lexicographically first combination (obsRank = 0).
+	checkCompleteGenerator(t, mustDesign(t, stat.Welch, []int{1, 1, 0, 0, 0}))
+}
+
+func TestCompleteTwoSampleObservedLastCombination(t *testing.T) {
+	checkCompleteGenerator(t, mustDesign(t, stat.Welch, []int{0, 0, 0, 1, 1}))
+}
+
+func TestCompleteMultiClass(t *testing.T) {
+	checkCompleteGenerator(t, mustDesign(t, stat.F, []int{2, 0, 1, 0, 1, 2}))
+}
+
+func TestCompletePairT(t *testing.T) {
+	d := mustDesign(t, stat.PairT, []int{0, 1, 1, 0, 0, 1})
+	g, err := NewComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 8 {
+		t.Fatalf("pairt Total = %d, want 8", g.Total())
+	}
+	// Pair structure must be preserved: each pair holds one 0 and one 1.
+	lab := make([]int, d.N)
+	for idx := int64(0); idx < 8; idx++ {
+		g.Label(idx, lab)
+		for j := 0; j < d.Pairs; j++ {
+			if lab[2*j]+lab[2*j+1] != 1 {
+				t.Fatalf("idx %d: pair %d broken in %v", idx, j, lab)
+			}
+		}
+	}
+	checkCompleteGenerator(t, d)
+}
+
+func TestCompleteBlockF(t *testing.T) {
+	d := mustDesign(t, stat.BlockF, []int{0, 1, 2, 2, 0, 1})
+	g, err := NewComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 36 {
+		t.Fatalf("blockf Total = %d, want 36", g.Total())
+	}
+	// Every block must remain a permutation of 0..k-1.
+	lab := make([]int, d.N)
+	for idx := int64(0); idx < g.Total(); idx++ {
+		g.Label(idx, lab)
+		for b := 0; b < d.Blocks; b++ {
+			mask := 0
+			for j := 0; j < d.BlockSize; j++ {
+				mask |= 1 << uint(lab[b*d.BlockSize+j])
+			}
+			if mask != 1<<uint(d.BlockSize)-1 {
+				t.Fatalf("idx %d: block %d invalid in %v", idx, b, lab)
+			}
+		}
+	}
+	checkCompleteGenerator(t, d)
+}
+
+func TestCompleteIndexOutOfRangePanics(t *testing.T) {
+	d := mustDesign(t, stat.Welch, []int{0, 0, 1, 1})
+	g, _ := NewComplete(d)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Label did not panic")
+		}
+	}()
+	g.Label(6, make([]int, 4))
+}
+
+func TestRandomReproducibleAndSkippable(t *testing.T) {
+	d := mustDesign(t, stat.Welch, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	g1 := NewRandom(d, 42, 100)
+	g2 := NewRandom(d, 42, 100)
+	a, b := make([]int, d.N), make([]int, d.N)
+	// Indexed access means "skipping" is just starting later: reading
+	// permutation 57 first must give the same labels as reading it after
+	// 0..56.
+	for idx := int64(0); idx < 100; idx++ {
+		g1.Label(idx, a)
+	}
+	g1.Label(57, a)
+	g2.Label(57, b)
+	if !labelsEqual(a, b) {
+		t.Error("random generator not index-stable: Label(57) differs between access orders")
+	}
+}
+
+func TestRandomIdentityAtZero(t *testing.T) {
+	for _, tc := range []struct {
+		test   stat.Test
+		labels []int
+	}{
+		{stat.Welch, []int{0, 1, 0, 1}},
+		{stat.F, []int{0, 0, 1, 1, 2, 2}},
+		{stat.PairT, []int{0, 1, 0, 1}},
+		{stat.BlockF, []int{0, 1, 0, 1}},
+	} {
+		d := mustDesign(t, tc.test, tc.labels)
+		g := NewRandom(d, 7, 10)
+		lab := make([]int, d.N)
+		g.Label(0, lab)
+		if !labelsEqual(lab, d.Labels) {
+			t.Errorf("%v: Label(0) = %v, want %v", tc.test, lab, d.Labels)
+		}
+	}
+}
+
+func TestRandomPreservesDesignStructure(t *testing.T) {
+	d := mustDesign(t, stat.BlockF, []int{0, 1, 2, 0, 1, 2, 0, 1, 2})
+	g := NewRandom(d, 99, 200)
+	lab := make([]int, d.N)
+	for idx := int64(0); idx < 200; idx++ {
+		g.Label(idx, lab)
+		for b := 0; b < d.Blocks; b++ {
+			mask := 0
+			for j := 0; j < d.BlockSize; j++ {
+				mask |= 1 << uint(lab[b*d.BlockSize+j])
+			}
+			if mask != 1<<uint(d.BlockSize)-1 {
+				t.Fatalf("idx %d: block %d invalid in %v", idx, b, lab)
+			}
+		}
+	}
+}
+
+func TestRandomSeedsDiffer(t *testing.T) {
+	d := mustDesign(t, stat.Welch, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	g1 := NewRandom(d, 1, 50)
+	g2 := NewRandom(d, 2, 50)
+	a, b := make([]int, d.N), make([]int, d.N)
+	diff := 0
+	for idx := int64(1); idx < 50; idx++ {
+		g1.Label(idx, a)
+		g2.Label(idx, b)
+		if !labelsEqual(a, b) {
+			diff++
+		}
+	}
+	if diff < 25 {
+		t.Errorf("different seeds agree on %d/49 permutations", 49-diff)
+	}
+}
+
+func TestStoredChunkMatchesFullSequence(t *testing.T) {
+	// The defining property of the stored generator (Figure 2): a rank
+	// that materialises [lo,hi) by skipping the prefix sees exactly the
+	// same labellings as the serial run that materialises everything.
+	d := mustDesign(t, stat.Welch, []int{0, 0, 0, 1, 1, 1})
+	const B = 40
+	full := NewStored(d, 5, B, 0, B)
+	a, b := make([]int, d.N), make([]int, d.N)
+	for _, chunk := range [][2]int64{{1, 14}, {14, 27}, {27, 40}} {
+		part := NewStored(d, 5, B, chunk[0], chunk[1])
+		for idx := chunk[0]; idx < chunk[1]; idx++ {
+			full.Label(idx, a)
+			part.Label(idx, b)
+			if !labelsEqual(a, b) {
+				t.Fatalf("chunk %v idx %d: %v != full %v", chunk, idx, b, a)
+			}
+		}
+	}
+}
+
+func TestStoredIdentityAlwaysAvailable(t *testing.T) {
+	d := mustDesign(t, stat.PairT, []int{0, 1, 0, 1, 0, 1})
+	g := NewStored(d, 9, 20, 10, 15)
+	lab := make([]int, d.N)
+	g.Label(0, lab)
+	if !labelsEqual(lab, d.Labels) {
+		t.Errorf("stored Label(0) = %v, want observed", lab)
+	}
+}
+
+func TestStoredOutsideChunkPanics(t *testing.T) {
+	d := mustDesign(t, stat.Welch, []int{0, 0, 1, 1})
+	g := NewStored(d, 1, 20, 5, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Label outside chunk did not panic")
+		}
+	}()
+	g.Label(4, make([]int, 4))
+}
+
+func TestStoredInvalidChunkPanics(t *testing.T) {
+	d := mustDesign(t, stat.Welch, []int{0, 0, 1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid chunk did not panic")
+		}
+	}()
+	NewStored(d, 1, 20, 15, 25)
+}
+
+func TestStoredEmptyChunk(t *testing.T) {
+	d := mustDesign(t, stat.Welch, []int{0, 0, 1, 1})
+	g := NewStored(d, 1, 20, 7, 7)
+	if g.Total() != 20 || g.Lo() != 7 || g.Hi() != 7 {
+		t.Errorf("empty chunk: Total=%d Lo=%d Hi=%d", g.Total(), g.Lo(), g.Hi())
+	}
+}
+
+func TestStoredPreservesStructureAllKinds(t *testing.T) {
+	for _, tc := range []struct {
+		test   stat.Test
+		labels []int
+	}{
+		{stat.Welch, []int{0, 0, 0, 1, 1, 1}},
+		{stat.F, []int{0, 0, 1, 1, 2, 2}},
+		{stat.PairT, []int{0, 1, 1, 0, 0, 1}},
+		{stat.BlockF, []int{0, 1, 1, 0, 0, 1}},
+	} {
+		d := mustDesign(t, tc.test, tc.labels)
+		g := NewStored(d, 3, 30, 0, 30)
+		lab := make([]int, d.N)
+		counts := make([]int, d.K)
+		for idx := int64(0); idx < 30; idx++ {
+			g.Label(idx, lab)
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, l := range lab {
+				counts[l]++
+			}
+			for c := range counts {
+				if counts[c] != d.Counts[c] {
+					t.Fatalf("%v idx %d: class counts broken in %v", tc.test, idx, lab)
+				}
+			}
+		}
+	}
+}
+
+func TestCompleteLargeDesignSampledBijectivity(t *testing.T) {
+	// C(20,10) = 184756 — too many to enumerate into a map cheaply, so
+	// sample indices and check injectivity via rank round-trips.
+	labels := make([]int, 20)
+	for i := 10; i < 20; i++ {
+		labels[i] = 1
+	}
+	d := mustDesign(t, stat.Welch, labels)
+	g, err := NewComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 184756 {
+		t.Fatalf("Total = %d, want 184756", g.Total())
+	}
+	lab := make([]int, 20)
+	seen := map[string]int64{}
+	for _, idx := range []int64{0, 1, 2, 92377, 92378, 184754, 184755, 1000, 50000, 150000} {
+		g.Label(idx, lab)
+		key := fmtInts(lab)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("indices %d and %d produce the same labelling", prev, idx)
+		}
+		seen[key] = idx
+	}
+}
+
+func TestStoredMemoryScalesWithChunkNotB(t *testing.T) {
+	// Section 4.4: "When the permutations are generated on the fly, the
+	// implementation demands no extra memory in order to perform a
+	// higher permutation count."  The stored generator's footprint is
+	// proportional to its chunk, not the global B — which is what lets a
+	// rank of a large run stay small.
+	d := mustDesign(t, stat.Welch, []int{0, 0, 0, 1, 1, 1})
+	big := NewStored(d, 1, 100000, 50000, 50100)
+	small := NewStored(d, 1, 200, 100, 200)
+	if len(big.labels) != 100*d.N {
+		t.Errorf("chunk of 100 permutations stores %d bytes, want %d", len(big.labels), 100*d.N)
+	}
+	if len(small.labels) != 100*d.N {
+		t.Errorf("small-B chunk stores %d bytes", len(small.labels))
+	}
+}
+
+func BenchmarkRandomLabel76(b *testing.B) {
+	labels := make([]int, 76)
+	for i := 38; i < 76; i++ {
+		labels[i] = 1
+	}
+	d, _ := stat.NewDesign(stat.Welch, labels)
+	g := NewRandom(d, 42, int64(b.N)+1)
+	dst := make([]int, 76)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Label(int64(i%int(g.Total()-1))+1, dst)
+	}
+}
+
+func BenchmarkCompleteUnrank20(b *testing.B) {
+	labels := make([]int, 20)
+	for i := 10; i < 20; i++ {
+		labels[i] = 1
+	}
+	d, _ := stat.NewDesign(stat.Welch, labels)
+	g, _ := NewComplete(d)
+	dst := make([]int, 20)
+	total := g.Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Label(int64(i)%total, dst)
+	}
+}

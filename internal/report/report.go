@@ -1,0 +1,237 @@
+// Package report renders the paper's tables and figures as text: fixed
+// width profile tables in the layout of Tables I–V, the Table VI elapsed
+// time comparison, and an ASCII rendition of Figure 3's log-log speedup
+// plot.  Everything writes to an io.Writer so the same code serves the
+// CLI, the benchmarks and golden tests.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ProfileRow is one line of a profile table.
+type ProfileRow struct {
+	Procs                          int
+	Pre, Bcast, Data, Kernel, PVal float64
+	Speedup, SpeedupKernel         float64
+}
+
+// Table writes a profile table in the paper's column layout.
+func Table(w io.Writer, title string, rows []ProfileRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%8s %12s %12s %10s %12s %12s %9s %9s",
+		"Procs", "Pre (s)", "Bcast (s)", "Data (s)", "Kernel (s)", "PValues (s)", "Speedup", "Spd(krn)")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%8d %12.3f %12.3f %10.3f %12.3f %12.3f %9.2f %9.2f\n",
+			r.Procs, r.Pre, r.Bcast, r.Data, r.Kernel, r.PVal, r.Speedup, r.SpeedupKernel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComparisonRow pairs a modelled (or measured) value with the paper's.
+type ComparisonRow struct {
+	Procs        int
+	PaperKernel  float64
+	ModelKernel  float64
+	PaperTotal   float64
+	ModelTotal   float64
+	PaperSpeedup float64
+	ModelSpeedup float64
+}
+
+// DeltaPct returns the relative error of model vs paper total in percent.
+func (r ComparisonRow) DeltaPct() float64 {
+	if r.PaperTotal == 0 {
+		return 0
+	}
+	return 100 * (r.ModelTotal - r.PaperTotal) / r.PaperTotal
+}
+
+// Comparison writes a paper-vs-model table.
+func Comparison(w io.Writer, title string, rows []ComparisonRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%8s %14s %14s %13s %13s %11s %11s %8s",
+		"Procs", "kernel(paper)", "kernel(model)", "total(paper)", "total(model)",
+		"spd(paper)", "spd(model)", "Δtot%")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%8d %14.3f %14.3f %13.2f %13.2f %11.2f %11.2f %+7.1f%%\n",
+			r.Procs, r.PaperKernel, r.ModelKernel, r.PaperTotal, r.ModelTotal,
+			r.PaperSpeedup, r.ModelSpeedup, r.DeltaPct()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one curve of the speedup figure.
+type Series struct {
+	Name   string
+	Procs  []int
+	Values []float64
+}
+
+// Figure renders a log-log speedup plot as ASCII art, one marker letter per
+// series, with the optimal (linear) speedup drawn as '*'.  It mirrors
+// Figure 3: x = process count, y = speedup, both on log2 scales.
+func Figure(w io.Writer, title string, series []Series, maxProcs int) error {
+	const width, height = 66, 22
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	maxLog := math.Log2(float64(maxProcs))
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(p int, v float64, marker byte) {
+		if v <= 0 {
+			return
+		}
+		x := int(math.Round(math.Log2(float64(p)) / maxLog * float64(width-1)))
+		y := int(math.Round(math.Log2(v) / maxLog * float64(height-1)))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return
+		}
+		row := height - 1 - y
+		if grid[row][x] == ' ' || grid[row][x] == '*' {
+			grid[row][x] = marker
+		}
+	}
+	// Optimal speedup: y = x.
+	for p := 1; p <= maxProcs; p *= 2 {
+		put(p, float64(p), '*')
+	}
+	markers := []byte{'H', 'E', 'A', 'N', 'Q', 'h', 'e', 'a', 'n', 'q'}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, p := range s.Procs {
+			put(p, s.Values[i], m)
+		}
+	}
+	for i, row := range grid {
+		label := "         "
+		// y-axis labels at the top, middle and bottom.
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8d ", maxProcs)
+		case height / 2:
+			label = fmt.Sprintf("%8.0f ", math.Pow(2, maxLog/2))
+		case height - 1:
+			label = fmt.Sprintf("%8d ", 1)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s1%s%d (process count, log scale)\n", "",
+		strings.Repeat(" ", width-2-len(fmt.Sprint(maxProcs))), maxProcs); err != nil {
+		return err
+	}
+	var legend []string
+	legend = append(legend, "* optimal")
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, " | "))
+	return err
+}
+
+// TableVIRow is one line of the Table VI reproduction.
+type TableVIRow struct {
+	Genes, Samples int
+	SizeMB         float64
+	Perms          int64
+	PaperTotal     float64
+	ModelTotal     float64
+	PaperSerial    float64
+	ModelSerial    float64
+}
+
+// TableVI writes the large-dataset elapsed-time comparison.
+func TableVI(w io.Writer, title string, rows []TableVIRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%18s %9s %10s %12s %12s %14s %14s",
+		"Dataset", "Size MB", "Perms", "total(paper)", "total(model)", "serial(paper)", "serial(model)")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		name := fmt.Sprintf("%d x %d", r.Genes, r.Samples)
+		if _, err := fmt.Fprintf(w, "%18s %9.2f %10d %12.2f %12.2f %14.0f %14.0f\n",
+			name, r.SizeMB, r.Perms, r.PaperTotal, r.ModelTotal, r.PaperSerial, r.ModelSerial); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableCSV writes profile rows as CSV for downstream plotting, one line
+// per process count with a leading platform column.
+func TableCSV(w io.Writer, platform string, rows []ProfileRow) error {
+	if _, err := fmt.Fprintln(w, "platform,procs,pre_s,bcast_s,data_s,kernel_s,pvalues_s,speedup,speedup_kernel"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%g,%g,%g,%g,%g,%g\n",
+			platform, r.Procs, r.Pre, r.Bcast, r.Data, r.Kernel, r.PVal, r.Speedup, r.SpeedupKernel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PValueTable writes the top-k most significant rows of an analysis result
+// for human consumption.
+func PValueTable(w io.Writer, names []string, stat, rawp, adjp []float64, order []int, k int) error {
+	if k > len(order) {
+		k = len(order)
+	}
+	header := fmt.Sprintf("%4s %-16s %12s %12s %12s", "#", "gene", "statistic", "raw p", "adj p")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for i := 0; i < k; i++ {
+		r := order[i]
+		name := fmt.Sprintf("row%d", r)
+		if names != nil {
+			name = names[r]
+		}
+		if _, err := fmt.Fprintf(w, "%4d %-16s %12.4f %12.6f %12.6f\n",
+			i+1, name, stat[r], rawp[r], adjp[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

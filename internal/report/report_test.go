@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []ProfileRow{
+		{Procs: 1, Pre: 0.26, Kernel: 795.6, Speedup: 1, SpeedupKernel: 1},
+		{Procs: 512, Pre: 0.26, Bcast: 0.028, Data: 0.013, Kernel: 1.633, PVal: 0.606, Speedup: 313.09, SpeedupKernel: 487.2},
+	}
+	if err := Table(&buf, "Table I (HECToR)", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I (HECToR)", "Kernel (s)", "795.600", "487.20", "512"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5", len(lines))
+	}
+}
+
+func TestComparisonDelta(t *testing.T) {
+	r := ComparisonRow{PaperTotal: 100, ModelTotal: 110}
+	if r.DeltaPct() != 10 {
+		t.Errorf("DeltaPct = %v, want 10", r.DeltaPct())
+	}
+	zero := ComparisonRow{}
+	if zero.DeltaPct() != 0 {
+		t.Errorf("zero DeltaPct = %v", zero.DeltaPct())
+	}
+	var buf bytes.Buffer
+	if err := Comparison(&buf, "cmp", []ComparisonRow{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+10.0%") {
+		t.Errorf("comparison output missing delta:\n%s", buf.String())
+	}
+}
+
+func TestFigureContainsSeriesAndLegend(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "HECToR", Procs: []int{1, 2, 4, 8}, Values: []float64{1, 1.95, 3.82, 7.58}},
+		{Name: "ECDF", Procs: []int{1, 2, 4, 8}, Values: []float64{1, 1.99, 3.79, 5.77}},
+	}
+	if err := Figure(&buf, "Figure 3", series, 512); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "legend:", "H HECToR", "E ECDF", "* optimal", "process count"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "H") || !strings.Contains(out, "E") {
+		t.Error("figure has no data markers")
+	}
+}
+
+func TestFigureMonotoneCurveRendersDiagonally(t *testing.T) {
+	// Optimal speedup should mark the diagonal: the '*' for p=1 sits in
+	// the bottom-left, for maxProcs in the top-right.
+	var buf bytes.Buffer
+	if err := Figure(&buf, "fig", nil, 64); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	var first, last int
+	for i, l := range lines {
+		if strings.Contains(l, "*") {
+			if first == 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first >= last {
+		t.Errorf("optimal markers not spread vertically (first %d, last %d)", first, last)
+	}
+	topIdx := strings.Index(lines[first], "*")
+	botIdx := strings.Index(lines[last], "*")
+	if topIdx <= botIdx {
+		t.Errorf("diagonal not ascending: top marker col %d, bottom %d", topIdx, botIdx)
+	}
+}
+
+func TestTableVILayout(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []TableVIRow{
+		{Genes: 36612, Samples: 76, SizeMB: 21.22, Perms: 500000,
+			PaperTotal: 73.18, ModelTotal: 70.1, PaperSerial: 20750, ModelSerial: 19094},
+	}
+	if err := TableVI(&buf, "Table VI", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"36612 x 76", "21.22", "500000", "73.18", "20750"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableVI missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []ProfileRow{{Procs: 2, Pre: 0.1, Kernel: 10.5, Speedup: 1.9, SpeedupKernel: 1.95}}
+	if err := TableCSV(&buf, "HECToR", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "platform,procs,") {
+		t.Errorf("missing CSV header: %s", out)
+	}
+	if !strings.Contains(out, "HECToR,2,0.1,0,0,10.5,0,1.9,1.95") {
+		t.Errorf("bad CSV row: %s", out)
+	}
+}
+
+func TestPValueTable(t *testing.T) {
+	var buf bytes.Buffer
+	stat := []float64{5.5, 0.2, -3.3}
+	rawp := []float64{0.001, 0.8, 0.01}
+	adjp := []float64{0.002, 0.9, 0.02}
+	order := []int{0, 2, 1}
+	names := []string{"geneA", "geneB", "geneC"}
+	if err := PValueTable(&buf, names, stat, rawp, adjp, order, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "geneA") || !strings.Contains(out, "geneC") {
+		t.Errorf("pvalue table missing ordered genes:\n%s", out)
+	}
+	if strings.Contains(out, "geneB") {
+		t.Errorf("pvalue table shows rank 3 gene with k=2:\n%s", out)
+	}
+	// Without names, fall back to row indices; k beyond length clamps.
+	buf.Reset()
+	if err := PValueTable(&buf, nil, stat, rawp, adjp, order, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "row0") {
+		t.Errorf("fallback names missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,227 @@
+package sprintfw
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sprint/internal/mpi"
+)
+
+// sumFunc is a toy parallel function: every rank contributes rank+base and
+// the master receives the reduced total — the same notify/evaluate/reduce
+// cycle pmaxT uses.
+func sumFunc() Function {
+	return FuncOf("psum", func(c *mpi.Comm, args any) (any, error) {
+		base, ok := args.(int)
+		if !ok {
+			return nil, fmt.Errorf("psum: bad args %T", args)
+		}
+		local := []int64{int64(c.Rank() + base)}
+		total, isRoot := mpi.Reduce(c, 0, local, mpi.SumInt64)
+		if isRoot {
+			return total[0], nil
+		}
+		return nil, nil
+	})
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(sumFunc()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Lookup("psum"); !ok {
+		t.Error("registered function not found")
+	}
+	if _, ok := reg.Lookup("nope"); ok {
+		t.Error("unregistered function found")
+	}
+	if err := reg.Register(sumFunc()); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		reg.MustRegister(FuncOf(n, func(c *mpi.Comm, args any) (any, error) { return nil, nil }))
+	}
+	names := reg.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(sumFunc())
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister duplicate did not panic")
+		}
+	}()
+	reg.MustRegister(sumFunc())
+}
+
+func TestSessionCallCollectiveEvaluation(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(sumFunc())
+	for _, n := range []int{1, 2, 4, 7} {
+		var got int64
+		err := Run(n, reg, func(s *Session) error {
+			res, err := s.Call("psum", 100)
+			if err != nil {
+				return err
+			}
+			got = res.(int64)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := int64(0)
+		for r := 0; r < n; r++ {
+			want += int64(r + 100)
+		}
+		if got != want {
+			t.Errorf("n=%d: psum = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMultipleSequentialCalls(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(sumFunc())
+	err := Run(5, reg, func(s *Session) error {
+		for i := 0; i < 20; i++ {
+			res, err := s.Call("psum", i)
+			if err != nil {
+				return err
+			}
+			want := int64(5*i + 10) // sum of ranks 0..4 plus 5*i
+			if res.(int64) != want {
+				return fmt.Errorf("call %d: got %d, want %d", i, res, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFunctionErrorsWithoutHanging(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(sumFunc())
+	err := Run(4, reg, func(s *Session) error {
+		_, err := s.Call("does-not-exist", nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("unknown function call succeeded")
+	}
+}
+
+func TestScriptErrorReleasesWorkers(t *testing.T) {
+	sentinel := errors.New("script failed")
+	reg := NewRegistry()
+	err := Run(6, reg, func(s *Session) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run error = %v, want sentinel", err)
+	}
+}
+
+func TestWorkerEvalErrorAborts(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(FuncOf("explode", func(c *mpi.Comm, args any) (any, error) {
+		if c.Rank() == 2 {
+			return nil, errors.New("worker 2 failed")
+		}
+		// Other ranks block on a collective that can never complete;
+		// the abort must free them.
+		mpi.Allreduce(c, []int64{1}, mpi.SumInt64)
+		return nil, nil
+	}))
+	err := Run(4, reg, func(s *Session) error {
+		_, err := s.Call("explode", nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("worker error did not propagate")
+	}
+}
+
+func TestWorkersIdleUntilNotified(t *testing.T) {
+	// Workers must perform no function work before the master calls:
+	// the counter increments only inside Eval.
+	var evals atomic.Int32
+	reg := NewRegistry()
+	reg.MustRegister(FuncOf("count", func(c *mpi.Comm, args any) (any, error) {
+		evals.Add(1)
+		c.Barrier()
+		return nil, nil
+	}))
+	err := Run(3, reg, func(s *Session) error {
+		if got := evals.Load(); got != 0 {
+			return fmt.Errorf("%d evaluations before any call", got)
+		}
+		if _, err := s.Call("count", nil); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evals.Load(); got != 3 {
+		t.Errorf("evaluations = %d, want 3 (one per rank)", got)
+	}
+}
+
+// TestFrameworkArchitecture asserts the Figure 1 protocol end to end: the
+// master script drives two different registered functions across the same
+// waiting workers, with results reduced back to the master between calls.
+func TestFrameworkArchitecture(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(sumFunc())
+	reg.MustRegister(FuncOf("pmax", func(c *mpi.Comm, args any) (any, error) {
+		local := []int64{int64(c.Rank() * c.Rank())}
+		total := mpi.Allreduce(c, local, func(acc, in []int64) []int64 {
+			if in[0] > acc[0] {
+				acc[0] = in[0]
+			}
+			return acc
+		})
+		if c.Rank() == 0 {
+			return total[0], nil
+		}
+		return nil, nil
+	}))
+	err := Run(5, reg, func(s *Session) error {
+		sum, err := s.Call("psum", 0)
+		if err != nil {
+			return err
+		}
+		if sum.(int64) != 10 {
+			return fmt.Errorf("psum = %v, want 10", sum)
+		}
+		max, err := s.Call("pmax", nil)
+		if err != nil {
+			return err
+		}
+		if max.(int64) != 16 {
+			return fmt.Errorf("pmax = %v, want 16", max)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks replaces the non-missing entries of dst with their mid-ranks (ties
+// receive the average of the ranks they span, the standard treatment for
+// rank statistics).  NaN entries remain NaN and do not consume ranks.  The
+// transform is applied in place; scratch, if non-nil and large enough, is
+// used to avoid allocation in hot loops.
+//
+// mt.maxT applies this transform once per row: ranks depend only on the
+// data values, not on the labelling, so permutations reuse them.  The same
+// transform implements the nonpara="y" option for the t- and F-family
+// statistics.
+func Ranks(dst []float64, scratch []int) {
+	n := 0
+	for _, v := range dst {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if cap(scratch) < n {
+		scratch = make([]int, n)
+	}
+	idx := scratch[:0]
+	for j, v := range dst {
+		if !math.IsNaN(v) {
+			idx = append(idx, j)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return dst[idx[a]] < dst[idx[b]] })
+	// Assign mid-ranks over runs of equal values.
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && dst[idx[j]] == dst[idx[i]] {
+			j++
+		}
+		// Ranks are 1-based: positions i..j-1 share rank (i+1+j)/2.
+		mid := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			// Deferred write would clobber comparisons; values in the
+			// run are equal so overwriting is safe only after the run
+			// is delimited, which it is here.
+			dst[idx[k]] = mid
+		}
+		i = j
+	}
+}
+
+// RankRows applies Ranks to every row of x in place.
+func RankRows(x [][]float64) {
+	var scratch []int
+	for _, row := range x {
+		if cap(scratch) < len(row) {
+			scratch = make([]int, len(row))
+		}
+		Ranks(row, scratch)
+	}
+}

@@ -1,0 +1,129 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksNoTies(t *testing.T) {
+	row := []float64{30, 10, 20}
+	Ranks(row, nil)
+	want := []float64{3, 1, 2}
+	for i := range row {
+		if row[i] != want[i] {
+			t.Errorf("Ranks[%d] = %v, want %v", i, row[i], want[i])
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	row := []float64{5, 1, 5, 3}
+	Ranks(row, nil)
+	// Sorted: 1, 3, 5, 5 -> ranks 1, 2, 3.5, 3.5.
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range row {
+		if row[i] != want[i] {
+			t.Errorf("Ranks[%d] = %v, want %v", i, row[i], want[i])
+		}
+	}
+}
+
+func TestRanksAllEqual(t *testing.T) {
+	row := []float64{7, 7, 7, 7}
+	Ranks(row, nil)
+	for i, v := range row {
+		if v != 2.5 {
+			t.Errorf("Ranks[%d] = %v, want 2.5", i, v)
+		}
+	}
+}
+
+func TestRanksPreserveNaN(t *testing.T) {
+	nan := math.NaN()
+	row := []float64{nan, 4, 2, nan, 6}
+	Ranks(row, nil)
+	if !math.IsNaN(row[0]) || !math.IsNaN(row[3]) {
+		t.Error("Ranks overwrote NaN entries")
+	}
+	want := []float64{0, 2, 1, 0, 3}
+	for _, i := range []int{1, 2, 4} {
+		if row[i] != want[i] {
+			t.Errorf("Ranks[%d] = %v, want %v", i, row[i], want[i])
+		}
+	}
+}
+
+func TestRanksEmptyAndAllNaN(t *testing.T) {
+	Ranks(nil, nil) // must not panic
+	nan := math.NaN()
+	row := []float64{nan, nan}
+	Ranks(row, nil)
+	if !math.IsNaN(row[0]) || !math.IsNaN(row[1]) {
+		t.Error("all-NaN row modified")
+	}
+}
+
+func TestRankRows(t *testing.T) {
+	x := [][]float64{{3, 1, 2}, {10, 10, 30}}
+	RankRows(x)
+	if x[0][0] != 3 || x[0][1] != 1 || x[0][2] != 2 {
+		t.Errorf("row 0 ranks = %v", x[0])
+	}
+	if x[1][0] != 1.5 || x[1][1] != 1.5 || x[1][2] != 3 {
+		t.Errorf("row 1 ranks = %v", x[1])
+	}
+}
+
+// Property: ranks of n distinct values are a permutation of 1..n, and the
+// rank order matches the value order.
+func TestQuickRanksAreConsistent(t *testing.T) {
+	f := func(vals []float64) bool {
+		row := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				row = append(row, v)
+			}
+		}
+		orig := append([]float64(nil), row...)
+		Ranks(row, nil)
+		// Sum of mid-ranks over n non-missing values is always n(n+1)/2.
+		n := len(row)
+		sum := 0.0
+		for _, r := range row {
+			sum += r
+		}
+		if math.Abs(sum-float64(n*(n+1))/2) > 1e-9 {
+			return false
+		}
+		// Order consistency: v_i < v_j implies rank_i < rank_j.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if orig[i] < orig[j] && row[i] >= row[j] {
+					return false
+				}
+				if orig[i] == orig[j] && row[i] != row[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRanks76(b *testing.B) {
+	row := make([]float64, 76)
+	scratch := make([]int, 76)
+	for i := range row {
+		row[i] = float64((i * 31) % 19)
+	}
+	work := make([]float64, 76)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, row)
+		Ranks(work, scratch)
+	}
+}
