@@ -1,0 +1,107 @@
+// Command pmaxtd is the SPRINT permutation-testing job server: a
+// long-lived daemon that accepts analyses over a JSON HTTP API, queues
+// them FIFO, runs them on a worker pool with per-job rank counts, caches
+// results by content address, and checkpoints running jobs so that a
+// cancelled job — or a killed daemon — resumes instead of restarting.
+//
+// Usage:
+//
+//	pmaxtd -addr :8080 -workers 2 -queue 64 -checkpoint-dir /var/lib/pmaxtd
+//
+// Submit and poll with curl:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	  "dataset": {"x": [[1,2,3,4],[5,4,3,2]], "labels": [0,0,1,1]},
+//	  "options": {"b": 1000, "test": "t"}}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/result
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the HTTP listener
+// drains, running jobs checkpoint and stop, and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sprint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pmaxtd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until stop closes or a termination
+// signal arrives.  stop exists for tests; pass nil in production.
+func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("pmaxtd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = half the CPUs)")
+	queue := fs.Int("queue", 64, "job queue depth; a full queue rejects submissions")
+	nprocs := fs.Int("nprocs", runtime.NumCPU(), "default ranks per job")
+	every := fs.Int64("every", 1000, "default checkpoint window (permutations)")
+	cache := fs.Int("cache", 128, "result cache entries (negative disables)")
+	ckptDir := fs.String("checkpoint-dir", "", "persist checkpoints here to survive restarts (empty = memory only)")
+	maxBody := fs.Int64("max-body", 256<<20, "maximum submission body bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := sprint.NewServer(sprint.ServerConfig{
+		Jobs: sprint.JobsConfig{
+			Workers:       *workers,
+			QueueDepth:    *queue,
+			DefaultNProcs: *nprocs,
+			DefaultEvery:  *every,
+			CacheSize:     *cache,
+			CheckpointDir: *ckptDir,
+		},
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stdout, "pmaxtd: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case s := <-sigc:
+		fmt.Fprintf(stdout, "pmaxtd: %v, shutting down\n", s)
+	case <-stop:
+		fmt.Fprintln(stdout, "pmaxtd: stop requested, shutting down")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := hs.Shutdown(ctx)
+	srv.Close() // cancels running jobs at their next checkpoint window
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	fmt.Fprintln(stdout, "pmaxtd: bye")
+	return nil
+}

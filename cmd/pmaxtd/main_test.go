@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartAndGracefulStop(t *testing.T) {
+	var out bytes.Buffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "4"}, &out, stop)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the listener come up
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	for _, want := range []string{"listening on", "shutting down", "bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output %q missing %q", out.String(), want)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, nil); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module sprint
+
+go 1.22

@@ -6,10 +6,7 @@ import (
 	"io"
 	"math"
 
-	"sprint/internal/maxt"
-	"sprint/internal/perm"
 	"sprint/internal/rng"
-	"sprint/internal/stat"
 )
 
 // This file implements the paper's future-work item 1: "Better support for
@@ -90,93 +87,12 @@ var ErrCheckpointMismatch = fmt.Errorf("core: checkpoint does not match this ana
 // state.  Pass resume = nil for a fresh run, or a previously saved
 // checkpoint to continue one.  The final result is bit-identical to an
 // uninterrupted MaxT with the same options.
+//
+// It is the serial special case of Run, kept as the stable historical
+// entry point.
 func MaxTCheckpointed(x [][]float64, classlabel []int, opt Options, resume *Checkpoint, every int64, save func(*Checkpoint) error) (*Result, error) {
 	if every <= 0 {
 		return nil, fmt.Errorf("core: checkpoint interval %d must be positive", every)
 	}
-	cfg, err := parseOptions(opt)
-	if err != nil {
-		return nil, err
-	}
-	if len(x) == 0 {
-		return nil, fmt.Errorf("core: empty input matrix")
-	}
-	clean := scrubNA(x, cfg.na)
-	design, err := stat.NewDesign(cfg.test, classlabel)
-	if err != nil {
-		return nil, err
-	}
-	prep, err := maxt.NewPrep(clean, design, cfg.side, cfg.nonpara)
-	if err != nil {
-		return nil, err
-	}
-	useComplete, totalB, err := planPermutations(cfg, design)
-	if err != nil {
-		return nil, err
-	}
-	fp := fingerprint(cfg, clean, classlabel)
-
-	counts := maxt.NewCounts(prep.Rows())
-	start := int64(0)
-	if resume != nil {
-		if resume.Fingerprint != fp || resume.TotalB != totalB || resume.Complete != useComplete {
-			return nil, ErrCheckpointMismatch
-		}
-		if len(resume.Raw) != prep.Rows() || len(resume.Adj) != prep.Rows() {
-			return nil, ErrCheckpointMismatch
-		}
-		copy(counts.Raw, resume.Raw)
-		copy(counts.Adj, resume.Adj)
-		counts.B = resume.Done
-		start = resume.Next
-	}
-
-	var gen perm.Generator
-	switch {
-	case useComplete:
-		gen, err = perm.NewComplete(design)
-		if err != nil {
-			return nil, err
-		}
-	case cfg.fixedSeed:
-		gen = perm.NewRandom(design, cfg.seed, totalB)
-	default:
-		// Materialise only the remaining permutations: the stored
-		// generator forwards past [0, start) exactly as a rank would.
-		gen = perm.NewStored(design, cfg.seed, totalB, start, totalB)
-	}
-
-	scratch := prep.NewScratch()
-	for lo := start; lo < totalB; lo += every {
-		hi := lo + every
-		if hi > totalB {
-			hi = totalB
-		}
-		maxt.Process(prep, gen, lo, hi, counts, scratch)
-		snap := &Checkpoint{
-			Fingerprint: fp,
-			TotalB:      totalB,
-			Complete:    useComplete,
-			Next:        hi,
-			Raw:         append([]int64(nil), counts.Raw...),
-			Adj:         append([]int64(nil), counts.Adj...),
-			Done:        counts.B,
-		}
-		if save != nil {
-			if err := save(snap); err != nil {
-				return nil, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
-			}
-		}
-	}
-
-	final := maxt.Finalize(prep, counts)
-	return &Result{
-		Stat:     final.Stat,
-		RawP:     final.RawP,
-		AdjP:     final.AdjP,
-		Order:    final.Order,
-		B:        final.B,
-		Complete: useComplete,
-		NProcs:   1,
-	}, nil
+	return Run(x, classlabel, opt, RunControl{Resume: resume, Every: every, Save: save})
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sprint/internal/maxt"
+	"sprint/internal/perm"
+	"sprint/internal/stat"
+)
+
+// This file generalises the permutation loop for long-lived callers (the
+// pmaxtd job server): the same bit-exact computation as MaxT / PMaxT, but
+// driven in windows so that a supervisor can observe progress, cancel the
+// run between windows, and persist resumable checkpoints.  The kernel of
+// each window is still chunked over ranks exactly as Figure 2 of the paper
+// chunks the whole sequence — counts merge by int64 addition, so the result
+// is bit-identical to the serial run for every rank count, window size and
+// resume point.
+
+// RunControl carries the service hooks of a supervised run.  The zero value
+// is a plain serial, uncheckpointed run equivalent to MaxT.
+type RunControl struct {
+	// Ctx cancels the run between windows; nil means never.  A cancelled
+	// run returns the context's error: the last saved checkpoint is the
+	// resume point.
+	Ctx context.Context
+	// NProcs is the number of goroutine ranks the kernel of each window is
+	// chunked over; values < 1 mean 1.
+	NProcs int
+	// Resume continues a previous run from its checkpoint.  The checkpoint
+	// must match the analysis (ErrCheckpointMismatch otherwise).
+	Resume *Checkpoint
+	// Every is the window length in permutations — the granularity of
+	// progress, cancellation and checkpoints.  Values < 1 select the whole
+	// remaining run as one window.
+	Every int64
+	// Save, when non-nil, receives a snapshot after every window.  An
+	// error from Save aborts the run.
+	Save func(*Checkpoint) error
+	// OnProgress, when non-nil, is called after every window with the
+	// number of permutations processed so far (including resumed ones) and
+	// the planned total.
+	OnProgress func(done, total int64)
+}
+
+// Run executes the permutation testing function under the given control.
+// Results are bit-identical to MaxT with the same options, regardless of
+// NProcs, Every and any cancel/resume history.
+func Run(x [][]float64, classlabel []int, opt Options, ctl RunControl) (*Result, error) {
+	// Observe cancellation before the expensive setup too (preparation
+	// and the stored generator materialise the whole remaining run), so
+	// a drained shutdown queue costs nothing per job.
+	if ctl.Ctx != nil {
+		if err := ctl.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run not started: %w", err)
+		}
+	}
+	var prof Profile
+	start := time.Now()
+	cfg, err := parseOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("core: empty input matrix")
+	}
+	clean := scrubNA(x, cfg.na)
+	prof.PreProcessing = time.Since(start)
+
+	start = time.Now()
+	design, err := stat.NewDesign(cfg.test, classlabel)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := maxt.NewPrep(clean, design, cfg.side, cfg.nonpara)
+	if err != nil {
+		return nil, err
+	}
+	useComplete, totalB, err := planPermutations(cfg, design)
+	if err != nil {
+		return nil, err
+	}
+	fp := fingerprint(cfg, clean, classlabel)
+
+	nprocs := ctl.NProcs
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	every := ctl.Every
+	if every < 1 {
+		every = totalB
+	}
+
+	counts := maxt.NewCounts(prep.Rows())
+	first := int64(0)
+	if ctl.Resume != nil {
+		r := ctl.Resume
+		if r.Fingerprint != fp || r.TotalB != totalB || r.Complete != useComplete {
+			return nil, ErrCheckpointMismatch
+		}
+		if len(r.Raw) != prep.Rows() || len(r.Adj) != prep.Rows() {
+			return nil, ErrCheckpointMismatch
+		}
+		copy(counts.Raw, r.Raw)
+		copy(counts.Adj, r.Adj)
+		counts.B = r.Done
+		first = r.Next
+	}
+
+	var gen perm.Generator
+	switch {
+	case useComplete:
+		gen, err = perm.NewComplete(design)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.fixedSeed:
+		gen = perm.NewRandom(design, cfg.seed, totalB)
+	default:
+		// One materialisation covering every remaining permutation; the
+		// window workers index into their sub-chunks of it.
+		gen = perm.NewStored(design, cfg.seed, totalB, first, totalB)
+	}
+	prof.CreateData = time.Since(start)
+
+	// Per-rank reusable state: generators are concurrency-safe, so ranks
+	// share gen but own their scratch and partial counts.
+	scratches := make([]*maxt.Scratch, nprocs)
+	partials := make([]*maxt.Counts, nprocs)
+	for r := range scratches {
+		scratches[r] = prep.NewScratch()
+		partials[r] = maxt.NewCounts(prep.Rows())
+	}
+
+	kernelStart := time.Now()
+	for lo := first; lo < totalB; lo += every {
+		if ctl.Ctx != nil {
+			if err := ctl.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run stopped at permutation %d of %d: %w", lo, totalB, err)
+			}
+		}
+		hi := lo + every
+		if hi > totalB {
+			hi = totalB
+		}
+		span := hi - lo
+		if nprocs == 1 {
+			maxt.Process(prep, gen, lo, hi, counts, scratches[0])
+		} else {
+			var wg sync.WaitGroup
+			for r := 0; r < nprocs; r++ {
+				clo := lo + span*int64(r)/int64(nprocs)
+				chi := lo + span*int64(r+1)/int64(nprocs)
+				if clo == chi {
+					continue
+				}
+				wg.Add(1)
+				go func(r int, clo, chi int64) {
+					defer wg.Done()
+					maxt.Process(prep, gen, clo, chi, partials[r], scratches[r])
+				}(r, clo, chi)
+			}
+			wg.Wait()
+			for r := 0; r < nprocs; r++ {
+				if partials[r].B > 0 {
+					counts.Merge(partials[r])
+					clear(partials[r].Raw)
+					clear(partials[r].Adj)
+					partials[r].B = 0
+				}
+			}
+		}
+		if ctl.Save != nil {
+			snap := &Checkpoint{
+				Fingerprint: fp,
+				TotalB:      totalB,
+				Complete:    useComplete,
+				Next:        hi,
+				Raw:         append([]int64(nil), counts.Raw...),
+				Adj:         append([]int64(nil), counts.Adj...),
+				Done:        counts.B,
+			}
+			if err := ctl.Save(snap); err != nil {
+				return nil, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
+			}
+		}
+		if ctl.OnProgress != nil {
+			ctl.OnProgress(counts.B, totalB)
+		}
+	}
+	prof.MainKernel = time.Since(kernelStart)
+
+	start = time.Now()
+	if counts.B != totalB {
+		return nil, fmt.Errorf("core: accumulated permutation count %d, want %d", counts.B, totalB)
+	}
+	final := maxt.Finalize(prep, counts)
+	prof.ComputePValues = time.Since(start)
+
+	return &Result{
+		Stat:      final.Stat,
+		RawP:      final.RawP,
+		AdjP:      final.AdjP,
+		Order:     final.Order,
+		B:         final.B,
+		Complete:  useComplete,
+		NProcs:    nprocs,
+		Profile:   prof,
+		KernelMax: prof.MainKernel,
+	}, nil
+}
+
+// CanonicalOptions validates opt and returns it with the documented
+// defaults filled in — the form under which two option sets describe the
+// same analysis iff they are equal.  A job server uses it both to reject
+// bad submissions early and to build content-addressed cache keys.
+func CanonicalOptions(opt Options) (Options, error) {
+	cfg, err := parseOptions(opt)
+	if err != nil {
+		return opt, err
+	}
+	return Options{
+		Test:              cfg.test.String(),
+		Side:              cfg.side.String(),
+		FixedSeedSampling: boolToYN(cfg.fixedSeed),
+		B:                 cfg.b,
+		NA:                cfg.na,
+		Nonpara:           boolToYN(cfg.nonpara),
+		Seed:              cfg.seed,
+		MaxComplete:       cfg.maxComplete,
+		ScalarParams:      cfg.scalarParams,
+	}, nil
+}

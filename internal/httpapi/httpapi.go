@@ -1,0 +1,354 @@
+// Package httpapi exposes the jobs manager as a JSON-over-HTTP service:
+// the wire surface of the pmaxtd daemon.
+//
+//	POST   /v1/jobs             submit a dataset + options; 202 + job status
+//	GET    /v1/jobs/{id}        job status with live permutation progress
+//	GET    /v1/jobs/{id}/result adjusted p-values of a finished job
+//	DELETE /v1/jobs/{id}        cancel (checkpoint retained for resume)
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            queue / cache / worker counters
+//
+// The body formats are defined by the *JSON types in this file.  Matrix
+// cells may be JSON null for missing values (NaN), and NaN/±Inf outputs
+// serialise as null, since bare JSON has no tokens for them.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Jobs sizes the underlying manager (workers, queue, cache,
+	// checkpoint directory ...).
+	Jobs jobs.Config
+	// MaxBodyBytes bounds a submission body.  Defaults to 256 MiB, which
+	// admits the paper's largest exon-array matrix (73224×76 ≈ 42.45 MB
+	// binary) with JSON overhead to spare.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP facade over a jobs.Manager.
+type Server struct {
+	mgr     *jobs.Manager
+	mux     *http.ServeMux
+	maxBody int64
+	started time.Time
+}
+
+// New starts the manager and builds the route table.  Call Close to stop.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	mgr, err := jobs.NewManager(cfg.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), maxBody: cfg.MaxBodyBytes, started: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the route table, ready for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager exposes the underlying jobs manager (used by embedding callers
+// and tests).
+func (s *Server) Manager() *jobs.Manager { return s.mgr }
+
+// Close drains and stops the job manager.  In-flight analyses stop at
+// their next checkpoint window; their checkpoints survive for resume.
+func (s *Server) Close() { s.mgr.Close() }
+
+// Matrix is a [][]float64 that accepts JSON null cells as NaN, the wire
+// form of missing expression values.
+type Matrix [][]float64
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Matrix) UnmarshalJSON(b []byte) error {
+	var raw [][]*float64
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	out := make([][]float64, len(raw))
+	for i, row := range raw {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			if v == nil {
+				out[i][j] = math.NaN()
+			} else {
+				out[i][j] = *v
+			}
+		}
+	}
+	*m = out
+	return nil
+}
+
+// Floats is a []float64 whose NaN and ±Inf entries serialise as JSON null.
+type Floats []float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Floats) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 1+len(f)*8)
+	buf = append(buf, '[')
+	for i, v := range f {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			buf = append(buf, "null"...)
+		} else {
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+	}
+	return append(buf, ']'), nil
+}
+
+// DatasetJSON is the submission payload's data block.
+type DatasetJSON struct {
+	// X is the expression matrix, rows = genes, columns = samples; null
+	// cells are missing values.
+	X Matrix `json:"x"`
+	// Labels assigns each sample column a class.
+	Labels []int `json:"labels"`
+}
+
+// OptionsJSON mirrors core.Options field for field; zero values select the
+// same defaults, except that b = 0 (or omitted) requests the complete
+// enumeration exactly as in mt.maxT.
+type OptionsJSON struct {
+	Test              string  `json:"test,omitempty"`
+	Side              string  `json:"side,omitempty"`
+	FixedSeedSampling string  `json:"fixed_seed_sampling,omitempty"`
+	B                 int64   `json:"b,omitempty"`
+	NA                float64 `json:"na,omitempty"`
+	Nonpara           string  `json:"nonpara,omitempty"`
+	Seed              uint64  `json:"seed,omitempty"`
+	MaxComplete       int64   `json:"max_complete,omitempty"`
+	ScalarParams      bool    `json:"scalar_params,omitempty"`
+}
+
+func (o OptionsJSON) options() core.Options {
+	return core.Options{
+		Test:              o.Test,
+		Side:              o.Side,
+		FixedSeedSampling: o.FixedSeedSampling,
+		B:                 o.B,
+		NA:                o.NA,
+		Nonpara:           o.Nonpara,
+		Seed:              o.Seed,
+		MaxComplete:       o.MaxComplete,
+		ScalarParams:      o.ScalarParams,
+	}
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Dataset DatasetJSON `json:"dataset"`
+	Options OptionsJSON `json:"options"`
+	// NProcs is the rank count for this job (0 = server default).
+	NProcs int `json:"nprocs,omitempty"`
+	// CheckpointEvery is the checkpoint/progress window in permutations
+	// (0 = server default).
+	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
+}
+
+// ProfileJSON reports the paper's five timed sections in seconds, the row
+// layout of Tables I–V.
+type ProfileJSON struct {
+	PreProcessingS   float64 `json:"pre_processing_s"`
+	BroadcastParamsS float64 `json:"broadcast_params_s"`
+	CreateDataS      float64 `json:"create_data_s"`
+	MainKernelS      float64 `json:"main_kernel_s"`
+	ComputePValuesS  float64 `json:"compute_p_values_s"`
+	TotalS           float64 `json:"total_s"`
+}
+
+func profileJSON(p core.Profile) *ProfileJSON {
+	return &ProfileJSON{
+		PreProcessingS:   p.PreProcessing.Seconds(),
+		BroadcastParamsS: p.BroadcastParams.Seconds(),
+		CreateDataS:      p.CreateData.Seconds(),
+		MainKernelS:      p.MainKernel.Seconds(),
+		ComputePValuesS:  p.ComputePValues.Seconds(),
+		TotalS:           p.Total().Seconds(),
+	}
+}
+
+// StatusJSON is the wire form of a job status.
+type StatusJSON struct {
+	ID          string       `json:"id"`
+	Key         string       `json:"key"`
+	State       string       `json:"state"`
+	Error       string       `json:"error,omitempty"`
+	Done        int64        `json:"done"`
+	Total       int64        `json:"total"`
+	Progress    float64      `json:"progress"` // Done/Total in [0,1]; 0 while Total unknown
+	ResumedFrom int64        `json:"resumed_from,omitempty"`
+	CacheHit    bool         `json:"cache_hit,omitempty"`
+	NProcs      int          `json:"nprocs"`
+	Profile     *ProfileJSON `json:"profile,omitempty"`
+	SubmittedAt string       `json:"submitted_at,omitempty"`
+	StartedAt   string       `json:"started_at,omitempty"`
+	FinishedAt  string       `json:"finished_at,omitempty"`
+}
+
+func statusJSON(st jobs.Status) StatusJSON {
+	out := StatusJSON{
+		ID:          st.ID,
+		Key:         st.Key,
+		State:       string(st.State),
+		Error:       st.Error,
+		Done:        st.Done,
+		Total:       st.Total,
+		ResumedFrom: st.ResumedFrom,
+		CacheHit:    st.CacheHit,
+		NProcs:      st.NProcs,
+	}
+	if st.Total > 0 {
+		out.Progress = float64(st.Done) / float64(st.Total)
+	}
+	if st.State == jobs.Done && !st.CacheHit {
+		out.Profile = profileJSON(st.Profile)
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	out.SubmittedAt = stamp(st.SubmittedAt)
+	out.StartedAt = stamp(st.StartedAt)
+	out.FinishedAt = stamp(st.FinishedAt)
+	return out
+}
+
+// ResultJSON is the GET /v1/jobs/{id}/result body.
+type ResultJSON struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	Stat     Floats `json:"stat"`
+	RawP     Floats `json:"raw_p"`
+	AdjP     Floats `json:"adj_p"`
+	Order    []int  `json:"order"`
+	B        int64  `json:"b"`
+	Complete bool   `json:"complete"`
+	NProcs   int    `json:"nprocs"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	st, err := s.mgr.Submit(jobs.Spec{
+		X:      req.Dataset.X,
+		Labels: req.Dataset.Labels,
+		Opt:    req.Options.options(),
+		NProcs: req.NProcs,
+		Every:  req.CheckpointEvery,
+	})
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, statusJSON(st))
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusJSON(st))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, err := s.mgr.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrNotDone):
+		writeJSON(w, http.StatusConflict, statusJSON(st))
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, ResultJSON{
+			ID:       st.ID,
+			Key:      st.Key,
+			Stat:     res.Stat,
+			RawP:     res.RawP,
+			AdjP:     res.AdjP,
+			Order:    res.Order,
+			B:        res.B,
+			Complete: res.Complete,
+			NProcs:   res.NProcs,
+			CacheHit: st.CacheHit,
+		})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusJSON(st))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.StatsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,308 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+	"sprint/internal/microarray"
+)
+
+// newTestServer builds a server + httptest listener over one worker.
+func newTestServer(t *testing.T, jcfg jobs.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if jcfg.Workers == 0 {
+		jcfg.Workers = 1
+	}
+	srv, err := New(Config{Jobs: jcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func testDataset(t *testing.T) *microarray.Dataset {
+	t.Helper()
+	data, err := microarray.Generate(microarray.GenOptions{
+		Genes: 40, Samples: 12, Classes: 2,
+		DiffFraction: 0.1, EffectSize: 2.5, MissingRate: 0.05, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// doJSON performs a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submitBody(t *testing.T, data *microarray.Dataset, b int64, nprocs int, every int64) []byte {
+	t.Helper()
+	// Marshal the matrix by hand so NaN cells become JSON null, as a real
+	// client would send missing values.
+	rows := make([][]*float64, len(data.X))
+	for i, row := range data.X {
+		rows[i] = make([]*float64, len(row))
+		for j := range row {
+			if !math.IsNaN(row[j]) {
+				v := row[j]
+				rows[i][j] = &v
+			}
+		}
+	}
+	body, err := json.Marshal(map[string]any{
+		"dataset":          map[string]any{"x": rows, "labels": data.Labels},
+		"options":          map[string]any{"b": b, "seed": 13},
+		"nprocs":           nprocs,
+		"checkpoint_every": every,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// pollTerminal polls the status endpoint until the job finishes.
+func pollTerminal(t *testing.T, base, id string) StatusJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st StatusJSON
+		if code := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, nil, &st); code != http.StatusOK {
+			t.Fatalf("status code %d", code)
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return StatusJSON{}
+}
+
+func TestEndToEndBitIdentity(t *testing.T) {
+	data := testDataset(t)
+	_, ts := newTestServer(t, jobs.Config{})
+	const B = 500
+
+	var st StatusJSON
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, data, B, 2, 100), &st); code != http.StatusAccepted {
+		t.Fatalf("submit code %d (%+v)", code, st)
+	}
+	if st.ID == "" || st.State != "queued" {
+		t.Fatalf("submit status %+v", st)
+	}
+
+	fin := pollTerminal(t, ts.URL, st.ID)
+	if fin.State != "done" || fin.Done != B || fin.Progress != 1 {
+		t.Fatalf("final status %+v", fin)
+	}
+	if fin.Profile == nil || fin.Profile.TotalS <= 0 {
+		t.Fatalf("missing profile in %+v", fin)
+	}
+
+	var res struct {
+		Stat  []*float64 `json:"stat"`
+		RawP  []*float64 `json:"raw_p"`
+		AdjP  []*float64 `json:"adj_p"`
+		Order []int      `json:"order"`
+		B     int64      `json:"b"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result code %d", code)
+	}
+
+	opt := core.DefaultOptions()
+	opt.B = B
+	opt.Seed = 13
+	want, err := core.MaxT(data.X, data.Labels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.B != want.B || len(res.AdjP) != len(want.AdjP) {
+		t.Fatalf("result shape B=%d len=%d, want B=%d len=%d", res.B, len(res.AdjP), want.B, len(want.AdjP))
+	}
+	check := func(name string, got []*float64, want []float64) {
+		for i := range want {
+			switch {
+			case math.IsNaN(want[i]):
+				if got[i] != nil {
+					t.Fatalf("%s[%d] = %v, want null (NaN)", name, i, *got[i])
+				}
+			case got[i] == nil:
+				t.Fatalf("%s[%d] = null, want %v", name, i, want[i])
+			case math.Float64bits(*got[i]) != math.Float64bits(want[i]):
+				t.Fatalf("%s[%d] = %v, want %v bit-identically", name, i, *got[i], want[i])
+			}
+		}
+	}
+	check("adj_p", res.AdjP, want.AdjP)
+	check("raw_p", res.RawP, want.RawP)
+	check("stat", res.Stat, want.Stat)
+	for i := range want.Order {
+		if res.Order[i] != want.Order[i] {
+			t.Fatalf("order[%d] = %d, want %d", i, res.Order[i], want.Order[i])
+		}
+	}
+}
+
+func TestCachedResubmission(t *testing.T) {
+	data := testDataset(t)
+	_, ts := newTestServer(t, jobs.Config{})
+	body := submitBody(t, data, 300, 1, 100)
+
+	var st1 StatusJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &st1)
+	pollTerminal(t, ts.URL, st1.ID)
+
+	var st2 StatusJSON
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &st2); code != http.StatusAccepted {
+		t.Fatalf("resubmit code %d", code)
+	}
+	if st2.State != "done" || !st2.CacheHit || st2.Key != st1.Key {
+		t.Fatalf("resubmission %+v, want cached done with key %s", st2, st1.Key)
+	}
+	var stats jobs.Stats
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+	if stats.CacheHits != 1 || stats.Completed != 1 {
+		t.Fatalf("stats %+v, want one completion and one cache hit", stats)
+	}
+}
+
+func TestCancelOverHTTPThenResume(t *testing.T) {
+	data := testDataset(t)
+	var url atomic.Value // string; the hook fires only after submission
+	var once atomic.Bool
+	jcfg := jobs.Config{
+		Workers: 1,
+		OnCheckpoint: func(id string, done, total int64) {
+			if done >= 200 && once.CompareAndSwap(false, true) {
+				req, _ := http.NewRequest(http.MethodDelete, url.Load().(string)+"/v1/jobs/"+id, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("cancel: %v", err)
+					return
+				}
+				resp.Body.Close()
+			}
+		},
+	}
+	_, ts := newTestServer(t, jcfg)
+	url.Store(ts.URL)
+	body := submitBody(t, data, 600, 1, 100)
+
+	var st1 StatusJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &st1)
+	fin1 := pollTerminal(t, ts.URL, st1.ID)
+	if fin1.State != "cancelled" {
+		t.Fatalf("first job %+v, want cancelled", fin1)
+	}
+	var notDone StatusJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st1.ID+"/result", nil, &notDone); code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: code %d", code)
+	}
+
+	var st2 StatusJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &st2)
+	fin2 := pollTerminal(t, ts.URL, st2.ID)
+	if fin2.State != "done" || fin2.ResumedFrom < 200 {
+		t.Fatalf("resubmission %+v, want done with resumed_from >= 200", fin2)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, jobs.Config{})
+	var e map[string]string
+
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/nope", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown job code %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`{"bogus": 1}`), &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown field code %d", code)
+	}
+	bad, _ := json.Marshal(map[string]any{
+		"dataset": map[string]any{"x": [][]float64{{1, 2}}, "labels": []int{0, 1}},
+		"options": map[string]any{"test": "bogus", "b": 10},
+	})
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", bad, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad options code %d (%v)", code, e)
+	}
+
+	var health map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz code %d body %v", code, health)
+	}
+}
+
+func TestQueueFullOverHTTP(t *testing.T) {
+	data := testDataset(t)
+	// Park the single worker inside the first job's first checkpoint, so
+	// the depth-1 queue fills deterministically.
+	block := make(chan struct{})
+	release := sync.OnceFunc(func() { close(block) })
+	var first atomic.Bool
+	_, ts := newTestServer(t, jobs.Config{
+		Workers: 1, QueueDepth: 1,
+		OnCheckpoint: func(id string, done, total int64) {
+			if first.CompareAndSwap(false, true) {
+				<-block
+			}
+		},
+	})
+	t.Cleanup(release) // unblock before the server cleanup drains workers
+
+	var running StatusJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, data, 500, 1, 50), &running)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st StatusJSON
+		doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+running.ID, nil, &st)
+		if st.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var st StatusJSON
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, data, 400, 1, 100), &st); code != http.StatusAccepted {
+		t.Fatalf("fill code %d", code)
+	}
+	var e map[string]string
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, data, 401, 1, 100), &e); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow code %d (%v)", code, e)
+	}
+	release()
+	if fin := pollTerminal(t, ts.URL, running.ID); fin.State != "done" {
+		t.Fatalf("first job %+v after release", fin)
+	}
+}

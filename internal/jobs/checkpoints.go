@@ -1,0 +1,140 @@
+package jobs
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sprint/internal/core"
+)
+
+// ckptStore keeps the latest checkpoint per content key, in memory and —
+// when dir is non-empty — mirrored to disk, so that resume survives not
+// just a cancelled job but a crashed or restarted daemon.  Keys are hex
+// digests, hence directly filesystem-safe.
+//
+// The store is bounded: beyond max entries the least recently updated
+// checkpoint is discarded, memory and disk file both — abandoned analyses
+// (cancelled and never resubmitted) must not accumulate count vectors
+// forever.  Running jobs refresh their key every window, so eviction only
+// ever reaches abandoned keys under normal operation.
+//
+// Locking: the map/list state (put, load, drop, len) is guarded by the
+// owning Manager's mutex.  Disk writes are deliberately split out
+// (writeDisk, removeDisk) so the manager can perform them WITHOUT holding
+// its lock — a checkpoint encode can be megabytes, and API handlers must
+// not queue behind it.
+type ckptStore struct {
+	dir     string
+	max     int
+	order   *list.List // front = most recently updated
+	entries map[string]*list.Element
+}
+
+type ckptEntry struct {
+	key string
+	ck  *core.Checkpoint
+}
+
+func newCkptStore(dir string, max int) (*ckptStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
+		}
+	}
+	return &ckptStore{dir: dir, max: max, order: list.New(), entries: make(map[string]*list.Element)}, nil
+}
+
+func (s *ckptStore) path(key string) string {
+	return filepath.Join(s.dir, key+".ckpt")
+}
+
+// put stores ck as the latest checkpoint for key and returns the keys
+// evicted by the bound, whose disk files the caller should remove (outside
+// its lock) via removeDisk.
+func (s *ckptStore) put(key string, ck *core.Checkpoint) (evicted []string) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*ckptEntry).ck = ck
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[key] = s.order.PushFront(&ckptEntry{key: key, ck: ck})
+	}
+	for s.max > 0 && s.order.Len() > s.max {
+		last := s.order.Back()
+		s.order.Remove(last)
+		k := last.Value.(*ckptEntry).key
+		delete(s.entries, k)
+		evicted = append(evicted, k)
+	}
+	return evicted
+}
+
+// writeDisk mirrors ck to disk (no-op without a dir).  The write goes
+// through a temp file + rename so a crash never leaves a torn checkpoint.
+// Call without holding the manager lock.
+func (s *ckptStore) writeDisk(key string, ck *core.Checkpoint) error {
+	if s.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := ck.Encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(key))
+}
+
+// removeDisk deletes key's checkpoint file, if any.
+func (s *ckptStore) removeDisk(key string) {
+	if s.dir != "" {
+		os.Remove(s.path(key))
+	}
+}
+
+// load returns the latest checkpoint for key, falling back to disk (e.g.
+// after a daemon restart).  A missing or unreadable checkpoint is simply
+// absent: the job restarts from scratch, never fails.
+func (s *ckptStore) load(key string) *core.Checkpoint {
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*ckptEntry).ck
+	}
+	if s.dir == "" {
+		return nil
+	}
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	ck, err := core.DecodeCheckpoint(f)
+	if err != nil {
+		return nil
+	}
+	for _, k := range s.put(key, ck) {
+		s.removeDisk(k)
+	}
+	return ck
+}
+
+// drop removes key's checkpoint, memory and disk (called when its result
+// lands in the cache — the checkpoint has nothing left to resume).
+func (s *ckptStore) drop(key string) {
+	if el, ok := s.entries[key]; ok {
+		s.order.Remove(el)
+		delete(s.entries, key)
+	}
+	s.removeDisk(key)
+}
+
+// len reports the number of tracked checkpoints.
+func (s *ckptStore) len() int { return s.order.Len() }

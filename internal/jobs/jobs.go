@@ -1,0 +1,155 @@
+// Package jobs implements the asynchronous job layer of pmaxtd: a bounded
+// FIFO queue of permutation-testing analyses, a worker pool that runs them
+// through core.Run with per-job rank counts, a content-addressed cache of
+// finished results, and a checkpoint store that lets a cancelled, evicted
+// or crashed job resume where it stopped instead of restarting.
+//
+// The design follows the service shape the paper's pmaxT implies but never
+// builds: the analysis itself is deterministic and bit-identical for any
+// partitioning (Section 3.2), so a job is fully described by its inputs —
+// dataset, class labels and options.  That determinism is what makes both
+// the cache and the checkpoint store safe: once a run of a content key
+// finishes, every later submission of that key is answered from the
+// cache, and a half-finished run's exceedance counts are a valid prefix
+// of any later run of the same key.  (Identical submissions that are
+// simultaneously in flight each compute independently — the cache dedups
+// completed work, not running work.)
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"time"
+
+	"sprint/internal/core"
+)
+
+// Spec describes one analysis submission.
+type Spec struct {
+	// X is the expression matrix (rows = genes, columns = samples) and
+	// Labels assigns each column a class, exactly as in core.MaxT.
+	X      [][]float64
+	Labels []int
+	// Opt configures the analysis.  Zero-valued fields take the mt.maxT
+	// defaults (core.DefaultOptions semantics via canonicalisation).
+	Opt core.Options
+	// NProcs is the rank count for this job's kernel; values < 1 take the
+	// manager's default.
+	NProcs int
+	// Every is the checkpoint/progress window in permutations; values < 1
+	// take the manager's default.
+	Every int64
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// Queued jobs wait in the FIFO for a free worker.
+	Queued State = "queued"
+	// Running jobs own a worker and are processing permutations.
+	Running State = "running"
+	// Done jobs finished; their result is in the cache.
+	Done State = "done"
+	// Failed jobs stopped with a non-cancellation error.
+	Failed State = "failed"
+	// Cancelled jobs were stopped by request (or shutdown); their last
+	// checkpoint is retained so a resubmission resumes, not restarts.
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	// ID identifies the job; Key is the content address of its inputs
+	// (dataset hash + canonical options), shared by identical submissions.
+	ID  string
+	Key string
+	// State is the lifecycle phase; Error is set for Failed jobs.
+	State State
+	Error string
+	// Done and Total track permutation progress, including permutations
+	// inherited from a resumed checkpoint.  Total is 0 until the run has
+	// planned its permutation count (relevant for complete enumerations).
+	Done  int64
+	Total int64
+	// ResumedFrom is the first permutation index this run actually
+	// processed when it resumed a checkpoint; 0 for fresh runs.
+	ResumedFrom int64
+	// CacheHit reports that the job was answered from the result cache
+	// without computing anything.
+	CacheHit bool
+	// NProcs is the rank count the job runs with.
+	NProcs int
+	// Profile holds the five-section time profile once the job is Done
+	// (zero for cache hits, which time nothing).
+	Profile core.Profile
+	// SubmittedAt, StartedAt and FinishedAt stamp the lifecycle; zero when
+	// the phase has not happened.
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+}
+
+// Key computes the content address of a submission: a SHA-256 over the
+// matrix values, the class labels and the canonical options.  ScalarParams
+// is excluded — it changes only the broadcast wire protocol, never the
+// result — as are NProcs and Every, because results are bit-identical for
+// every rank count and window size.
+func Key(x [][]float64, labels []int, opt core.Options) (string, error) {
+	canon, err := core.CanonicalOptions(opt)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeInt(int64(len(x)))
+	for _, row := range x {
+		writeInt(int64(len(row)))
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	writeInt(int64(len(labels)))
+	for _, l := range labels {
+		writeInt(int64(l))
+	}
+	writeStr(canon.Test)
+	writeStr(canon.Side)
+	writeStr(canon.FixedSeedSampling)
+	writeStr(canon.Nonpara)
+	writeInt(canon.B)
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(canon.NA))
+	h.Write(buf[:])
+	writeInt(int64(canon.Seed))
+	writeInt(canon.MaxComplete)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Errors reported by the manager.
+var (
+	// ErrQueueFull rejects a submission when the FIFO is at capacity.
+	ErrQueueFull = fmt.Errorf("jobs: queue full")
+	// ErrClosed rejects operations on a closed manager.
+	ErrClosed = fmt.Errorf("jobs: manager closed")
+	// ErrUnknownJob reports a job ID the manager does not know.
+	ErrUnknownJob = fmt.Errorf("jobs: unknown job")
+	// ErrNotDone reports a result request for an unfinished job.
+	ErrNotDone = fmt.Errorf("jobs: job not done")
+)

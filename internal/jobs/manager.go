@@ -1,0 +1,453 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sprint/internal/core"
+)
+
+// Config sizes a Manager.  Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size: how many jobs run concurrently.
+	// Defaults to half the CPUs (each job parallelises internally over
+	// its own NProcs ranks), minimum 1.
+	Workers int
+	// QueueDepth bounds the FIFO of jobs waiting for a worker; a full
+	// queue rejects submissions with ErrQueueFull.  Defaults to 64.
+	QueueDepth int
+	// DefaultNProcs is the rank count for jobs that do not choose one.
+	// Defaults to the CPU count.
+	DefaultNProcs int
+	// DefaultEvery is the checkpoint/progress window for jobs that do not
+	// choose one, in permutations.  Defaults to 1000.
+	DefaultEvery int64
+	// CacheSize bounds the result cache (entries).  Defaults to 128.
+	// Negative disables caching.
+	CacheSize int
+	// CheckpointDir, when non-empty, mirrors checkpoints to disk so
+	// resume survives a daemon restart.  Empty keeps them in memory only.
+	CheckpointDir string
+	// MaxCheckpoints bounds the checkpoint store; the least recently
+	// updated checkpoints (i.e. abandoned analyses) are discarded beyond
+	// it, memory and disk file both.  Defaults to 512.
+	MaxCheckpoints int
+	// MaxJobs bounds the job table; the oldest finished jobs are pruned
+	// beyond it.  Defaults to 4096.
+	MaxJobs int
+	// Clock overrides time.Now in tests; nil uses time.Now.
+	Clock func() time.Time
+	// OnCheckpoint, when non-nil, is called after every saved checkpoint
+	// with the job ID and its progress — an observation hook for
+	// operators and tests.
+	OnCheckpoint func(id string, done, total int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU() / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultNProcs < 1 {
+		c.DefaultNProcs = runtime.NumCPU()
+	}
+	if c.DefaultEvery < 1 {
+		c.DefaultEvery = 1000
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 4096
+	}
+	if c.MaxCheckpoints == 0 {
+		c.MaxCheckpoints = 512
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// job is the manager's mutable record of one submission.  All fields are
+// guarded by Manager.mu.
+type job struct {
+	id   string
+	key  string
+	spec Spec
+
+	state       State
+	err         error
+	done, total int64
+	resumedFrom int64
+	cacheHit    bool
+	profile     core.Profile
+	result      *core.Result
+
+	submittedAt, startedAt, finishedAt time.Time
+
+	cancel          context.CancelFunc
+	cancelRequested bool
+}
+
+func (j *job) status() Status {
+	s := Status{
+		ID:          j.id,
+		Key:         j.key,
+		State:       j.state,
+		Done:        j.done,
+		Total:       j.total,
+		ResumedFrom: j.resumedFrom,
+		CacheHit:    j.cacheHit,
+		NProcs:      j.spec.NProcs,
+		Profile:     j.profile,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Stats is the manager-wide counter snapshot served by /v1/stats.
+type Stats struct {
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Cancelled     int64 `json:"cancelled"`
+	CacheHits     int64 `json:"cache_hits"`
+	Resumed       int64 `json:"resumed"`
+	Queued        int   `json:"queued"`
+	Running       int   `json:"running"`
+	QueueCap      int   `json:"queue_cap"`
+	Workers       int   `json:"workers"`
+	Jobs          int   `json:"jobs"`
+	CachedResults int   `json:"cached_results"`
+	Checkpoints   int   `json:"checkpoints"`
+}
+
+// Manager owns the queue, the worker pool, the result cache and the
+// checkpoint store.  All methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	seq    int64
+	jobs   map[string]*job
+	order  []string // submission order, for pruning
+	cache  *resultCache
+	ckpts  *ckptStore
+	stats  Stats
+
+	queue     chan *job
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// NewManager starts a manager with cfg.Workers workers.  Call Close to
+// drain and stop it.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	ckpts, err := newCkptStore(cfg.CheckpointDir, cfg.MaxCheckpoints)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		cache:     newResultCache(cfg.CacheSize),
+		ckpts:     ckpts,
+		queue:     make(chan *job, cfg.QueueDepth),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Submit validates the spec, answers it from the result cache when the
+// content key is already computed, and otherwise enqueues it FIFO.  It
+// returns the initial status: Done with CacheHit set for a hit, Queued
+// otherwise.  A full queue returns ErrQueueFull without side effects.
+func (m *Manager) Submit(spec Spec) (Status, error) {
+	if len(spec.X) == 0 {
+		return Status{}, fmt.Errorf("jobs: empty input matrix")
+	}
+	canon, err := core.CanonicalOptions(spec.Opt)
+	if err != nil {
+		return Status{}, err
+	}
+	spec.Opt = canon
+	if spec.NProcs < 1 {
+		spec.NProcs = m.cfg.DefaultNProcs
+	}
+	if spec.Every < 1 {
+		spec.Every = m.cfg.DefaultEvery
+	}
+	key, err := Key(spec.X, spec.Labels, spec.Opt)
+	if err != nil {
+		return Status{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Status{}, ErrClosed
+	}
+	now := m.cfg.Clock()
+	m.seq++
+	j := &job{
+		id:          fmt.Sprintf("j%06d", m.seq),
+		key:         key,
+		spec:        spec,
+		state:       Queued,
+		total:       canon.B, // 0 for complete enumerations until planned
+		submittedAt: now,
+	}
+	if res, ok := m.cache.get(key); ok {
+		j.state = Done
+		j.cacheHit = true
+		j.result = res
+		j.spec.X, j.spec.Labels = nil, nil
+		j.done, j.total = res.B, res.B
+		j.startedAt, j.finishedAt = now, now
+		m.stats.Submitted++
+		m.stats.CacheHits++
+		m.insertLocked(j)
+		return j.status(), nil
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return Status{}, ErrQueueFull
+	}
+	m.stats.Submitted++
+	m.insertLocked(j)
+	return j.status(), nil
+}
+
+// insertLocked records j and prunes the oldest finished jobs beyond
+// MaxJobs.  Callers hold m.mu.
+func (m *Manager) insertLocked(j *job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if len(m.jobs) <= m.cfg.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.jobs) - m.cfg.MaxJobs
+	for _, id := range m.order {
+		if excess > 0 {
+			if old, ok := m.jobs[id]; ok && old.state.Terminal() {
+				delete(m.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns the status of a job.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	return j.status(), nil
+}
+
+// Result returns the finished result of a job, or ErrNotDone while it is
+// still queued, running, cancelled or failed.
+func (m *Manager) Result(id string) (*core.Result, Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, Status{}, ErrUnknownJob
+	}
+	if j.state != Done || j.result == nil {
+		return nil, j.status(), ErrNotDone
+	}
+	return j.result, j.status(), nil
+}
+
+// Cancel stops a job.  A queued job is marked cancelled and skipped when a
+// worker pops it; a running job's context is cancelled, and the job
+// transitions once the run stops at its next window boundary (its last
+// checkpoint is retained for resumption).  Cancelling a terminal job is a
+// no-op.  The returned status reflects the state at return, which for a
+// running job is usually still Running.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	switch j.state {
+	case Queued:
+		j.state = Cancelled
+		j.finishedAt = m.cfg.Clock()
+		j.spec.X, j.spec.Labels = nil, nil
+		m.stats.Cancelled++
+	case Running:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.status(), nil
+}
+
+// StatsSnapshot returns the current counters.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.QueueCap = m.cfg.QueueDepth
+	s.Workers = m.cfg.Workers
+	s.Jobs = len(m.jobs)
+	s.CachedResults = m.cache.len()
+	s.Checkpoints = m.ckpts.len()
+	for _, j := range m.jobs {
+		switch j.state {
+		case Queued:
+			s.Queued++
+		case Running:
+			s.Running++
+		}
+	}
+	return s
+}
+
+// Close stops the manager: no new submissions are accepted, running jobs
+// are cancelled at their next window boundary (checkpoints retained), and
+// Close returns once every worker has exited.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancelAll()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// worker pops jobs FIFO and runs them to a terminal state.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job through core.Run with the manager's hooks.
+func (m *Manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != Queued { // cancelled while waiting
+		m.mu.Unlock()
+		return
+	}
+	if m.baseCtx.Err() != nil { // shutting down: drain without running
+		j.state = Cancelled
+		j.finishedAt = m.cfg.Clock()
+		j.spec.X, j.spec.Labels = nil, nil
+		m.stats.Cancelled++
+		m.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.startedAt = m.cfg.Clock()
+	j.cancel = cancel
+	resume := m.ckpts.load(j.key)
+	if resume != nil {
+		j.resumedFrom = resume.Next
+		j.done = resume.Done
+		m.stats.Resumed++
+	}
+	m.mu.Unlock()
+
+	ctl := core.RunControl{
+		Ctx:    ctx,
+		NProcs: j.spec.NProcs,
+		Resume: resume,
+		Every:  j.spec.Every,
+		Save: func(ck *core.Checkpoint) error {
+			m.mu.Lock()
+			evicted := m.ckpts.put(j.key, ck)
+			m.mu.Unlock()
+			// Disk I/O stays outside the lock: a checkpoint encode can
+			// be megabytes and must not stall API handlers.
+			for _, k := range evicted {
+				m.ckpts.removeDisk(k)
+			}
+			if err := m.ckpts.writeDisk(j.key, ck); err != nil {
+				return err
+			}
+			if m.cfg.OnCheckpoint != nil {
+				m.cfg.OnCheckpoint(j.id, ck.Done, ck.TotalB)
+			}
+			return nil
+		},
+		OnProgress: func(done, total int64) {
+			m.mu.Lock()
+			j.done, j.total = done, total
+			m.mu.Unlock()
+		},
+	}
+	res, err := core.Run(j.spec.X, j.spec.Labels, j.spec.Opt, ctl)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finishedAt = m.cfg.Clock()
+	// The inputs are no longer needed once the job is terminal; release
+	// the (potentially very large) matrix so finished jobs don't pin it.
+	j.spec.X, j.spec.Labels = nil, nil
+	switch {
+	case err == nil:
+		j.state = Done
+		j.result = res
+		j.profile = res.Profile
+		j.done, j.total = res.B, res.B
+		m.cache.put(j.key, res)
+		m.ckpts.drop(j.key)
+		m.stats.Completed++
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		// Cancelled (or shut down): the checkpoint store keeps the last
+		// window so an identical resubmission resumes from it.
+		j.state = Cancelled
+		j.err = err
+		m.stats.Cancelled++
+	default:
+		j.state = Failed
+		j.err = err
+		m.stats.Failed++
+	}
+}

@@ -27,6 +27,11 @@
 //	opt.B = 10000
 //	res, err := sprint.PMaxT(data.X, data.Labels, runtime.NumCPU(), opt)
 //
+// Beyond the library, NewServer exposes the same analyses as a long-lived
+// JSON-over-HTTP job service (the cmd/pmaxtd daemon): an asynchronous
+// bounded queue, a worker pool, a content-addressed result cache, and
+// checkpoint-backed resume for cancelled or crashed jobs.
+//
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-versus-reproduction
 // measurements.
@@ -36,6 +41,8 @@ import (
 	"io"
 
 	"sprint/internal/core"
+	"sprint/internal/httpapi"
+	"sprint/internal/jobs"
 	"sprint/internal/matrix"
 	"sprint/internal/microarray"
 	"sprint/internal/pcor"
@@ -131,6 +138,42 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 func MaxTCheckpointed(x [][]float64, classlabel []int, opt Options, resume *Checkpoint, every int64, save func(*Checkpoint) error) (*Result, error) {
 	return core.MaxTCheckpointed(x, classlabel, opt, resume, every, save)
 }
+
+// Server is the pmaxtd job server: the permutation testing function behind
+// an asynchronous JSON-over-HTTP API with a bounded FIFO queue, a worker
+// pool, a content-addressed result cache and checkpoint-backed resume.
+// Mount Handler on an http.Server (or use the cmd/pmaxtd daemon).
+type Server = httpapi.Server
+
+// ServerConfig configures NewServer: HTTP limits plus the embedded
+// JobsConfig sizing the queue, workers, cache and checkpoint store.
+type ServerConfig = httpapi.Config
+
+// JobsConfig sizes the job manager inside a Server (workers, queue depth,
+// default rank count, checkpoint window and directory, cache size).
+type JobsConfig = jobs.Config
+
+// JobStatus is a point-in-time snapshot of a submitted job.
+type JobStatus = jobs.Status
+
+// NewServer starts a job server (its worker pool starts immediately).
+// Call Close to drain it; in-flight jobs stop at their next checkpoint
+// window and resume on resubmission after a restart.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return httpapi.New(cfg)
+}
+
+// Run executes the permutation testing function under service control:
+// cancellation via RunControl.Ctx, progress callbacks, checkpoint saves
+// every RunControl.Every permutations, resume from a prior checkpoint, and
+// an NProcs-way parallel kernel.  Results are bit-identical to MaxT for
+// every control setting.
+func Run(x [][]float64, classlabel []int, opt Options, ctl RunControl) (*Result, error) {
+	return core.Run(x, classlabel, opt, ctl)
+}
+
+// RunControl carries the service hooks of a supervised Run.
+type RunControl = core.RunControl
 
 // Pcor computes the rows×rows Pearson correlation matrix of x on nprocs
 // parallel ranks: SPRINT's original prototype function (Hill et al. 2008),
