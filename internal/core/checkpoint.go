@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"sprint/internal/matrix"
 	"sprint/internal/rng"
 )
 
@@ -51,22 +52,34 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &c, nil
 }
 
-// fingerprint summarises the analysis identity: validated options, the
-// class labels and a sample of the data.  Any change that could alter the
-// permutation stream or the statistics changes the fingerprint.
-func fingerprint(cfg config, x [][]float64, classlabel []int) uint64 {
-	h := rng.Mix64(uint64(cfg.test)<<32 ^ uint64(cfg.side)<<24 ^ uint64(boolToInt64(cfg.fixedSeed))<<16 ^ uint64(boolToInt64(cfg.nonpara)))
+// engineVersion tags the statistics engine whose counts a checkpoint
+// accumulates.  Version 2 is the flat-matrix batched-kernel engine: its
+// statistic bit patterns differ from the Welford-era per-row engine in
+// the last ulps, so exceedance counts from the two engines must never be
+// merged.  Mixing the tag into the fingerprint makes resuming a
+// pre-refactor checkpoint fail loudly with ErrCheckpointMismatch instead
+// of producing a result bit-identical to neither engine.
+const engineVersion = 2
+
+// fingerprint summarises the analysis identity: the engine version,
+// validated options, the class labels and a sample of the data.  Any
+// change that could alter the permutation stream or the statistics
+// changes the fingerprint.
+func fingerprint(cfg config, x matrix.Matrix, classlabel []int) uint64 {
+	h := rng.Mix64(uint64(engineVersion)<<44 ^ uint64(cfg.test)<<32 ^ uint64(cfg.side)<<24 ^ uint64(boolToInt64(cfg.fixedSeed))<<16 ^ uint64(boolToInt64(cfg.nonpara)))
 	h = rng.Mix64(h ^ uint64(cfg.b) ^ cfg.seed<<1)
-	h = rng.Mix64(h ^ uint64(len(x))<<32 ^ uint64(len(x[0])))
+	h = rng.Mix64(h ^ uint64(x.Rows)<<32 ^ uint64(x.Cols))
 	for _, l := range classlabel {
 		h = rng.Mix64(h ^ uint64(l+1))
 	}
-	// Sample up to 64 cells spread across the matrix.
-	rows, cols := len(x), len(x[0])
+	// Sample up to 64 cells spread across the matrix (the same cells the
+	// [][]float64-era code sampled; only the engine-version tag above
+	// separates the two eras' fingerprints).
+	rows, cols := x.Rows, x.Cols
 	for i := 0; i < 64; i++ {
 		r := (i * 2654435761) % rows
 		c := (i * 40503) % cols
-		v := x[r][c]
+		v := x.At(r, c)
 		if math.IsNaN(v) {
 			h = rng.Mix64(h ^ 0x7ff8dead)
 		} else {

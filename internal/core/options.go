@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"sprint/internal/matrix"
 	"sprint/internal/maxt"
 	"sprint/internal/perm"
 	"sprint/internal/stat"
@@ -175,21 +176,39 @@ func planPermutations(cfg config, d *stat.Design) (useComplete bool, total int64
 	return false, cfg.b, nil
 }
 
-// scrubNA returns a copy of x with the NA code replaced by NaN.  The copy
-// happens once on the master (part of pre-processing); workers receive the
-// cleaned matrix.
-func scrubNA(x [][]float64, na float64) [][]float64 {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		cp := make([]float64, len(row))
-		for j, v := range row {
-			if v == na {
-				cp[j] = math.NaN()
-			} else {
-				cp[j] = v
-			}
+// scrubNA returns m with the NA code replaced by NaN.  A pure scan runs
+// first: when no cell matches the NA code the input is returned
+// unchanged — no copy at all.  NaN cells are already in their scrubbed
+// form (NaN never equals the code), so only code-bearing matrices pay
+// the single flat copy.  The scrub happens once on the master (part of
+// pre-processing); workers receive the cleaned matrix.
+func scrubNA(m matrix.Matrix, na float64) matrix.Matrix {
+	dirty := false
+	for _, v := range m.Data {
+		if v == na {
+			dirty = true
+			break
 		}
-		out[i] = cp
+	}
+	if !dirty {
+		return m
+	}
+	out := matrix.Matrix{Data: make([]float64, len(m.Data)), Rows: m.Rows, Cols: m.Cols}
+	for i, v := range m.Data {
+		if v == na {
+			out.Data[i] = math.NaN()
+		} else {
+			out.Data[i] = v
+		}
 	}
 	return out
+}
+
+// rowsInput adapts the legacy [][]float64 surface to the flat engine,
+// preserving the historical empty-matrix error.
+func rowsInput(x [][]float64) (matrix.Matrix, error) {
+	if len(x) == 0 {
+		return matrix.Matrix{}, fmt.Errorf("core: empty input matrix")
+	}
+	return matrix.FromRows(x)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sprint/internal/matrix"
 	"sprint/internal/maxt"
 	"sprint/internal/mpi"
 	"sprint/internal/perm"
@@ -64,7 +65,7 @@ func Chunk(B int64, size, rank int) (lo, hi int64) {
 // command broadcast by reference and the explicit broadcasts below mirror
 // the wire protocol (and are what the profile sections time).
 type job struct {
-	x          [][]float64
+	x          matrix.Matrix
 	classlabel []int
 	opt        Options
 }
@@ -102,9 +103,10 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 
 	// ---- Step 1: pre-processing (master only) -------------------------
 	// Validate parameters, transform them to the internal format, and
-	// scrub the NA code.  Workers wait in Step 2's broadcast.
+	// scrub the NA code (a scan, and a copy only when something needs
+	// replacing).  Workers wait in Step 2's broadcast.
 	var cfg config
-	var x [][]float64
+	var x matrix.Matrix
 	var classlabel []int
 	if master {
 		j, ok := args.(*job)
@@ -117,7 +119,7 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(j.x) == 0 {
+		if j.x.IsEmpty() {
 			return nil, fmt.Errorf("core: empty input matrix")
 		}
 		x = scrubNA(j.x, cfg.na)
@@ -144,6 +146,10 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 	// ---- Step 4a: create data ------------------------------------------
 	// Broadcast class labels and the cleaned matrix, then build the
 	// per-rank preparation (rank transforms, observed statistics, order).
+	// The matrix travels as ONE contiguous buffer plus its dimensions —
+	// a single broadcast where the slice-of-slices form needed a payload
+	// per row header on a real interconnect.  This is the allocation the
+	// paper's "create data" section times.
 	start = time.Now()
 	classlabel = mpi.Bcast(c, 0, classlabel)
 	x = mpi.Bcast(c, 0, x)
@@ -151,7 +157,7 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	prep, err := maxt.NewPrep(x, design, cfg.side, cfg.nonpara)
+	prep, err := maxt.NewPrepMatrix(x, design, cfg.side, cfg.nonpara)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +320,16 @@ func maxInt64Op(acc, in []int64) []int64 {
 // of identical mt.maxT/pmaxT signatures.  Results are bit-identical to the
 // serial run for every option combination and any nprocs.
 func PMaxT(x [][]float64, classlabel []int, nprocs int, opt Options) (*Result, error) {
+	m, err := rowsInput(x)
+	if err != nil {
+		return nil, err
+	}
+	return PMaxTMatrix(m, classlabel, nprocs, opt)
+}
+
+// PMaxTMatrix is PMaxT on the flat matrix the engine computes on; x is not
+// modified.
+func PMaxTMatrix(x matrix.Matrix, classlabel []int, nprocs int, opt Options) (*Result, error) {
 	if nprocs <= 0 {
 		return nil, fmt.Errorf("core: nprocs = %d must be positive", nprocs)
 	}
@@ -336,13 +352,23 @@ func PMaxT(x [][]float64, classlabel []int, nprocs int, opt Options) (*Result, e
 // computation without any communication steps.  Its profile reports zero
 // broadcast time and the whole permutation loop as the main kernel.
 func MaxT(x [][]float64, classlabel []int, opt Options) (*Result, error) {
+	m, err := rowsInput(x)
+	if err != nil {
+		return nil, err
+	}
+	return MaxTMatrix(m, classlabel, opt)
+}
+
+// MaxTMatrix is MaxT on the flat matrix the engine computes on; x is not
+// modified.
+func MaxTMatrix(x matrix.Matrix, classlabel []int, opt Options) (*Result, error) {
 	var prof Profile
 	start := time.Now()
 	cfg, err := parseOptions(opt)
 	if err != nil {
 		return nil, err
 	}
-	if len(x) == 0 {
+	if x.IsEmpty() {
 		return nil, fmt.Errorf("core: empty input matrix")
 	}
 	clean := scrubNA(x, cfg.na)
@@ -353,7 +379,7 @@ func MaxT(x [][]float64, classlabel []int, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	prep, err := maxt.NewPrep(clean, design, cfg.side, cfg.nonpara)
+	prep, err := maxt.NewPrepMatrix(clean, design, cfg.side, cfg.nonpara)
 	if err != nil {
 		return nil, err
 	}

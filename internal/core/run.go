@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sprint/internal/matrix"
 	"sprint/internal/maxt"
 	"sprint/internal/perm"
 	"sprint/internal/stat"
@@ -50,6 +51,18 @@ type RunControl struct {
 // Results are bit-identical to MaxT with the same options, regardless of
 // NProcs, Every and any cancel/resume history.
 func Run(x [][]float64, classlabel []int, opt Options, ctl RunControl) (*Result, error) {
+	m, err := rowsInput(x)
+	if err != nil {
+		return nil, err
+	}
+	return RunMatrix(m, classlabel, opt, ctl)
+}
+
+// RunMatrix is Run on the flat matrix the engine computes on; x is not
+// modified.  Large callers (the job server) use it directly so the only
+// full-matrix copies left are the NA scrub (skipped when clean) and the
+// prep's private transform copy.
+func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (*Result, error) {
 	// Observe cancellation before the expensive setup too (preparation
 	// and the stored generator materialise the whole remaining run), so
 	// a drained shutdown queue costs nothing per job.
@@ -64,7 +77,7 @@ func Run(x [][]float64, classlabel []int, opt Options, ctl RunControl) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	if len(x) == 0 {
+	if x.IsEmpty() {
 		return nil, fmt.Errorf("core: empty input matrix")
 	}
 	clean := scrubNA(x, cfg.na)
@@ -75,7 +88,7 @@ func Run(x [][]float64, classlabel []int, opt Options, ctl RunControl) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	prep, err := maxt.NewPrep(clean, design, cfg.side, cfg.nonpara)
+	prep, err := maxt.NewPrepMatrix(clean, design, cfg.side, cfg.nonpara)
 	if err != nil {
 		return nil, err
 	}

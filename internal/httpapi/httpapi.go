@@ -10,10 +10,14 @@
 //
 // The body formats are defined by the *JSON types in this file.  Matrix
 // cells may be JSON null for missing values (NaN), and NaN/±Inf outputs
-// serialise as null, since bare JSON has no tokens for them.
+// serialise as null, since bare JSON has no tokens for them.  Datasets may
+// be submitted row per gene ("x") or as one flat column-major buffer
+// ("x_flat" + "genes" + "samples", R's native layout); both forms hash to
+// the same cache key.
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -79,29 +83,80 @@ func (s *Server) Close() { s.mgr.Close() }
 // form of missing expression values.
 type Matrix [][]float64
 
-// UnmarshalJSON implements json.Unmarshaler.
+// UnmarshalJSON implements json.Unmarshaler; each row decodes through
+// Floats, sharing its null-to-NaN handling and boxing-free number scan.
 func (m *Matrix) UnmarshalJSON(b []byte) error {
-	var raw [][]*float64
-	if err := json.Unmarshal(b, &raw); err != nil {
+	var rows []Floats
+	if err := json.Unmarshal(b, &rows); err != nil {
 		return err
 	}
-	out := make([][]float64, len(raw))
-	for i, row := range raw {
-		out[i] = make([]float64, len(row))
-		for j, v := range row {
-			if v == nil {
-				out[i][j] = math.NaN()
-			} else {
-				out[i][j] = *v
-			}
-		}
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = row
 	}
 	*m = out
 	return nil
 }
 
-// Floats is a []float64 whose NaN and ±Inf entries serialise as JSON null.
+// Floats is a []float64 whose NaN and ±Inf entries serialise as JSON null,
+// and which accepts JSON null entries as NaN on the way in.
 type Floats []float64
+
+var jsonNull = []byte("null")
+
+// UnmarshalJSON implements json.Unmarshaler: null cells decode to NaN, the
+// wire form of missing expression values.  The array is scanned directly —
+// one append per cell, no per-cell pointer or interface boxing — because
+// x_flat payloads carry hundreds of thousands of cells.  The outer decoder
+// has already validated JSON syntax, so tokens between commas are numbers
+// or null (neither can contain ',' or ']').
+func (f *Floats) UnmarshalJSON(b []byte) error {
+	if bytes.Equal(bytes.TrimSpace(b), jsonNull) {
+		return nil // conventional Unmarshaler behaviour: null is a no-op
+	}
+	i, n := 0, len(b)
+	skipWS := func() {
+		for i < n && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+			i++
+		}
+	}
+	skipWS()
+	if i >= n || b[i] != '[' {
+		return fmt.Errorf("httpapi: expected a JSON array of numbers")
+	}
+	i++
+	out := make(Floats, 0, 16)
+	skipWS()
+	if i < n && b[i] == ']' {
+		*f = out
+		return nil
+	}
+	for {
+		skipWS()
+		start := i
+		for i < n && b[i] != ',' && b[i] != ']' {
+			i++
+		}
+		if i >= n {
+			return fmt.Errorf("httpapi: unterminated JSON array")
+		}
+		tok := bytes.TrimSpace(b[start:i])
+		if bytes.Equal(tok, jsonNull) {
+			out = append(out, math.NaN())
+		} else {
+			v, err := strconv.ParseFloat(string(tok), 64)
+			if err != nil {
+				return fmt.Errorf("httpapi: array cell %d: %w", len(out), err)
+			}
+			out = append(out, v)
+		}
+		if b[i] == ']' {
+			*f = out
+			return nil
+		}
+		i++ // consume ','
+	}
+}
 
 // MarshalJSON implements json.Marshaler.
 func (f Floats) MarshalJSON() ([]byte, error) {
@@ -120,11 +175,21 @@ func (f Floats) MarshalJSON() ([]byte, error) {
 	return append(buf, ']'), nil
 }
 
-// DatasetJSON is the submission payload's data block.
+// DatasetJSON is the submission payload's data block.  The matrix arrives
+// either as x (row per gene) or as x_flat (one flat column-major buffer,
+// R's native layout, with genes and samples giving the shape) — the flat
+// form skips the per-row JSON array overhead and decodes straight into
+// one contiguous buffer.
 type DatasetJSON struct {
 	// X is the expression matrix, rows = genes, columns = samples; null
 	// cells are missing values.
-	X Matrix `json:"x"`
+	X Matrix `json:"x,omitempty"`
+	// XFlat is the flat column-major alternative to X: genes*samples
+	// values, column by column; null cells are missing values.
+	XFlat Floats `json:"x_flat,omitempty"`
+	// Genes and Samples give XFlat's shape; ignored with X.
+	Genes   int `json:"genes,omitempty"`
+	Samples int `json:"samples,omitempty"`
 	// Labels assigns each sample column a class.
 	Labels []int `json:"labels"`
 }
@@ -269,11 +334,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, err := s.mgr.Submit(jobs.Spec{
-		X:      req.Dataset.X,
-		Labels: req.Dataset.Labels,
-		Opt:    req.Options.options(),
-		NProcs: req.NProcs,
-		Every:  req.CheckpointEvery,
+		X:       req.Dataset.X,
+		XFlat:   req.Dataset.XFlat,
+		Genes:   req.Dataset.Genes,
+		Samples: req.Dataset.Samples,
+		Labels:  req.Dataset.Labels,
+		Opt:     req.Options.options(),
+		NProcs:  req.NProcs,
+		Every:   req.CheckpointEvery,
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):

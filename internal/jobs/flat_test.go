@@ -1,0 +1,212 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"sprint/internal/core"
+)
+
+// TestStaleCheckpointRestartsFresh: a checkpoint that no longer validates
+// (e.g. one written by an older engine version) must be discarded and the
+// job recomputed from scratch — not left to fail every future submission
+// of its content key.
+func TestStaleCheckpointRestartsFresh(t *testing.T) {
+	spec := testSpec(t)
+	m, err := NewManager(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	key, err := spec.contentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a checkpoint whose fingerprint cannot match any analysis.
+	m.mu.Lock()
+	m.ckpts.put(key, &core.Checkpoint{
+		Fingerprint: 0xbad,
+		TotalB:      spec.Opt.B,
+		Next:        100,
+		Done:        100,
+		Raw:         make([]int64, len(spec.X)),
+		Adj:         make([]int64, len(spec.X)),
+	})
+	m.mu.Unlock()
+
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != Done {
+		t.Fatalf("job with stale checkpoint finished %+v, want done", fin)
+	}
+	if fin.ResumedFrom != 0 {
+		t.Errorf("stale checkpoint was resumed from %d, want fresh start", fin.ResumedFrom)
+	}
+	res, _, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MaxT(testSpec(t).X, spec.Labels, spec.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFloats(t, "AdjP", res.AdjP, want.AdjP)
+}
+
+// flatSpec rebuilds testSpec's dataset as a flat column-major buffer —
+// the R-layout payload path.
+func flatSpec(t *testing.T) Spec {
+	t.Helper()
+	spec := testSpec(t)
+	genes, samples := len(spec.X), len(spec.X[0])
+	flat := make([]float64, genes*samples)
+	for j := 0; j < samples; j++ {
+		for i := 0; i < genes; i++ {
+			flat[j*genes+i] = spec.X[i][j]
+		}
+	}
+	spec.X = nil
+	spec.XFlat, spec.Genes, spec.Samples = flat, genes, samples
+	return spec
+}
+
+// TestFlatSubmissionSharesKeyAndCache: the same dataset submitted row per
+// gene and as a flat column-major buffer must hash to the same content
+// key, so the second submission is a cache hit, and both produce the
+// bit-identical result.
+func TestFlatSubmissionSharesKeyAndCache(t *testing.T) {
+	rows := testSpec(t)
+	flat := flatSpec(t)
+	m, err := NewManager(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	st1, err := m.Submit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st1.ID)
+	res1, _, err := m.Result(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := m.Submit(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Key != st1.Key {
+		t.Fatalf("flat submission key %s != rows key %s", st2.Key, st1.Key)
+	}
+	if st2.State != Done || !st2.CacheHit {
+		t.Fatalf("flat resubmission not served from cache: %+v", st2)
+	}
+	res2, _, err := m.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFloats(t, "AdjP", res2.AdjP, res1.AdjP)
+	sameFloats(t, "Stat", res2.Stat, res1.Stat)
+}
+
+// TestFlatSubmissionComputesCorrectly: a cold flat submission (no cache)
+// must equal MaxT on the row form.
+func TestFlatSubmissionComputesCorrectly(t *testing.T) {
+	rows := testSpec(t)
+	flat := flatSpec(t)
+	m, err := NewManager(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	st, err := m.Submit(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitTerminal(t, m, st.ID); fin.State != Done {
+		t.Fatalf("flat job finished %+v", fin)
+	}
+	res, _, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MaxT(rows.X, rows.Labels, rows.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFloats(t, "AdjP", res.AdjP, want.AdjP)
+	sameFloats(t, "RawP", res.RawP, want.RawP)
+}
+
+// TestFlatSubmissionDoesNotMutateBuffer: Submit must never modify the
+// caller's XFlat slice — a rejected submission (queue full, bad options)
+// must be retryable verbatim, so the in-place transpose has to happen on
+// a private copy.
+func TestFlatSubmissionDoesNotMutateBuffer(t *testing.T) {
+	spec := flatSpec(t)
+	orig := append([]float64(nil), spec.XFlat...)
+	m, err := NewManager(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// A failing submission (bad options) must leave the buffer intact.
+	bad := spec
+	bad.Opt.Side = "sideways"
+	if _, err := m.Submit(bad); err == nil {
+		t.Fatal("bad options accepted")
+	}
+	for i := range orig {
+		if spec.XFlat[i] != orig[i] {
+			t.Fatalf("failed Submit mutated XFlat at %d", i)
+		}
+	}
+	// A successful one too: the transpose must work on a copy.
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+	for i := range orig {
+		if spec.XFlat[i] != orig[i] {
+			t.Fatalf("successful Submit mutated XFlat at %d", i)
+		}
+	}
+}
+
+// TestFlatSubmissionValidation rejects malformed flat payloads.
+func TestFlatSubmissionValidation(t *testing.T) {
+	m, err := NewManager(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	check := func(name string, spec Spec, wantSub string) {
+		t.Helper()
+		if _, err := m.Submit(spec); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %v, want substring %q", name, err, wantSub)
+		}
+	}
+	good := flatSpec(t)
+
+	both := good
+	both.X = [][]float64{{1, 2}}
+	check("both payloads", both, "both X and XFlat")
+
+	short := good
+	short.XFlat = short.XFlat[:len(short.XFlat)-1]
+	check("short buffer", short, "values for")
+
+	noShape := good
+	noShape.Genes, noShape.Samples = 0, 0
+	check("missing shape", noShape, "positive Genes and Samples")
+}

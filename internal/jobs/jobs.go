@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sprint/internal/core"
+	"sprint/internal/matrix"
 )
 
 // Spec describes one analysis submission.
@@ -33,6 +34,14 @@ type Spec struct {
 	// Labels assigns each column a class, exactly as in core.MaxT.
 	X      [][]float64
 	Labels []int
+	// XFlat, when non-nil, supplies the matrix as one flat column-major
+	// buffer (R's native layout: Genes×Samples values, column by column)
+	// instead of X.  The manager transposes a private copy into the
+	// engine's row-major layout; the caller's slice is never modified, so
+	// a submission rejected with ErrQueueFull can be retried verbatim.
+	// Exactly one of X and XFlat must be set.
+	XFlat          []float64
+	Genes, Samples int
 	// Opt configures the analysis.  Zero-valued fields take the mt.maxT
 	// defaults (core.DefaultOptions semantics via canonicalisation).
 	Opt core.Options
@@ -98,12 +107,86 @@ type Status struct {
 	FinishedAt  time.Time
 }
 
-// Key computes the content address of a submission: a SHA-256 over the
-// matrix values, the class labels and the canonical options.  ScalarParams
-// is excluded — it changes only the broadcast wire protocol, never the
-// result — as are NProcs and Every, because results are bit-identical for
-// every rank count and window size.
-func Key(x [][]float64, labels []int, opt core.Options) (string, error) {
+// validate checks the matrix payload's shape without copying anything.
+func (s *Spec) validate() error {
+	if s.XFlat != nil {
+		if s.X != nil {
+			return fmt.Errorf("jobs: submission carries both X and XFlat")
+		}
+		if s.Genes < 1 || s.Samples < 1 {
+			return fmt.Errorf("jobs: flat submission needs positive Genes and Samples, got %dx%d", s.Genes, s.Samples)
+		}
+		if len(s.XFlat) != s.Genes*s.Samples {
+			return fmt.Errorf("jobs: flat submission has %d values for %d genes × %d samples",
+				len(s.XFlat), s.Genes, s.Samples)
+		}
+		return nil
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("jobs: empty input matrix")
+	}
+	cols := len(s.X[0])
+	if cols == 0 {
+		return fmt.Errorf("jobs: matrix row 0 has no columns")
+	}
+	for i, row := range s.X {
+		if len(row) != cols {
+			return fmt.Errorf("jobs: matrix row %d has %d columns, row 0 has %d", i, len(row), cols)
+		}
+	}
+	return nil
+}
+
+// resolve converts the submission's matrix payload (row slices or a flat
+// column-major buffer) into the engine's flat row-major matrix.  The
+// caller's buffers are never modified: the flat form is transposed on a
+// private copy, so a submission rejected later (queue full, closed
+// manager) can be retried verbatim.
+func (s *Spec) resolve() (matrix.Matrix, error) {
+	if err := s.validate(); err != nil {
+		return matrix.Matrix{}, err
+	}
+	if s.XFlat != nil {
+		buf := append([]float64(nil), s.XFlat...)
+		return matrix.FromColumnMajor(buf, s.Genes, s.Samples), nil
+	}
+	m, err := matrix.FromRows(s.X)
+	if err != nil {
+		return matrix.Matrix{}, fmt.Errorf("jobs: %w", err)
+	}
+	return m, nil
+}
+
+// contentKey hashes the submission in row-major cell order whichever form
+// it arrived in — producing exactly KeyMatrix of the resolved matrix —
+// without copying or transposing anything, so cache hits and queue-full
+// rejections never pay the matrix copy.
+func (s *Spec) contentKey() (string, error) {
+	if err := s.validate(); err != nil {
+		return "", err
+	}
+	if s.XFlat != nil {
+		genes := s.Genes
+		return keyHash(genes, s.Samples, func(i, j int) float64 { return s.XFlat[j*genes+i] }, s.Labels, s.Opt)
+	}
+	return keyHash(len(s.X), len(s.X[0]), func(i, j int) float64 { return s.X[i][j] }, s.Labels, s.Opt)
+}
+
+// KeyMatrix computes the content address of a submission: a SHA-256 over
+// the flat row-major matrix buffer (one pass over contiguous memory), the
+// class labels and the canonical options.  ScalarParams is excluded — it
+// changes only the broadcast wire protocol, never the result — as are
+// NProcs and Every, because results are bit-identical for every rank count
+// and window size.  Row-slice and flat column-major submissions of the
+// same data therefore share one key.
+func KeyMatrix(m matrix.Matrix, labels []int, opt core.Options) (string, error) {
+	return keyHash(m.Rows, m.Cols, m.At, labels, opt)
+}
+
+// keyHash is the shared content-address computation: cells are consumed
+// in row-major order through the accessor, so every representation of
+// the same matrix hashes identically.
+func keyHash(rows, cols int, at func(i, j int) float64, labels []int, opt core.Options) (string, error) {
 	canon, err := core.CanonicalOptions(opt)
 	if err != nil {
 		return "", err
@@ -118,11 +201,11 @@ func Key(x [][]float64, labels []int, opt core.Options) (string, error) {
 		writeInt(int64(len(s)))
 		h.Write([]byte(s))
 	}
-	writeInt(int64(len(x)))
-	for _, row := range x {
-		writeInt(int64(len(row)))
-		for _, v := range row {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	writeInt(int64(rows))
+	writeInt(int64(cols))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(at(i, j)))
 			h.Write(buf[:])
 		}
 	}
@@ -140,6 +223,15 @@ func Key(x [][]float64, labels []int, opt core.Options) (string, error) {
 	writeInt(int64(canon.Seed))
 	writeInt(canon.MaxComplete)
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Key is KeyMatrix on the legacy row-per-slice form.
+func Key(x [][]float64, labels []int, opt core.Options) (string, error) {
+	m, err := matrix.FromRows(x)
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	return KeyMatrix(m, labels, opt)
 }
 
 // Errors reported by the manager.

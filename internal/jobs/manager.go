@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sprint/internal/core"
+	"sprint/internal/matrix"
 )
 
 // Config sizes a Manager.  Zero values select the documented defaults.
@@ -84,6 +85,9 @@ type job struct {
 	id   string
 	key  string
 	spec Spec
+	// data is the resolved flat matrix the analysis runs on; the spec's
+	// X/XFlat payloads are released at submission once data exists.
+	data matrix.Matrix
 
 	state       State
 	err         error
@@ -187,9 +191,6 @@ func NewManager(cfg Config) (*Manager, error) {
 // returns the initial status: Done with CacheHit set for a hit, Queued
 // otherwise.  A full queue returns ErrQueueFull without side effects.
 func (m *Manager) Submit(spec Spec) (Status, error) {
-	if len(spec.X) == 0 {
-		return Status{}, fmt.Errorf("jobs: empty input matrix")
-	}
 	canon, err := core.CanonicalOptions(spec.Opt)
 	if err != nil {
 		return Status{}, err
@@ -201,10 +202,57 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 	if spec.Every < 1 {
 		spec.Every = m.cfg.DefaultEvery
 	}
-	key, err := Key(spec.X, spec.Labels, spec.Opt)
+	// The content key is computed in place, whichever payload form was
+	// submitted: cache hits and queue-full rejections never pay the
+	// matrix copy that resolve makes.
+	key, err := spec.contentKey()
 	if err != nil {
 		return Status{}, err
 	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	if res, ok := m.cache.get(key); ok {
+		now := m.cfg.Clock()
+		m.seq++
+		j := &job{
+			id:          fmt.Sprintf("j%06d", m.seq),
+			key:         key,
+			spec:        Spec{Opt: spec.Opt, NProcs: spec.NProcs, Every: spec.Every},
+			state:       Done,
+			cacheHit:    true,
+			result:      res,
+			done:        res.B,
+			total:       res.B,
+			submittedAt: now,
+			startedAt:   now,
+			finishedAt:  now,
+		}
+		m.stats.Submitted++
+		m.stats.CacheHits++
+		m.insertLocked(j)
+		m.mu.Unlock()
+		return j.status(), nil
+	}
+	if len(m.queue) == cap(m.queue) {
+		// Fast-fail before paying the resolve copy; the enqueue below
+		// re-checks authoritatively.
+		m.mu.Unlock()
+		return Status{}, ErrQueueFull
+	}
+	m.mu.Unlock()
+
+	// Cache miss: make the engine's private matrix (the one copy) outside
+	// the lock — a transpose of the paper's exon-array matrix takes tens
+	// of milliseconds and must not stall API handlers.
+	data, err := spec.resolve()
+	if err != nil {
+		return Status{}, err
+	}
+	spec.X, spec.XFlat = nil, nil // data supersedes the submission payload
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -217,21 +265,10 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		id:          fmt.Sprintf("j%06d", m.seq),
 		key:         key,
 		spec:        spec,
+		data:        data,
 		state:       Queued,
 		total:       canon.B, // 0 for complete enumerations until planned
 		submittedAt: now,
-	}
-	if res, ok := m.cache.get(key); ok {
-		j.state = Done
-		j.cacheHit = true
-		j.result = res
-		j.spec.X, j.spec.Labels = nil, nil
-		j.done, j.total = res.B, res.B
-		j.startedAt, j.finishedAt = now, now
-		m.stats.Submitted++
-		m.stats.CacheHits++
-		m.insertLocked(j)
-		return j.status(), nil
 	}
 	select {
 	case m.queue <- j:
@@ -309,7 +346,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	case Queued:
 		j.state = Cancelled
 		j.finishedAt = m.cfg.Clock()
-		j.spec.X, j.spec.Labels = nil, nil
+		j.data, j.spec.Labels = matrix.Matrix{}, nil
 		m.stats.Cancelled++
 	case Running:
 		j.cancelRequested = true
@@ -378,7 +415,7 @@ func (m *Manager) run(j *job) {
 	if m.baseCtx.Err() != nil { // shutting down: drain without running
 		j.state = Cancelled
 		j.finishedAt = m.cfg.Clock()
-		j.spec.X, j.spec.Labels = nil, nil
+		j.data, j.spec.Labels = matrix.Matrix{}, nil
 		m.stats.Cancelled++
 		m.mu.Unlock()
 		return
@@ -422,14 +459,26 @@ func (m *Manager) run(j *job) {
 			m.mu.Unlock()
 		},
 	}
-	res, err := core.Run(j.spec.X, j.spec.Labels, j.spec.Opt, ctl)
+	res, err := core.RunMatrix(j.data, j.spec.Labels, j.spec.Opt, ctl)
+	if resume != nil && errors.Is(err, core.ErrCheckpointMismatch) {
+		// A stale checkpoint — e.g. one written by an older engine
+		// version whose fingerprints no longer validate — must not
+		// poison its content key forever: discard it and run fresh
+		// instead of failing every future submission of this dataset.
+		m.mu.Lock()
+		m.ckpts.drop(j.key)
+		j.resumedFrom, j.done = 0, 0
+		m.mu.Unlock()
+		ctl.Resume = nil
+		res, err = core.RunMatrix(j.data, j.spec.Labels, j.spec.Opt, ctl)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.finishedAt = m.cfg.Clock()
 	// The inputs are no longer needed once the job is terminal; release
 	// the (potentially very large) matrix so finished jobs don't pin it.
-	j.spec.X, j.spec.Labels = nil, nil
+	j.data, j.spec.Labels = matrix.Matrix{}, nil
 	switch {
 	case err == nil:
 		j.state = Done

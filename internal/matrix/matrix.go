@@ -1,5 +1,6 @@
 // Package matrix provides the dense-matrix plumbing around pmaxT's input
-// handling, including the paper's future-work item 2: "The current
+// handling: the flat row-major Matrix type the whole statistics engine
+// computes on, and the paper's future-work item 2: "The current
 // implementation performs an array transposition on the input dataset.
 // For this transformation, a new array is allocated.  Algorithms for
 // in-place non-square array transposition exist that are able to perform
@@ -14,6 +15,73 @@
 package matrix
 
 import "fmt"
+
+// Matrix is a dense rows×cols matrix stored flat in row-major order: one
+// contiguous allocation, gene rows adjacent in memory, exactly the layout
+// the paper's C kernel iterates over.  The zero value is an empty matrix.
+//
+// Data is exported so that transport layers (broadcast, hashing, wire
+// encoding) can treat the matrix as a single contiguous buffer; all
+// element access in compute code should go through Row for clarity.
+type Matrix struct {
+	Data []float64 // len == Rows*Cols, row-major
+	Rows int
+	Cols int
+}
+
+// New returns a zeroed rows×cols matrix in one allocation.
+func New(rows, cols int) Matrix {
+	return Matrix{Data: make([]float64, rows*cols), Rows: rows, Cols: cols}
+}
+
+// FromRows flattens a row-per-slice matrix into contiguous storage.  It is
+// the bridge from the legacy [][]float64 surface into the flat engine and
+// fails on ragged or empty input rather than guessing a shape.
+func FromRows(x [][]float64) (Matrix, error) {
+	if len(x) == 0 {
+		return Matrix{}, fmt.Errorf("matrix: empty matrix")
+	}
+	cols := len(x[0])
+	if cols == 0 {
+		return Matrix{}, fmt.Errorf("matrix: row 0 has no columns")
+	}
+	m := New(len(x), cols)
+	for i, row := range x {
+		if len(row) != cols {
+			return Matrix{}, fmt.Errorf("matrix: row %d has %d columns, row 0 has %d", i, len(row), cols)
+		}
+		copy(m.Data[i*cols:], row)
+	}
+	return m, nil
+}
+
+// Row returns row i as a slice view into the flat storage.  The view's
+// capacity is clipped to the row, so an append cannot silently overwrite
+// the next row.
+func (m Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at row i, column j.
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// IsEmpty reports whether the matrix has no elements.
+func (m Matrix) IsEmpty() bool { return m.Rows == 0 || m.Cols == 0 }
+
+// Clone returns a deep copy sharing no storage with m.
+func (m Matrix) Clone() Matrix {
+	return Matrix{Data: append([]float64(nil), m.Data...), Rows: m.Rows, Cols: m.Cols}
+}
+
+// RowsView returns the legacy [][]float64 form as views into the flat
+// storage: the row headers are newly allocated, the cells are shared.
+func (m Matrix) RowsView() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
 
 // Transpose returns a new flat array holding the transpose of src, where
 // src is rows×cols in row-major order.  This is the allocating baseline
@@ -73,20 +141,15 @@ func TransposeInPlace(a []float64, rows, cols int) {
 }
 
 // FromColumnMajor converts a column-major flat matrix (R's layout: rows
-// genes × cols samples, stored column by column) into the [][]float64
-// row-major form the analysis consumes, transposing in place first so that
-// peak extra memory is the row-header slice rather than a second matrix.
-// The input slice is consumed: it backs the returned rows.
-func FromColumnMajor(flat []float64, rows, cols int) [][]float64 {
+// genes × cols samples, stored column by column) into the row-major Matrix
+// the analysis consumes, transposing in place so that no second matrix is
+// allocated.  The input slice is consumed: it backs the returned Matrix.
+func FromColumnMajor(flat []float64, rows, cols int) Matrix {
 	if len(flat) != rows*cols {
 		panic(fmt.Sprintf("matrix: %d elements for %dx%d", len(flat), rows, cols))
 	}
 	// Column-major rows×cols is identical to row-major cols×rows; an
 	// in-place transpose of that yields row-major rows×cols.
 	TransposeInPlace(flat, cols, rows)
-	out := make([][]float64, rows)
-	for r := 0; r < rows; r++ {
-		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
-	}
-	return out
+	return Matrix{Data: flat, Rows: rows, Cols: cols}
 }

@@ -81,17 +81,72 @@ func TestFromColumnMajor(t *testing.T) {
 		11, 21, // sample 1
 		12, 22, // sample 2
 	}
-	rows := FromColumnMajor(flat, 2, 3)
-	if len(rows) != 2 || len(rows[0]) != 3 {
-		t.Fatalf("shape %dx%d", len(rows), len(rows[0]))
+	m := FromColumnMajor(flat, 2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
 	}
 	want := [][]float64{{10, 11, 12}, {20, 21, 22}}
 	for r := range want {
 		for c := range want[r] {
-			if rows[r][c] != want[r][c] {
-				t.Fatalf("rows = %v, want %v", rows, want)
+			if m.At(r, c) != want[r][c] {
+				t.Fatalf("matrix = %v, want %v", m.Data, want)
 			}
 		}
+	}
+	if &m.Data[0] != &flat[0] {
+		t.Error("FromColumnMajor allocated a second matrix")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	m, err := FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	for i := range x {
+		for j := range x[i] {
+			if m.At(i, j) != x[i][j] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, m.At(i, j), x[i][j])
+			}
+		}
+	}
+	// Storage is a copy, not a view.
+	x[0][0] = 99
+	if m.At(0, 0) == 99 {
+		t.Error("FromRows shares storage with its input")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows accepted an empty matrix")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("FromRows accepted a ragged matrix")
+	}
+}
+
+func TestRowsViewSharesStorage(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	rows := m.RowsView()
+	rows[1][0] = 42
+	if m.At(1, 0) != 42 {
+		t.Error("RowsView did not alias the flat storage")
+	}
+	// Appending to a row view must not clobber the next row.
+	_ = append(rows[0], 99)
+	if m.At(1, 0) != 42 {
+		t.Error("append through a row view overwrote the next row")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Data[0] = 77
+	if m.Data[0] == 77 {
+		t.Error("Clone shares storage")
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 
+	"sprint/internal/matrix"
 	"sprint/internal/perm"
 	"sprint/internal/stat"
 )
@@ -73,58 +74,116 @@ func (s Side) transform(v float64) float64 {
 }
 
 // Prep bundles the immutable inputs of a maxT run: the (possibly
-// rank-transformed) data, the design, the statistic evaluator, the observed
-// statistics and the induced row order.  A Prep is safe for concurrent use;
-// per-goroutine scratch lives in Scratch values.
+// rank-transformed) flat data matrix, the design, the batched statistics
+// kernel, the observed statistics and the induced row order.  A Prep is
+// safe for concurrent use; per-goroutine scratch lives in Scratch values.
 type Prep struct {
 	Design *stat.Design
 	Side   Side
-	X      [][]float64 // rows × columns, transformed copy
-	StatFn func(row []float64, lab []int) float64
+	M      matrix.Matrix                          // rows × columns, transformed flat copy
+	Kernel stat.Kernel                            // batched engine; nil on reference preps
+	StatFn func(row []float64, lab []int) float64 // legacy per-row evaluator
 
 	Stat  []float64 // untransformed observed statistic per row
 	Obs   []float64 // side-transformed observed statistic per row
 	Order []int     // row indices by decreasing Obs; NaN rows at the end
 	Valid int       // number of rows with a computable observed statistic
+
+	// ref selects the retained pre-flat evaluation path: Process calls
+	// StatFn row by row instead of the batched kernel.  Kept so the flat
+	// refactor stays differentially testable against its predecessor.
+	ref bool
 }
 
-// NewPrep copies x (rows × columns), applies the rank transform when the
-// test requires it (Wilcoxon) or when nonpara is set, computes observed
-// statistics under the design's labelling, and derives the step-down order.
-// The input matrix is not modified.
+// NewPrep adapts the legacy row-per-slice surface: it validates shape,
+// flattens x into contiguous storage and defers to NewPrepMatrix.  The
+// input matrix is not modified.
 func NewPrep(x [][]float64, d *stat.Design, side Side, nonpara bool) (*Prep, error) {
+	m, err := rowsToMatrix(x, d)
+	if err != nil {
+		return nil, err
+	}
+	return newPrep(m, d, side, nonpara, false)
+}
+
+// NewPrepMatrix builds the production prep over a flat matrix: it copies m,
+// applies the rank transform when the test requires it (Wilcoxon) or when
+// nonpara is set, builds the batched kernel with its precomputed per-row
+// moments, computes observed statistics under the design's labelling, and
+// derives the step-down order.  The input matrix is not modified.
+func NewPrepMatrix(m matrix.Matrix, d *stat.Design, side Side, nonpara bool) (*Prep, error) {
+	return newPrep(m.Clone(), d, side, nonpara, false)
+}
+
+// NewPrepReference builds a prep whose Process evaluates permutations
+// through the legacy per-row statistic functions (Design.Func).  It exists
+// to guard the flat-matrix kernels differentially: results must agree with
+// NewPrepMatrix preps on the same inputs.
+func NewPrepReference(m matrix.Matrix, d *stat.Design, side Side, nonpara bool) (*Prep, error) {
+	return newPrep(m.Clone(), d, side, nonpara, true)
+}
+
+// rowsToMatrix validates the legacy [][]float64 shape against the design
+// and flattens it, preserving the historical error messages.
+func rowsToMatrix(x [][]float64, d *stat.Design) (matrix.Matrix, error) {
 	if len(x) == 0 {
-		return nil, fmt.Errorf("maxt: empty data matrix")
+		return matrix.Matrix{}, fmt.Errorf("maxt: empty data matrix")
 	}
 	for i, row := range x {
 		if len(row) != d.N {
-			return nil, fmt.Errorf("maxt: row %d has %d columns, design has %d", i, len(row), d.N)
+			return matrix.Matrix{}, fmt.Errorf("maxt: row %d has %d columns, design has %d", i, len(row), d.N)
 		}
+	}
+	m := matrix.New(len(x), d.N)
+	for i, row := range x {
+		copy(m.Row(i), row)
+	}
+	return m, nil
+}
+
+// newPrep consumes m (already a private copy owned by the prep).
+func newPrep(m matrix.Matrix, d *stat.Design, side Side, nonpara bool, ref bool) (*Prep, error) {
+	if m.IsEmpty() {
+		return nil, fmt.Errorf("maxt: empty data matrix")
+	}
+	if m.Cols != d.N {
+		return nil, fmt.Errorf("maxt: matrix has %d columns, design has %d", m.Cols, d.N)
+	}
+	if len(m.Data) != m.Rows*m.Cols {
+		return nil, fmt.Errorf("maxt: matrix data has %d elements for %dx%d", len(m.Data), m.Rows, m.Cols)
 	}
 	p := &Prep{
 		Design: d,
 		Side:   side,
-		X:      make([][]float64, len(x)),
+		M:      m,
 		StatFn: d.Func(),
+		ref:    ref,
 	}
-	needRanks := d.NeedsRanks() || nonpara
-	var scratch []int
-	for i, row := range x {
-		cp := append([]float64(nil), row...)
-		if needRanks {
-			if cap(scratch) < len(cp) {
-				scratch = make([]int, len(cp))
-			}
-			stat.Ranks(cp, scratch)
+	if d.NeedsRanks() || nonpara {
+		var scratch []int
+		if m.Cols > 0 {
+			scratch = make([]int, m.Cols)
 		}
-		p.X[i] = cp
+		for i := 0; i < m.Rows; i++ {
+			stat.Ranks(m.Row(i), scratch)
+		}
 	}
-	n := len(p.X)
+	n := m.Rows
 	p.Stat = make([]float64, n)
 	p.Obs = make([]float64, n)
-	for i, row := range p.X {
-		t := p.StatFn(row, d.Labels)
-		p.Stat[i] = t
+	if ref {
+		for i := 0; i < n; i++ {
+			p.Stat[i] = p.StatFn(m.Row(i), d.Labels)
+		}
+	} else {
+		k, err := stat.NewKernel(d, m)
+		if err != nil {
+			return nil, err
+		}
+		p.Kernel = k
+		k.Stats(d.Labels, p.Stat, nil)
+	}
+	for i, t := range p.Stat {
 		if math.IsNaN(t) {
 			p.Obs[i] = math.NaN()
 		} else {
@@ -166,7 +225,7 @@ func NewPrep(x [][]float64, d *stat.Design, side Side, nonpara bool) (*Prep, err
 }
 
 // Rows returns the number of rows (genes) in the prepared matrix.
-func (p *Prep) Rows() int { return len(p.X) }
+func (p *Prep) Rows() int { return p.M.Rows }
 
 // Counts holds partial exceedance counts.  Raw[i] counts permutations whose
 // statistic for row i reaches the observed one; Adj[i] counts permutations
@@ -201,22 +260,29 @@ func (c *Counts) Merge(o *Counts) {
 type Scratch struct {
 	lab []int
 	z   []float64
+	ks  *stat.KernelScratch
 }
 
 // NewScratch sizes scratch space for the given prep.
 func (p *Prep) NewScratch() *Scratch {
-	return &Scratch{
+	s := &Scratch{
 		lab: make([]int, p.Design.N),
-		z:   make([]float64, len(p.X)),
+		z:   make([]float64, p.M.Rows),
 	}
+	if p.Kernel != nil {
+		s.ks = p.Kernel.NewScratch()
+	}
+	return s
 }
 
 // Process accumulates exceedance counts for permutation indices [lo, hi) of
 // gen into c.  It is the computational kernel of both mt.maxT and pmaxT:
 // the serial run processes [0, B); rank r of a parallel run processes its
 // chunk, with the master's chunk containing index 0 (the observed
-// labelling, Figure 2).  scratch may be nil, in which case temporary
-// storage is allocated.
+// labelling, Figure 2).  Statistics for all rows are evaluated by one
+// batched kernel call per permutation (or row by row through StatFn on
+// reference preps).  scratch may be nil, in which case temporary storage
+// is allocated.
 func Process(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scratch) {
 	if scratch == nil {
 		scratch = p.NewScratch()
@@ -225,8 +291,14 @@ func Process(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scra
 	order, obs := p.Order, p.Obs
 	for idx := lo; idx < hi; idx++ {
 		gen.Label(idx, lab)
-		for i, row := range p.X {
-			t := p.StatFn(row, lab)
+		if p.ref {
+			for i := 0; i < p.M.Rows; i++ {
+				z[i] = p.StatFn(p.M.Row(i), lab)
+			}
+		} else {
+			p.Kernel.Stats(lab, z, scratch.ks)
+		}
+		for i, t := range z {
 			if math.IsNaN(t) {
 				z[i] = math.Inf(-1) // never exceeds, never raises the max
 			} else {
@@ -268,7 +340,7 @@ type Result struct {
 // made monotone non-decreasing down the significance order, the step-down
 // enforcement of Westfall & Young.
 func Finalize(p *Prep, c *Counts) *Result {
-	n := len(p.X)
+	n := p.M.Rows
 	res := &Result{
 		Stat:  append([]float64(nil), p.Stat...),
 		RawP:  make([]float64, n),
@@ -300,7 +372,7 @@ func Finalize(p *Prep, c *Counts) *Result {
 // Run executes a complete serial maxT computation over all permutations of
 // gen: the reference mt.maxT behaviour.
 func Run(p *Prep, gen perm.Generator) *Result {
-	c := NewCounts(len(p.X))
+	c := NewCounts(p.M.Rows)
 	Process(p, gen, 0, gen.Total(), c, nil)
 	return Finalize(p, c)
 }

@@ -1,0 +1,697 @@
+// Batched statistics kernels: the flat-matrix engine behind maxT/pmaxT.
+//
+// The legacy path (Design.Func) evaluates one row at a time through a
+// function pointer and recomputes every group moment from scratch for each
+// of the B permutations — the dominant cost the paper's Tables I–V time as
+// the "main kernel".  The kernels here exploit two facts the per-row path
+// cannot:
+//
+//  1. The matrix never changes across permutations, only the labelling
+//     does.  Every label-independent moment — per-row non-missing count,
+//     total sum, total sum of squares, paired differences, block sums —
+//     is computed ONCE at kernel construction and reused by all B
+//     permutations.
+//  2. The per-row totals determine either group's moments from the
+//     other's, so the two-sample kernels accumulate ONE group's moments
+//     per permutation and derive the second group's by subtraction:
+//     n0 = n - n1, s0 = S - s1, q0 = Q - q1.  That roughly halves the
+//     per-permutation element visits and replaces Welford's
+//     division-per-element update with an add and a multiply.  (Which
+//     group is accumulated is chosen per kernel: the smaller class where
+//     sums are exact, the class containing column 0 where floating-point
+//     tie symmetry demands it — see the tie discipline below.)
+//
+// A Kernel evaluates all rows of its matrix in one call, so the engine
+// pays one virtual dispatch per permutation instead of one per row, and
+// walks the rows of a single contiguous allocation in order.
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"sprint/internal/matrix"
+)
+
+// Kernel is the batched statistics engine for one (design, matrix) pair.
+// Implementations precompute per-row label-independent moments at
+// construction; Stats then evaluates every row under one labelling.
+//
+// Kernels are immutable after construction and safe for concurrent Stats
+// calls as long as each goroutine passes its own KernelScratch.
+type Kernel interface {
+	// Rows returns the number of matrix rows the kernel was built for.
+	Rows() int
+	// Stats fills out[i] with the statistic of row i under lab.  lab must
+	// have the design's column count and class structure; out must have
+	// length Rows().  Rows whose statistic is not computable get NaN.
+	// scratch may be nil, in which case temporary storage is allocated.
+	Stats(lab []int, out []float64, scratch *KernelScratch)
+	// NewScratch sizes a private scratch value for concurrent Stats calls.
+	NewScratch() *KernelScratch
+}
+
+// KernelScratch holds per-goroutine working storage for Kernel.Stats.
+// Values must not be shared between concurrent calls.
+type KernelScratch struct {
+	idx []int     // selected columns (two-sample), canonical bin order (F, block F)
+	cn  []int     // per-class counts (F)
+	cs  []float64 // per-class sums (F), treatment sums (block F)
+	cq  []float64 // per-class sums of squares (F)
+	sgn []float64 // per-pair signs (paired t)
+}
+
+// NewKernel builds the batched kernel for the design over m, precomputing
+// the per-row moments.  m must already be in its final form: NA cells as
+// NaN and, for rank-based statistics, rank-transformed rows (maxt.NewPrep
+// does both).  The kernel keeps a reference to m.Data; callers must not
+// mutate it afterwards.
+func NewKernel(d *Design, m matrix.Matrix) (Kernel, error) {
+	if m.Cols != d.N {
+		return nil, fmt.Errorf("stat: matrix has %d columns, design has %d", m.Cols, d.N)
+	}
+	if len(m.Data) != m.Rows*m.Cols {
+		return nil, fmt.Errorf("stat: matrix data has %d elements for %dx%d", len(m.Data), m.Rows, m.Cols)
+	}
+	switch d.Test {
+	case Welch:
+		return newTwoSampleKernel(d, m, false), nil
+	case TEqualVar:
+		return newTwoSampleKernel(d, m, true), nil
+	case Wilcoxon:
+		return newWilcoxonKernel(d, m), nil
+	case F:
+		return newFKernel(d, m), nil
+	case PairT:
+		return newPairTKernel(d, m), nil
+	case BlockF:
+		return newBlockFKernel(d, m), nil
+	default:
+		return nil, fmt.Errorf("stat: no kernel for test %v", d.Test)
+	}
+}
+
+// smallerClass returns the two-sample class with fewer observed columns —
+// the one worth accumulating directly each permutation.  Class sizes are
+// invariant under relabelling, so the choice holds for every permutation.
+func smallerClass(d *Design) int {
+	if d.Counts[0] < d.Counts[1] {
+		return 0
+	}
+	return 1
+}
+
+// Floating-point tie discipline
+//
+// Permutation p-values are exceedance counts, so labellings whose
+// statistics are mathematically equal must evaluate to EXACTLY equal (or
+// exactly negated) floats, or counts drift by ±1 against a correct
+// implementation.  The ties that occur with probability one are the
+// symmetry orbits of the observed labelling: the complement labelling
+// (two-sample tests on balanced designs), uniform class relabellings (F),
+// and the full pair flip (paired t).  Each kernel below states how it
+// preserves its orbit exactly; this is why the two-sample t kernels on
+// balanced designs accumulate the group CONTAINING COLUMN 0 (the
+// complement labelling selects the same column set, so the same floats
+// are produced and only the sign flips) rather than a fixed class id,
+// and why the F and block-F kernels reduce their per-class aggregates in
+// a canonical sorted order (uniform relabellings permute the aggregates
+// bitwise-exactly, and a canonical order over every consumed per-bin
+// quantity makes the reduction independent of that permutation).
+
+// m2Tol bounds the relative rounding residual of the subtraction-form
+// centered second moment m2 = q − s²/n: the computation carries an error
+// of order n·ulp(q), so an m2 below q·m2Tol is numerically
+// indistinguishable from an exactly zero variance.  Clamping it to zero
+// reproduces the legacy Welford path's semantics — a group whose values
+// are all equal yields m2 == 0 exactly and hence a NaN statistic (zero
+// standard error).  Without the clamp, quantized data (counts, dosages)
+// can make a mathematically zero group variance surface as a tiny
+// positive residual and a huge finite statistic that would corrupt every
+// row's successive maximum.
+const m2Tol = 1e-12
+
+// clampM2 zeroes numerically-zero centered second moments (q is the
+// group's raw sum of squares, always >= 0 when accumulated directly).
+func clampM2(m2, q float64) float64 {
+	if m2 < q*m2Tol {
+		return 0
+	}
+	return m2
+}
+
+// selectColumns fills s.idx with the columns labelled cls.
+func selectColumns(lab []int, cls int, s *KernelScratch) []int {
+	idx := s.idx[:0]
+	for j, l := range lab {
+		if l == cls {
+			idx = append(idx, j)
+		}
+	}
+	s.idx = idx
+	return idx
+}
+
+// ---- two-sample t kernels (Welch, pooled) --------------------------------
+
+// twoSampleKernel implements the Welch and pooled-variance t statistics.
+// Precomputed per row: non-missing count n, total sum S, total sum of
+// squares Q, and a constant-row flag.  Per permutation it accumulates
+// (n, s, q) of ONE group only and derives the other by subtraction from
+// the precomputed totals: n0 = n - n1, s0 = S - s1, q0 = Q - q1 — roughly
+// halving the per-permutation element visits and replacing Welford's
+// division-per-element update with an add and a multiply.
+//
+// On balanced designs the accumulated group is the one CONTAINING COLUMN
+// 0, not a fixed class id: the complement labelling (the balanced-design
+// tie partner) assigns column 0's group the identical column set, so both
+// labellings accumulate the same floats and the statistic negates exactly
+// — the tie discipline above.  On unbalanced designs the complement is
+// not a valid relabelling (class sizes are preserved), so the kernel is
+// free to accumulate the smaller class, which minimises element visits.
+// Constant rows short-circuit to NaN because the subtraction form cannot
+// certify an exactly zero variance.
+type twoSampleKernel struct {
+	m      matrix.Matrix
+	pooled bool
+	cls    int // fixed accumulated class; -1 anchors on column 0's class
+	n      []int
+	sum    []float64
+	sumsq  []float64
+	flat   []bool // row is constant over its non-missing cells
+}
+
+func newTwoSampleKernel(d *Design, m matrix.Matrix, pooled bool) *twoSampleKernel {
+	k := &twoSampleKernel{m: m, pooled: pooled, cls: -1}
+	if d.Counts[0] != d.Counts[1] {
+		k.cls = smallerClass(d)
+	}
+	k.n, k.sum, k.sumsq = rowTotals(m)
+	k.flat = constantRows(m)
+	return k
+}
+
+// constantRows flags rows whose non-missing cells are all equal: no
+// labelling can give them a nonzero variance, so their statistic is NaN
+// for every permutation (exactly as the legacy per-row path computes).
+func constantRows(m matrix.Matrix) []bool {
+	flat := make([]bool, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		first := math.NaN()
+		flat[i] = true
+		for _, v := range m.Row(i) {
+			if v != v {
+				continue
+			}
+			if first != first {
+				first = v
+			} else if v != first {
+				flat[i] = false
+				break
+			}
+		}
+	}
+	return flat
+}
+
+// rowTotals computes the label-independent per-row moments: non-missing
+// count, sum and sum of squares.
+func rowTotals(m matrix.Matrix) (n []int, sum, sumsq []float64) {
+	n = make([]int, m.Rows)
+	sum = make([]float64, m.Rows)
+	sumsq = make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		cnt := 0
+		var s, q float64
+		for _, v := range m.Row(i) {
+			if v == v { // !NaN
+				cnt++
+				s += v
+				q += v * v
+			}
+		}
+		n[i], sum[i], sumsq[i] = cnt, s, q
+	}
+	return n, sum, sumsq
+}
+
+func (k *twoSampleKernel) Rows() int { return k.m.Rows }
+
+func (k *twoSampleKernel) NewScratch() *KernelScratch {
+	return &KernelScratch{idx: make([]int, 0, k.m.Cols)}
+}
+
+func (k *twoSampleKernel) Stats(lab []int, out []float64, s *KernelScratch) {
+	if s == nil {
+		s = k.NewScratch()
+	}
+	cls := k.cls
+	if cls < 0 {
+		cls = lab[0]
+	}
+	idx := selectColumns(lab, cls, s)
+	sign := 1.0 // the statistic is mean(class 1) - mean(class 0)
+	if cls == 0 {
+		sign = -1.0
+	}
+	for i := 0; i < k.m.Rows; i++ {
+		if k.flat[i] {
+			out[i] = math.NaN()
+			continue
+		}
+		row := k.m.Row(i)
+		na := 0
+		var sa, qa float64
+		for _, j := range idx {
+			v := row[j]
+			if v == v {
+				na++
+				sa += v
+				qa += v * v
+			}
+		}
+		nb := k.n[i] - na
+		if na < 2 || nb < 2 {
+			out[i] = math.NaN()
+			continue
+		}
+		sb := k.sum[i] - sa
+		qb := k.sumsq[i] - qa
+		fa, fb := float64(na), float64(nb)
+		m2a := clampM2(qa-sa*sa/fa, qa)
+		m2b := clampM2(qb-sb*sb/fb, qb)
+		var se float64
+		if k.pooled {
+			se = math.Sqrt((m2a + m2b) / (fa + fb - 2) * (1/fa + 1/fb))
+		} else {
+			se = math.Sqrt(m2a/(fa-1)/fa + m2b/(fb-1)/fb)
+		}
+		if se == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sign * (sa/fa - sb/fb) / se
+	}
+}
+
+// ---- Wilcoxon kernel -----------------------------------------------------
+
+// wilcoxonKernel implements the standardized rank-sum statistic.  The row
+// mean and the centered sum of squares are label-independent, so only the
+// class-1 count and sum vary per permutation — accumulated via the smaller
+// class and derived by subtraction when class 0 is smaller.  On mid-rank
+// data (half-integers) the sums are exact, so the derived values are
+// bit-identical to direct accumulation.
+type wilcoxonKernel struct {
+	m       matrix.Matrix
+	cls     int
+	n       []int
+	total   []float64
+	totalSq []float64
+}
+
+func newWilcoxonKernel(d *Design, m matrix.Matrix) *wilcoxonKernel {
+	k := &wilcoxonKernel{m: m, cls: smallerClass(d)}
+	k.n, k.total, k.totalSq = rowTotals(m)
+	return k
+}
+
+func (k *wilcoxonKernel) Rows() int { return k.m.Rows }
+
+func (k *wilcoxonKernel) NewScratch() *KernelScratch {
+	return &KernelScratch{idx: make([]int, 0, k.m.Cols)}
+}
+
+func (k *wilcoxonKernel) Stats(lab []int, out []float64, s *KernelScratch) {
+	if s == nil {
+		s = k.NewScratch()
+	}
+	idx := selectColumns(lab, k.cls, s)
+	for i := 0; i < k.m.Rows; i++ {
+		row := k.m.Row(i)
+		nc := 0
+		var sc float64
+		for _, j := range idx {
+			v := row[j]
+			if v == v {
+				nc++
+				sc += v
+			}
+		}
+		nn := k.n[i]
+		var n0, n1 int
+		var s1 float64
+		if k.cls == 1 {
+			n1, s1 = nc, sc
+			n0 = nn - nc
+		} else {
+			n0 = nc
+			n1 = nn - nc
+			s1 = k.total[i] - sc
+		}
+		if n0 < 2 || n1 < 2 || nn < 3 {
+			out[i] = math.NaN()
+			continue
+		}
+		ybar := k.total[i] / float64(nn)
+		ssq := k.totalSq[i] - float64(nn)*ybar*ybar
+		variance := float64(n0) * float64(n1) / (float64(nn) * float64(nn-1)) * ssq
+		if variance <= 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = (s1 - float64(n1)*ybar) / math.Sqrt(variance)
+	}
+}
+
+// ---- one-way F kernel ----------------------------------------------------
+
+// fKernel implements the one-way ANOVA F with per-class count/sum/sum-of-
+// squares accumulation — one add and one multiply per element instead of a
+// Welford update with a division.  Per the tie discipline, the per-class
+// aggregates are reduced in canonical (sorted) order so a uniform class
+// relabelling — which permutes the aggregates bitwise-exactly — cannot
+// perturb the result by reassociating the reductions.
+type fKernel struct {
+	m    matrix.Matrix
+	k    int
+	flat []bool
+}
+
+func newFKernel(d *Design, m matrix.Matrix) *fKernel {
+	return &fKernel{m: m, k: d.K, flat: constantRows(m)}
+}
+
+func (k *fKernel) Rows() int { return k.m.Rows }
+
+func (k *fKernel) NewScratch() *KernelScratch {
+	return &KernelScratch{
+		idx: make([]int, k.k),
+		cn:  make([]int, k.k),
+		cs:  make([]float64, k.k),
+		cq:  make([]float64, k.k),
+	}
+}
+
+// canonicalOrder fills ord with 0..len(ord)-1 sorted by (key, tie, cnt)
+// via insertion sort (class counts are tiny), index as the last resort.
+// Every per-bin quantity a reduction consumes must appear in the sort key:
+// bins that compare equal on all keys hold fully identical values, so
+// only then is their relative order irrelevant to the reduction.
+func canonicalOrder(ord []int, key, tie []float64, cnt []int) {
+	less := func(x, y int) bool {
+		switch {
+		case key[x] != key[y]:
+			return key[x] < key[y]
+		case tie != nil && tie[x] != tie[y]:
+			return tie[x] < tie[y]
+		case cnt != nil && cnt[x] != cnt[y]:
+			return cnt[x] < cnt[y]
+		default:
+			return x < y
+		}
+	}
+	for g := range ord {
+		ord[g] = g
+	}
+	for a := 1; a < len(ord); a++ {
+		for b := a; b > 0 && less(ord[b], ord[b-1]); b-- {
+			ord[b-1], ord[b] = ord[b], ord[b-1]
+		}
+	}
+}
+
+func (k *fKernel) Stats(lab []int, out []float64, s *KernelScratch) {
+	if s == nil {
+		s = k.NewScratch()
+	}
+	kk := k.k
+	cn, cs, cq, ord := s.cn, s.cs, s.cq, s.idx[:kk]
+rows:
+	for i := 0; i < k.m.Rows; i++ {
+		if k.flat[i] {
+			out[i] = math.NaN()
+			continue
+		}
+		for g := 0; g < kk; g++ {
+			cn[g], cs[g], cq[g] = 0, 0, 0
+		}
+		for j, v := range k.m.Row(i) {
+			if v != v {
+				continue
+			}
+			g := lab[j]
+			if g < 0 || g >= kk {
+				continue
+			}
+			cn[g]++
+			cs[g] += v
+			cq[g] += v * v
+		}
+		total := 0
+		for g := 0; g < kk; g++ {
+			if cn[g] < 2 {
+				out[i] = math.NaN()
+				continue rows
+			}
+			total += cn[g]
+		}
+		// cn is part of the sort key: two classes can share (sum, sum of
+		// squares) with different sizes, and their m2 and ssBetween
+		// contributions differ, so the order must still be canonical.
+		canonicalOrder(ord, cs, cq, cn)
+		var grand float64
+		for _, g := range ord {
+			grand += cs[g]
+		}
+		grand /= float64(total)
+		var ssBetween, ssWithin float64
+		for _, g := range ord {
+			fg := float64(cn[g])
+			mg := cs[g] / fg
+			ssWithin += clampM2(cq[g]-cs[g]*mg, cq[g])
+			dg := mg - grand
+			ssBetween += fg * dg * dg
+		}
+		dfWithin := total - kk
+		if dfWithin <= 0 || ssWithin <= 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = (ssBetween / float64(kk-1)) / (ssWithin / float64(dfWithin))
+	}
+}
+
+// ---- paired t kernel -----------------------------------------------------
+
+// pairTKernel implements the paired t.  Pair differences and their sum of
+// squares are sign-invariant, hence label-independent: both are
+// precomputed, and a permutation only flips signs in the difference sum —
+// one multiply-add per pair.
+type pairTKernel struct {
+	pairs int
+	diffs matrix.Matrix // rows × pairs; NaN marks an incomplete pair
+	cnt   []int         // complete pairs per row
+	sumsq []float64     // Σ d² per row
+}
+
+func newPairTKernel(d *Design, m matrix.Matrix) *pairTKernel {
+	k := &pairTKernel{
+		pairs: d.Pairs,
+		diffs: matrix.New(m.Rows, d.Pairs),
+		cnt:   make([]int, m.Rows),
+		sumsq: make([]float64, m.Rows),
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		dst := k.diffs.Row(i)
+		for j := 0; j < d.Pairs; j++ {
+			a, b := row[2*j], row[2*j+1]
+			if a != a || b != b {
+				dst[j] = math.NaN()
+				continue
+			}
+			dv := b - a
+			dst[j] = dv
+			k.cnt[i]++
+			k.sumsq[i] += dv * dv
+		}
+	}
+	return k
+}
+
+func (k *pairTKernel) Rows() int { return k.diffs.Rows }
+
+func (k *pairTKernel) NewScratch() *KernelScratch {
+	return &KernelScratch{sgn: make([]float64, k.pairs)}
+}
+
+func (k *pairTKernel) Stats(lab []int, out []float64, s *KernelScratch) {
+	if s == nil {
+		s = k.NewScratch()
+	}
+	sgn := s.sgn
+	for j := 0; j < k.pairs; j++ {
+		// The difference is (value labelled 1) - (value labelled 0); a
+		// pair stored (1,0) flips it.
+		if lab[2*j] == 1 {
+			sgn[j] = -1
+		} else {
+			sgn[j] = 1
+		}
+	}
+	for i := 0; i < k.diffs.Rows; i++ {
+		var sum float64
+		for j, dv := range k.diffs.Row(i) {
+			if dv == dv {
+				sum += sgn[j] * dv
+			}
+		}
+		m := k.cnt[i]
+		if m < 2 {
+			out[i] = math.NaN()
+			continue
+		}
+		fm := float64(m)
+		mean := sum / fm
+		m2 := clampM2(k.sumsq[i]-fm*mean*mean, k.sumsq[i])
+		sd := math.Sqrt(m2 / (fm - 1))
+		if sd == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = mean / (sd / math.Sqrt(fm))
+	}
+}
+
+// ---- block F kernel ------------------------------------------------------
+
+// blockFKernel implements the randomized-complete-block F.  Within-block
+// permutations leave the block sums, the grand mean, the total and block
+// sums of squares — everything except the treatment sums — unchanged, so
+// all of them are precomputed per row and each permutation accumulates
+// only the k treatment sums over the complete blocks.
+type blockFKernel struct {
+	m         matrix.Matrix
+	k, blocks int
+	complete  []bool // rows × blocks, flattened
+	blockUsed []int
+	grandMean []float64
+	ssTotal   []float64
+	ssBlock   []float64
+}
+
+func newBlockFKernel(d *Design, m matrix.Matrix) *blockFKernel {
+	k := &blockFKernel{
+		m: m, k: d.BlockSize, blocks: d.Blocks,
+		complete:  make([]bool, m.Rows*d.Blocks),
+		blockUsed: make([]int, m.Rows),
+		grandMean: make([]float64, m.Rows),
+		ssTotal:   make([]float64, m.Rows),
+		ssBlock:   make([]float64, m.Rows),
+	}
+	kk, blocks := d.BlockSize, d.Blocks
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		comp := k.complete[i*blocks : (i+1)*blocks]
+		used := 0
+		for b := 0; b < blocks; b++ {
+			ok := true
+			for j := 0; j < kk; j++ {
+				if v := row[b*kk+j]; v != v {
+					ok = false
+					break
+				}
+			}
+			comp[b] = ok
+			if ok {
+				used++
+			}
+		}
+		k.blockUsed[i] = used
+		if used < 2 {
+			continue // row permanently uncomputable
+		}
+		var grand float64
+		for b := 0; b < blocks; b++ {
+			if !comp[b] {
+				continue
+			}
+			for j := 0; j < kk; j++ {
+				grand += row[b*kk+j]
+			}
+		}
+		gm := grand / float64(used*kk)
+		k.grandMean[i] = gm
+		var ssTotal, ssBlock float64
+		for b := 0; b < blocks; b++ {
+			if !comp[b] {
+				continue
+			}
+			var bs float64
+			for j := 0; j < kk; j++ {
+				v := row[b*kk+j]
+				dv := v - gm
+				ssTotal += dv * dv
+				bs += v
+			}
+			db := bs/float64(kk) - gm
+			ssBlock += float64(kk) * db * db
+		}
+		k.ssTotal[i], k.ssBlock[i] = ssTotal, ssBlock
+	}
+	return k
+}
+
+func (k *blockFKernel) Rows() int { return k.m.Rows }
+
+func (k *blockFKernel) NewScratch() *KernelScratch {
+	return &KernelScratch{cs: make([]float64, k.k), idx: make([]int, k.k)}
+}
+
+func (k *blockFKernel) Stats(lab []int, out []float64, s *KernelScratch) {
+	if s == nil {
+		s = k.NewScratch()
+	}
+	kk, blocks := k.k, k.blocks
+	treatSum := s.cs
+	for i := 0; i < k.m.Rows; i++ {
+		used := k.blockUsed[i]
+		if used < 2 {
+			out[i] = math.NaN()
+			continue
+		}
+		for t := 0; t < kk; t++ {
+			treatSum[t] = 0
+		}
+		row := k.m.Row(i)
+		comp := k.complete[i*blocks : (i+1)*blocks]
+		for b, ok := range comp {
+			if !ok {
+				continue
+			}
+			base := b * kk
+			for j := 0; j < kk; j++ {
+				treatSum[lab[base+j]] += row[base+j]
+			}
+		}
+		gm := k.grandMean[i]
+		// Canonical order: a treatment relabelling applied uniformly to
+		// every block permutes the treatment sums bitwise-exactly; sorting
+		// keeps the ssTreat reduction independent of that permutation.
+		ord := s.idx[:kk]
+		canonicalOrder(ord, treatSum, nil, nil)
+		var ssTreat float64
+		for _, t := range ord {
+			dt := treatSum[t]/float64(used) - gm
+			ssTreat += float64(used) * dt * dt
+		}
+		ssErr := k.ssTotal[i] - ssTreat - k.ssBlock[i]
+		dfErr := (kk - 1) * (used - 1)
+		if dfErr <= 0 || ssErr <= 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = (ssTreat / float64(kk-1)) / (ssErr / float64(dfErr))
+	}
+}

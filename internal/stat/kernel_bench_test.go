@@ -1,0 +1,142 @@
+package stat
+
+import (
+	"testing"
+
+	"sprint/internal/matrix"
+)
+
+// BenchmarkKernel compares the batched flat-matrix kernels against the
+// legacy per-row function-pointer path, one sub-benchmark pair per test.
+// Each iteration evaluates ONE permutation over the whole matrix — the
+// unit of work the maxT main kernel repeats B times — under a rotating
+// set of pre-drawn labellings so branch predictors see realistic label
+// churn.  The "t" case is the paper's primary workload: 6102 genes × 76
+// samples, 38 vs 38 (Table I's matrix).  Measured speedups are recorded
+// in EXPERIMENTS.md.
+func BenchmarkKernel(b *testing.B) {
+	cases := []struct {
+		name   string
+		test   Test
+		labels []int
+		genes  int
+	}{
+		{"t", Welch, halfLabels(76), 6102},
+		{"t.equalvar", TEqualVar, halfLabels(76), 1024},
+		{"wilcoxon", Wilcoxon, halfLabels(76), 1024},
+		{"f", F, thirdsLabels(75), 1024},
+		{"pairt", PairT, pairLabels(76), 1024},
+		{"blockf", BlockF, blockLabels(76, 4), 1024},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			d, err := NewDesign(tc.test, tc.labels)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := benchMatrix(tc.genes, d.N, uint64(tc.test)+1)
+			if d.NeedsRanks() {
+				scratch := make([]int, d.N)
+				for i := 0; i < m.Rows; i++ {
+					Ranks(m.Row(i), scratch)
+				}
+			}
+			labs := benchLabellings(d, 32)
+			out := make([]float64, m.Rows)
+
+			b.Run("batched", func(b *testing.B) {
+				k, err := NewKernel(d, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := k.NewScratch()
+				b.SetBytes(int64(m.Rows * m.Cols * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.Stats(labs[i%len(labs)], out, s)
+				}
+			})
+			b.Run("legacy", func(b *testing.B) {
+				fn := d.Func()
+				rows := m.RowsView()
+				b.SetBytes(int64(m.Rows * m.Cols * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lab := labs[i%len(labs)]
+					for r, row := range rows {
+						out[r] = fn(row, lab)
+					}
+				}
+			})
+		})
+	}
+}
+
+func benchMatrix(rows, cols int, seed uint64) matrix.Matrix {
+	m := matrix.New(rows, cols)
+	r := lcg(seed)
+	for i := range m.Data {
+		m.Data[i] = r.float()
+	}
+	return m
+}
+
+// benchLabellings pre-draws n valid labellings for the design, starting
+// from the observed one.
+func benchLabellings(d *Design, n int) [][]int {
+	r := lcg(42)
+	labs := make([][]int, n)
+	for i := range labs {
+		lab := append([]int(nil), d.Labels...)
+		switch d.Test {
+		case PairT:
+			for j := 0; j < d.Pairs; j++ {
+				if r.next()%2 == 1 {
+					lab[2*j], lab[2*j+1] = lab[2*j+1], lab[2*j]
+				}
+			}
+		case BlockF:
+			for bl := 0; bl < d.Blocks; bl++ {
+				seg := lab[bl*d.BlockSize : (bl+1)*d.BlockSize]
+				r.shuffle(seg)
+			}
+		default:
+			r.shuffle(lab)
+		}
+		labs[i] = lab
+	}
+	return labs
+}
+
+func halfLabels(n int) []int {
+	lab := make([]int, n)
+	for i := n / 2; i < n; i++ {
+		lab[i] = 1
+	}
+	return lab
+}
+
+func thirdsLabels(n int) []int {
+	lab := make([]int, n)
+	for i := range lab {
+		lab[i] = i * 3 / n
+	}
+	return lab
+}
+
+func pairLabels(n int) []int {
+	lab := make([]int, n)
+	for i := 1; i < n; i += 2 {
+		lab[i] = 1
+	}
+	return lab
+}
+
+func blockLabels(n, k int) []int {
+	lab := make([]int, n)
+	for i := range lab {
+		lab[i] = i % k
+	}
+	return lab
+}

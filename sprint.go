@@ -111,9 +111,10 @@ func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
 // for a genes×samples matrix — into the row-per-gene form MaxT and PMaxT
 // consume.  The conversion transposes in place (the paper's future-work
 // item 2: no second matrix allocation); the input slice is consumed and
-// backs the returned rows.
+// backs the returned rows, which are views into one contiguous flat
+// buffer — the engine's native layout.
 func FromColumnMajor(flat []float64, genes, samples int) [][]float64 {
-	return matrix.FromColumnMajor(flat, genes, samples)
+	return matrix.FromColumnMajor(flat, genes, samples).RowsView()
 }
 
 // Checkpoint is a resumable snapshot of a long serial permutation run —
