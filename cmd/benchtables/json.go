@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"sprint"
+	"sprint/internal/matrix"
+	"sprint/internal/rng"
+	"sprint/internal/stat"
+)
+
+// The -json mode emits the benchmark data CI tracks as an artifact
+// (BENCH_kernel.json): the scalar-versus-batched kernel micro-benchmarks
+// on the paper's Welch-t workload shape, and the measured five-section
+// profile of real runs on this machine.  Everything is ns/op + allocs/op —
+// machine-readable, so the bench trajectory can be plotted across commits.
+
+// kernelBenchJSON is one kernel micro-benchmark result.  NsPerPerm
+// normalises batched runs to single-permutation cost, directly comparable
+// with the scalar row.
+type kernelBenchJSON struct {
+	Name        string  `json:"name"`
+	Batch       int     `json:"batch"` // 1 = scalar Stats path
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerPerm   float64 `json:"ns_per_perm"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// sectionBenchJSON is one measured pmaxT profile row, in nanoseconds per
+// section (the paper's five timed sections).
+type sectionBenchJSON struct {
+	Procs           int   `json:"procs"`
+	PreProcessingNs int64 `json:"pre_processing_ns"`
+	BroadcastNs     int64 `json:"broadcast_params_ns"`
+	CreateDataNs    int64 `json:"create_data_ns"`
+	MainKernelNs    int64 `json:"main_kernel_ns"`
+	ComputePNs      int64 `json:"compute_p_values_ns"`
+	TotalNs         int64 `json:"total_ns"`
+}
+
+type benchJSON struct {
+	GOOS     string             `json:"goos"`
+	GOARCH   string             `json:"goarch"`
+	CPUs     int                `json:"cpus"`
+	Genes    int                `json:"genes"`
+	Samples  int                `json:"samples"`
+	Perms    int64              `json:"perms"`
+	Kernel   []kernelBenchJSON  `json:"kernel"`
+	Sections []sectionBenchJSON `json:"sections"`
+}
+
+// emitJSON runs the kernel micro-benchmarks and the measured section
+// profile and writes one JSON document.
+func emitJSON(w io.Writer, genes int, perms int64) error {
+	const samples = 76
+	out := benchJSON{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Genes: genes, Samples: samples, Perms: perms,
+	}
+
+	// ---- kernel micro-benchmarks (Welch t, the paper's primary test) ----
+	labels := make([]int, samples)
+	for i := samples / 2; i < samples; i++ {
+		labels[i] = 1
+	}
+	design, err := stat.NewDesign(stat.Welch, labels)
+	if err != nil {
+		return err
+	}
+	m := matrix.New(genes, samples)
+	src := rng.New(12345)
+	for i := range m.Data {
+		m.Data[i] = src.NormFloat64()
+	}
+	kern, err := stat.NewKernel(design, m)
+	if err != nil {
+		return err
+	}
+	// Rotating pre-drawn labellings, as in BenchmarkKernel.
+	labs := make([][]int, 32)
+	for i := range labs {
+		lab := append([]int(nil), labels...)
+		src.Shuffle(len(lab), func(a, b int) { lab[a], lab[b] = lab[b], lab[a] })
+		labs[i] = lab
+	}
+
+	scalar := testing.Benchmark(func(b *testing.B) {
+		s := kern.NewScratch()
+		res := make([]float64, genes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kern.Stats(labs[i%len(labs)], res, s)
+		}
+	})
+	out.Kernel = append(out.Kernel, kernelBenchJSON{
+		Name: "kernel/t/scalar", Batch: 1,
+		NsPerOp: float64(scalar.NsPerOp()), NsPerPerm: float64(scalar.NsPerOp()),
+		AllocsPerOp: scalar.AllocsPerOp(), BytesPerOp: scalar.AllocedBytesPerOp(),
+	})
+
+	bk := kern.(stat.BatchKernel)
+	for _, bs := range []int{16, 64, 128} {
+		bs := bs
+		flat := make([]int, bs*samples)
+		for p := 0; p < bs; p++ {
+			copy(flat[p*samples:(p+1)*samples], labs[p%len(labs)])
+		}
+		outM := matrix.New(bs, genes)
+		scr := bk.NewBatchScratch(bs)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bk.StatsBatch(flat, outM, scr)
+			}
+		})
+		out.Kernel = append(out.Kernel, kernelBenchJSON{
+			Name: fmt.Sprintf("kernel/t/batch=%d", bs), Batch: bs,
+			NsPerOp: float64(r.NsPerOp()), NsPerPerm: float64(r.NsPerOp()) / float64(bs),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		})
+	}
+
+	// ---- measured section profile (real runs on this machine) ----------
+	opt := sprint.PaperDataset()
+	opt.Genes = genes
+	data, err := sprint.GenerateDataset(opt)
+	if err != nil {
+		return err
+	}
+	runOpt := sprint.DefaultOptions()
+	runOpt.B = perms
+	runOpt.Seed = 42
+	for p := 1; p <= runtime.NumCPU(); p *= 2 {
+		res, err := sprint.PMaxT(data.X, data.Labels, p, runOpt)
+		if err != nil {
+			return err
+		}
+		pr := res.Profile
+		out.Sections = append(out.Sections, sectionBenchJSON{
+			Procs:           p,
+			PreProcessingNs: pr.PreProcessing.Nanoseconds(),
+			BroadcastNs:     pr.BroadcastParams.Nanoseconds(),
+			CreateDataNs:    pr.CreateData.Nanoseconds(),
+			MainKernelNs:    pr.MainKernel.Nanoseconds(),
+			ComputePNs:      pr.ComputePValues.Nanoseconds(),
+			TotalNs:         pr.Total().Nanoseconds(),
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

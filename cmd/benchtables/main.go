@@ -47,11 +47,15 @@ func run(args []string, w io.Writer) error {
 	genes := fs.Int("genes", 600, "measured workload: gene count (scaled from 6102)")
 	perms := fs.Int64("perms", 3000, "measured workload: permutation count (scaled from 150000)")
 	csvOut := fs.Bool("csv", false, "emit model profiles for all platforms as CSV and exit")
+	jsonOut := fs.Bool("json", false, "run the kernel micro-benchmarks and measured profile, emit JSON, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *csvOut {
 		return emitCSV(w)
+	}
+	if *jsonOut {
+		return emitJSON(w, *genes, *perms)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*measure {
 		*all = true

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"sprint"
 	"sprint/internal/report"
@@ -31,7 +32,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pmaxt", flag.ContinueOnError)
 	dataPath := fs.String("data", "", "input dataset CSV (required; see cmd/datagen)")
-	np := fs.Int("np", runtime.NumCPU(), "number of parallel processes (goroutine ranks)")
+	np := fs.Int("np", 0, "number of parallel processes (goroutine ranks); 0 = all CPUs (GOMAXPROCS)")
 	serial := fs.Bool("serial", false, "run the serial mt.maxT baseline instead of pmaxT")
 	test := fs.String("test", "t", "statistic: t, t.equalvar, wilcoxon, f, pairt, blockf")
 	side := fs.String("side", "abs", "rejection region: abs, upper, lower")
@@ -40,14 +41,42 @@ func run(args []string, stdout io.Writer) error {
 	nonpara := fs.String("nonpara", "n", "y = rank-transform the data first")
 	na := fs.Float64("na", sprint.DefaultNA, "missing value code")
 	seed := fs.Uint64("seed", 0, "permutation RNG seed")
+	batch := fs.Int("batch", 0, "kernel permutation batch size (0 = auto; results are identical at any value)")
 	top := fs.Int("top", 20, "number of most significant genes to print")
 	profile := fs.Bool("profile", true, "print the five-section time profile")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dataPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -data")
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmaxt: memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialise final live-heap statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "pmaxt: memprofile:", err)
+			}
+		}()
 	}
 
 	f, err := os.Open(*dataPath)
@@ -62,7 +91,7 @@ func run(args []string, stdout io.Writer) error {
 
 	opt := sprint.Options{
 		Test: *test, Side: *side, FixedSeedSampling: *fss,
-		B: *b, NA: *na, Nonpara: *nonpara, Seed: *seed,
+		B: *b, NA: *na, Nonpara: *nonpara, Seed: *seed, BatchSize: *batch,
 	}
 	var res *sprint.Result
 	if *serial {

@@ -27,9 +27,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the DefaultServeMux profiles
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -50,13 +50,26 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = half the CPUs)")
 	queue := fs.Int("queue", 64, "job queue depth; a full queue rejects submissions")
-	nprocs := fs.Int("nprocs", runtime.NumCPU(), "default ranks per job")
+	nprocs := fs.Int("nprocs", 0, "default ranks per job (0 = all CPUs)")
 	every := fs.Int64("every", 1000, "default checkpoint window (permutations)")
 	cache := fs.Int("cache", 128, "result cache entries (negative disables)")
 	ckptDir := fs.String("checkpoint-dir", "", "persist checkpoints here to survive restarts (empty = memory only)")
 	maxBody := fs.Int64("max-body", 256<<20, "maximum submission body bytes")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// The pprof handlers live on the DefaultServeMux, kept off the API
+		// listener so profiling can stay on a private interface.  Only the
+		// listener runs in the goroutine; stdout stays single-writer.
+		fmt.Fprintf(stdout, "pmaxtd: pprof on %s\n", *pprofAddr)
+		addr := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pmaxtd: pprof:", err)
+			}
+		}()
 	}
 
 	srv, err := sprint.NewServer(sprint.ServerConfig{
@@ -74,10 +87,12 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 
+	// stdout stays single-writer (the test harness hands us a plain
+	// bytes.Buffer): all prints happen on this goroutine.
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "pmaxtd: listening on %s\n", *addr)
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(stdout, "pmaxtd: listening on %s\n", *addr)
 		errc <- hs.ListenAndServe()
 	}()
 

@@ -53,13 +53,18 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 }
 
 // engineVersion tags the statistics engine whose counts a checkpoint
-// accumulates.  Version 2 is the flat-matrix batched-kernel engine: its
-// statistic bit patterns differ from the Welford-era per-row engine in
-// the last ulps, so exceedance counts from the two engines must never be
-// merged.  Mixing the tag into the fingerprint makes resuming a
-// pre-refactor checkpoint fail loudly with ErrCheckpointMismatch instead
-// of producing a result bit-identical to neither engine.
-const engineVersion = 2
+// accumulates.  Version 2 was the flat-matrix batched-kernel engine;
+// version 3 is the permutation-batched engine whose two-sample and
+// paired-t tails evaluate on scaled central moments (one division per
+// permutation).  Each version's statistic bit patterns differ from its
+// predecessor's in the last ulps, so exceedance counts from different
+// engines must never be merged.  Mixing the tag into the fingerprint
+// makes resuming an older checkpoint fail loudly with
+// ErrCheckpointMismatch instead of producing a result bit-identical to
+// neither engine.  BatchSize is deliberately NOT part of the
+// fingerprint: the batch path is bitwise identical to the scalar path,
+// so checkpoints are interchangeable across batch sizes.
+const engineVersion = 3
 
 // fingerprint summarises the analysis identity: the engine version,
 // validated options, the class labels and a sample of the data.  Any

@@ -10,7 +10,9 @@ func TestCheckpointedMatchesPlainRun(t *testing.T) {
 	x := synthMatrix(25, 12, 3, 17)
 	lab := twoClass(6, 6)
 	for _, fss := range []string{"y", "n"} {
-		opt := Options{B: 200, Seed: 3, FixedSeedSampling: fss}
+		// BatchSize 1 pins the scalar engine so the requested window length
+		// is used verbatim (batched runs round it up; see run_test.go).
+		opt := Options{B: 200, Seed: 3, FixedSeedSampling: fss, BatchSize: 1}
 		plain, err := MaxT(x, lab, opt)
 		if err != nil {
 			t.Fatal(err)
@@ -34,7 +36,7 @@ func TestCheckpointResumeAfterInterruption(t *testing.T) {
 	x := synthMatrix(20, 12, 2, 23)
 	lab := twoClass(6, 6)
 	for _, fss := range []string{"y", "n"} {
-		opt := Options{B: 150, Seed: 9, FixedSeedSampling: fss}
+		opt := Options{B: 150, Seed: 9, FixedSeedSampling: fss, BatchSize: 1}
 		plain, err := MaxT(x, lab, opt)
 		if err != nil {
 			t.Fatal(err)

@@ -26,6 +26,15 @@ const DefaultNA = -93074815.62
 // is asked to explicitly request a smaller number of permutations").
 const DefaultMaxComplete = 1 << 22
 
+// DefaultBatchSize is the permutation batch the main kernel evaluates per
+// matrix pass when Options.BatchSize is 0 (auto).  Batching is bitwise
+// neutral — any batch size produces exactly the scalar path's statistics,
+// counts, cache keys and checkpoints — so the default is purely a
+// performance choice: large enough to amortise each row load over many
+// permutations, small enough that the per-batch label and output buffers
+// stay cache-resident.
+const DefaultBatchSize = 64
+
 // Options mirrors the R signature
 //
 //	pmaxT(X, classlabel, test="t", side="abs", fixed.seed.sampling="y",
@@ -65,6 +74,13 @@ type Options struct {
 	// paper's future-work item 3.  Results are identical; only the
 	// "Broadcast parameters" section changes.
 	ScalarParams bool
+	// BatchSize is the number of permutations the main kernel evaluates
+	// per pass over the matrix: 0 selects DefaultBatchSize, 1 forces the
+	// scalar path, larger values trade scratch memory for fewer matrix
+	// sweeps.  The batched path is bitwise identical to the scalar path,
+	// so BatchSize never changes results — it is excluded from job cache
+	// keys and checkpoint fingerprints.
+	BatchSize int
 }
 
 // DefaultOptions returns the documented mt.maxT defaults.
@@ -90,6 +106,15 @@ type config struct {
 	seed         uint64
 	maxComplete  int64
 	scalarParams bool
+	batch        int
+}
+
+// effectiveBatch resolves the BatchSize knob: 0 means auto.
+func (cfg config) effectiveBatch() int {
+	if cfg.batch > 0 {
+		return cfg.batch
+	}
+	return DefaultBatchSize
 }
 
 // parseOptions validates opt and fills defaults, mirroring the parameter
@@ -143,11 +168,15 @@ func parseOptions(opt Options) (config, error) {
 	if opt.MaxComplete < 0 {
 		return cfg, fmt.Errorf("core: MaxComplete must be positive")
 	}
+	if opt.BatchSize < 0 {
+		return cfg, fmt.Errorf("core: BatchSize = %d must be >= 0 (0 selects the default)", opt.BatchSize)
+	}
 	cfg.b = opt.B
 	cfg.na = opt.NA
 	cfg.seed = opt.Seed
 	cfg.maxComplete = opt.MaxComplete
 	cfg.scalarParams = opt.ScalarParams
+	cfg.batch = opt.BatchSize
 	return cfg, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"sprint/internal/matrix"
@@ -58,6 +59,31 @@ type Result struct {
 func Chunk(B int64, size, rank int) (lo, hi int64) {
 	s, r := int64(size), int64(rank)
 	return B * r / s, B * (r + 1) / s
+}
+
+// ChunkAligned is Chunk with interior boundaries rounded up to multiples
+// of batch, so every rank's chunk (except possibly the last) is a whole
+// number of kernel batches and no rank pays a ragged tail batch.  The
+// boundaries remain monotone and cover [0, B) exactly; counts merge by
+// addition, so alignment never changes results — it only changes which
+// rank evaluates which permutations.  batch <= 1 degenerates to Chunk.
+func ChunkAligned(B int64, size, rank int, batch int) (lo, hi int64) {
+	lo, hi = Chunk(B, size, rank)
+	return alignBoundary(lo, B, batch), alignBoundary(hi, B, batch)
+}
+
+// alignBoundary rounds an interior chunk boundary up to a batch multiple,
+// clamped to the sequence end.
+func alignBoundary(b, B int64, batch int) int64 {
+	if batch <= 1 || b == 0 || b >= B {
+		return b
+	}
+	bb := int64(batch)
+	a := (b + bb - 1) / bb * bb
+	if a > B {
+		a = B
+	}
+	return a
 }
 
 // job carries the master's inputs into the collective evaluation.  In real
@@ -170,10 +196,12 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 	}
 
 	// ---- Step 4b: main kernel ------------------------------------------
-	// Each rank derives its chunk, forwards its generator to the chunk's
-	// first permutation (Figure 2) and accumulates local counts.
+	// Each rank derives its chunk (boundaries aligned to whole kernel
+	// batches), forwards its generator to the chunk's first permutation
+	// (Figure 2) and accumulates local counts in permutation batches.
 	start = time.Now()
-	lo, hi := Chunk(totalB, c.Size(), c.Rank())
+	batch := cfg.effectiveBatch()
+	lo, hi := ChunkAligned(totalB, c.Size(), c.Rank(), batch)
 	var gen perm.Generator
 	switch {
 	case useComplete:
@@ -187,7 +215,7 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 		gen = perm.NewStored(design, cfg.seed, totalB, lo, hi)
 	}
 	counts := maxt.NewCounts(prep.Rows())
-	maxt.Process(prep, gen, lo, hi, counts, nil)
+	maxt.ProcessBatched(prep, gen, lo, hi, counts, nil, batch)
 	kernel := time.Since(start)
 	if master {
 		prof.MainKernel = kernel
@@ -246,7 +274,7 @@ func broadcastParams(c *mpi.Comm, cfg config) config {
 		np := boolToYN(cfg.nonpara)
 		msg.strLens = []int{len(test), len(side), len(fss), len(np)}
 		msg.strs = []byte(test + side + fss + np)
-		msg.scalars = []int64{cfg.b, int64(cfg.seed), cfg.maxComplete}
+		msg.scalars = []int64{cfg.b, int64(cfg.seed), cfg.maxComplete, int64(cfg.batch)}
 	}
 	lens := mpi.Bcast(c, 0, msg.strLens)
 	strs := mpi.Bcast(c, 0, msg.strs)
@@ -262,6 +290,7 @@ func broadcastParams(c *mpi.Comm, cfg config) config {
 	return config{
 		test: test, side: side, fixedSeed: fixed, nonpara: nonpara,
 		b: scal[0], seed: uint64(scal[1]), maxComplete: scal[2],
+		batch: int(scal[3]),
 	}
 }
 
@@ -271,7 +300,7 @@ func (cfg config) toScalars() []int64 {
 	return []int64{
 		int64(cfg.test), int64(cfg.side), boolToInt64(cfg.fixedSeed),
 		boolToInt64(cfg.nonpara), cfg.b, int64(cfg.seed), cfg.maxComplete,
-		boolToInt64(cfg.scalarParams),
+		boolToInt64(cfg.scalarParams), int64(cfg.batch),
 	}
 }
 
@@ -285,6 +314,7 @@ func configFromScalars(s []int64) config {
 		seed:         uint64(s[5]),
 		maxComplete:  s[6],
 		scalarParams: s[7] != 0,
+		batch:        int(s[8]),
 	}
 }
 
@@ -318,7 +348,8 @@ func maxInt64Op(acc, in []int64) []int64 {
 //
 // The interface is identical to MaxT, which mirrors the paper's design goal
 // of identical mt.maxT/pmaxT signatures.  Results are bit-identical to the
-// serial run for every option combination and any nprocs.
+// serial run for every option combination and any nprocs.  nprocs <= 0
+// selects runtime.GOMAXPROCS(0): every available CPU.
 func PMaxT(x [][]float64, classlabel []int, nprocs int, opt Options) (*Result, error) {
 	m, err := rowsInput(x)
 	if err != nil {
@@ -331,7 +362,7 @@ func PMaxT(x [][]float64, classlabel []int, nprocs int, opt Options) (*Result, e
 // modified.
 func PMaxTMatrix(x matrix.Matrix, classlabel []int, nprocs int, opt Options) (*Result, error) {
 	if nprocs <= 0 {
-		return nil, fmt.Errorf("core: nprocs = %d must be positive", nprocs)
+		nprocs = runtime.GOMAXPROCS(0)
 	}
 	var res *Result
 	err := sprintfw.Run(nprocs, Registry(), func(s *sprintfw.Session) error {
@@ -403,7 +434,7 @@ func MaxTMatrix(x matrix.Matrix, classlabel []int, opt Options) (*Result, error)
 		gen = perm.NewStored(design, cfg.seed, totalB, 0, totalB)
 	}
 	counts := maxt.NewCounts(prep.Rows())
-	maxt.Process(prep, gen, 0, totalB, counts, nil)
+	maxt.ProcessBatched(prep, gen, 0, totalB, counts, nil, cfg.effectiveBatch())
 	prof.MainKernel = time.Since(start)
 
 	start = time.Now()

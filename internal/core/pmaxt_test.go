@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -246,11 +247,25 @@ func TestOptionValidationErrors(t *testing.T) {
 	if _, err := MaxT(nil, lab, Options{B: 10}); err == nil {
 		t.Error("empty matrix accepted")
 	}
-	if _, err := PMaxT(x, lab, 0, Options{B: 10}); err == nil {
-		t.Error("nprocs=0 accepted")
+	if _, err := MaxT(x, lab, Options{B: 10, BatchSize: -1}); err == nil {
+		t.Error("negative BatchSize accepted")
 	}
 	if _, err := PMaxT(x, lab, 2, Options{Test: "bogus"}); err == nil {
 		t.Error("parallel run with invalid options succeeded")
+	}
+}
+
+// TestPMaxTDefaultNProcs: nprocs <= 0 selects every available CPU instead
+// of failing, matching the jobs manager and the CLIs.
+func TestPMaxTDefaultNProcs(t *testing.T) {
+	x := synthMatrix(4, 12, 1, 1)
+	lab := twoClass(6, 6)
+	res, err := PMaxT(x, lab, 0, Options{B: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); res.NProcs != want {
+		t.Errorf("NProcs = %d, want GOMAXPROCS %d", res.NProcs, want)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -22,14 +23,15 @@ import (
 // resume point.
 
 // RunControl carries the service hooks of a supervised run.  The zero value
-// is a plain serial, uncheckpointed run equivalent to MaxT.
+// is an uncheckpointed run equivalent to MaxT, parallel over every CPU.
 type RunControl struct {
 	// Ctx cancels the run between windows; nil means never.  A cancelled
 	// run returns the context's error: the last saved checkpoint is the
 	// resume point.
 	Ctx context.Context
 	// NProcs is the number of goroutine ranks the kernel of each window is
-	// chunked over; values < 1 mean 1.
+	// chunked over; values < 1 select runtime.GOMAXPROCS(0), i.e. every
+	// available CPU.  Results are bit-identical at any rank count.
 	NProcs int
 	// Resume continues a previous run from its checkpoint.  The checkpoint
 	// must match the analysis (ErrCheckpointMismatch otherwise).
@@ -45,6 +47,36 @@ type RunControl struct {
 	// number of permutations processed so far (including resumed ones) and
 	// the planned total.
 	OnProgress func(done, total int64)
+	// Scratch, when non-nil, supplies reusable per-rank working state.  A
+	// long-lived caller (the jobs worker pool) passes one RunScratch per
+	// worker so that consecutive jobs reuse kernel scratch, batch buffers
+	// and partial-count vectors instead of reallocating them.
+	Scratch *RunScratch
+}
+
+// RunScratch owns the per-rank mutable state of supervised runs: maxt
+// scratch (including the permutation-batch buffers) and partial counts.
+// It is resized on demand, may be reused across analyses of any shape or
+// test, and must not be shared by concurrent runs.
+type RunScratch struct {
+	scratches []*maxt.Scratch
+	partials  []*maxt.Counts
+}
+
+// ensure sizes the scratch for a run of prep over nprocs ranks.
+func (rs *RunScratch) ensure(prep *maxt.Prep, nprocs int) {
+	for len(rs.scratches) < nprocs {
+		rs.scratches = append(rs.scratches, nil)
+		rs.partials = append(rs.partials, nil)
+	}
+	for r := 0; r < nprocs; r++ {
+		rs.scratches[r] = prep.ScratchFrom(rs.scratches[r])
+		if rs.partials[r] == nil {
+			rs.partials[r] = maxt.NewCounts(prep.Rows())
+		} else {
+			rs.partials[r].Reset(prep.Rows())
+		}
+	}
 }
 
 // Run executes the permutation testing function under the given control.
@@ -100,11 +132,21 @@ func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (
 
 	nprocs := ctl.NProcs
 	if nprocs < 1 {
-		nprocs = 1
+		nprocs = runtime.GOMAXPROCS(0)
 	}
+	batch := cfg.effectiveBatch()
 	every := ctl.Every
 	if every < 1 {
 		every = totalB
+	} else if every < totalB {
+		// Align the window (and therefore every checkpoint boundary) to a
+		// whole number of kernel batches, so no window ends on a ragged
+		// tail batch.  Checkpoint semantics are unchanged: a checkpoint
+		// taken at ANY boundary — including one saved by an earlier,
+		// unaligned engine — remains a valid resume point, because counts
+		// are a pure prefix sum over the permutation sequence.
+		eb := int64(batch)
+		every = (every + eb - 1) / eb * eb
 	}
 
 	counts := maxt.NewCounts(prep.Rows())
@@ -140,13 +182,14 @@ func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (
 	prof.CreateData = time.Since(start)
 
 	// Per-rank reusable state: generators are concurrency-safe, so ranks
-	// share gen but own their scratch and partial counts.
-	scratches := make([]*maxt.Scratch, nprocs)
-	partials := make([]*maxt.Counts, nprocs)
-	for r := range scratches {
-		scratches[r] = prep.NewScratch()
-		partials[r] = maxt.NewCounts(prep.Rows())
+	// share gen but own their scratch and partial counts.  The state lives
+	// in a RunScratch so a long-lived worker can carry it across jobs.
+	rs := ctl.Scratch
+	if rs == nil {
+		rs = &RunScratch{}
 	}
+	rs.ensure(prep, nprocs)
+	scratches, partials := rs.scratches, rs.partials
 
 	kernelStart := time.Now()
 	for lo := first; lo < totalB; lo += every {
@@ -161,19 +204,22 @@ func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (
 		}
 		span := hi - lo
 		if nprocs == 1 {
-			maxt.Process(prep, gen, lo, hi, counts, scratches[0])
+			maxt.ProcessBatched(prep, gen, lo, hi, counts, scratches[0], batch)
 		} else {
 			var wg sync.WaitGroup
 			for r := 0; r < nprocs; r++ {
-				clo := lo + span*int64(r)/int64(nprocs)
-				chi := lo + span*int64(r+1)/int64(nprocs)
+				// Rank boundaries inside the window align to batch
+				// multiples (relative to the window start), so only the
+				// window's last rank can see a ragged tail batch.
+				clo := lo + alignBoundary(span*int64(r)/int64(nprocs), span, batch)
+				chi := lo + alignBoundary(span*int64(r+1)/int64(nprocs), span, batch)
 				if clo == chi {
 					continue
 				}
 				wg.Add(1)
 				go func(r int, clo, chi int64) {
 					defer wg.Done()
-					maxt.Process(prep, gen, clo, chi, partials[r], scratches[r])
+					maxt.ProcessBatched(prep, gen, clo, chi, partials[r], scratches[r], batch)
 				}(r, clo, chi)
 			}
 			wg.Wait()
@@ -245,5 +291,9 @@ func CanonicalOptions(opt Options) (Options, error) {
 		Seed:              cfg.seed,
 		MaxComplete:       cfg.maxComplete,
 		ScalarParams:      cfg.scalarParams,
+		// Like ScalarParams, BatchSize is preserved (it still selects the
+		// execution strategy) but never hashed into content keys: results
+		// are bitwise identical at every batch size.
+		BatchSize: cfg.batch,
 	}, nil
 }

@@ -97,7 +97,9 @@ func TestRunProgressAndCheckpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantDone := []int64{100, 200, 300, 400}
+	// Every=100 is rounded up to the kernel batch multiple (the default
+	// batch is 64, so windows end at 128, 256, 384 and the sequence end).
+	wantDone := []int64{128, 256, 384, 400}
 	if len(progress) != len(wantDone) {
 		t.Fatalf("progress calls %v, want %v", progress, wantDone)
 	}
@@ -105,6 +107,24 @@ func TestRunProgressAndCheckpoints(t *testing.T) {
 		if progress[i] != d || snaps[i].Done != d || snaps[i].Next != d {
 			t.Fatalf("window %d: progress %d, snap done %d next %d, want %d",
 				i, progress[i], snaps[i].Done, snaps[i].Next, d)
+		}
+	}
+
+	// With the scalar path forced, the requested window is used verbatim.
+	progress = progress[:0]
+	optScalar := opt
+	optScalar.BatchSize = 1
+	if _, err := Run(data.X, data.Labels, optScalar, RunControl{
+		NProcs:     2,
+		Every:      100,
+		OnProgress: func(done, total int64) { progress = append(progress, done) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantDone = []int64{100, 200, 300, 400}
+	for i, d := range wantDone {
+		if progress[i] != d {
+			t.Fatalf("scalar window %d: progress %v, want %v", i, progress, wantDone)
 		}
 	}
 }
@@ -119,10 +139,14 @@ func TestRunCancelAndResume(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		// Cancel after the second window; keep the last checkpoint.
+		// Cancel mid-run; keep the last checkpoint.  The checkpoint is
+		// written by the SCALAR engine (BatchSize 1), so its boundary is
+		// not a batch multiple.
 		ctx, cancel := context.WithCancel(context.Background())
+		scalar := opt
+		scalar.BatchSize = 1
 		var last *Checkpoint
-		_, err = Run(data.X, data.Labels, opt, RunControl{
+		_, err = Run(data.X, data.Labels, scalar, RunControl{
 			Ctx:   ctx,
 			Every: 100,
 			Save: func(c *Checkpoint) error {
@@ -140,13 +164,18 @@ func TestRunCancelAndResume(t *testing.T) {
 			t.Fatalf("fss=%s: last checkpoint %+v, want Done=200", fss, last)
 		}
 
-		// Resume from it (on a different rank count) and match MaxT bit
-		// for bit.
-		got, err := Run(data.X, data.Labels, opt, RunControl{NProcs: 3, Every: 100, Resume: last})
-		if err != nil {
-			t.Fatal(err)
+		// Resume from it on a different rank count AND a different batch
+		// size — batching is excluded from the fingerprint because the
+		// batched path is bitwise identical — and match MaxT bit for bit.
+		for _, bs := range []int{0, 1, 16} {
+			resumeOpt := opt
+			resumeOpt.BatchSize = bs
+			got, err := Run(data.X, data.Labels, resumeOpt, RunControl{NProcs: 3, Every: 100, Resume: last})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, got, want)
 		}
-		sameResult(t, got, want)
 	}
 }
 

@@ -207,6 +207,10 @@ type OptionsJSON struct {
 	Seed              uint64  `json:"seed,omitempty"`
 	MaxComplete       int64   `json:"max_complete,omitempty"`
 	ScalarParams      bool    `json:"scalar_params,omitempty"`
+	// BatchSize selects the kernel's permutation batch (0 = server
+	// default).  It never changes results or cache keys — the batched
+	// path is bitwise identical to the scalar path.
+	BatchSize int `json:"batch_size,omitempty"`
 }
 
 func (o OptionsJSON) options() core.Options {
@@ -220,6 +224,7 @@ func (o OptionsJSON) options() core.Options {
 		Seed:              o.Seed,
 		MaxComplete:       o.MaxComplete,
 		ScalarParams:      o.ScalarParams,
+		BatchSize:         o.BatchSize,
 	}
 }
 

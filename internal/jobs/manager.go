@@ -22,7 +22,7 @@ type Config struct {
 	// queue rejects submissions with ErrQueueFull.  Defaults to 64.
 	QueueDepth int
 	// DefaultNProcs is the rank count for jobs that do not choose one.
-	// Defaults to the CPU count.
+	// Defaults to runtime.GOMAXPROCS(0): every available CPU.
 	DefaultNProcs int
 	// DefaultEvery is the checkpoint/progress window for jobs that do not
 	// choose one, in permutations.  Defaults to 1000.
@@ -59,7 +59,7 @@ func (c Config) withDefaults() Config {
 		c.QueueDepth = 64
 	}
 	if c.DefaultNProcs < 1 {
-		c.DefaultNProcs = runtime.NumCPU()
+		c.DefaultNProcs = runtime.GOMAXPROCS(0)
 	}
 	if c.DefaultEvery < 1 {
 		c.DefaultEvery = 1000
@@ -394,16 +394,21 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// worker pops jobs FIFO and runs them to a terminal state.
+// worker pops jobs FIFO and runs them to a terminal state.  Each worker
+// owns one RunScratch for its whole lifetime: kernel scratch, permutation
+// batch buffers and partial-count vectors are reused across jobs instead
+// of reallocated, so the steady-state worker path stays allocation-light
+// (asserted by BenchmarkWorkerJobReuse).
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	scratch := &core.RunScratch{}
 	for j := range m.queue {
-		m.run(j)
+		m.run(j, scratch)
 	}
 }
 
 // run executes one job through core.Run with the manager's hooks.
-func (m *Manager) run(j *job) {
+func (m *Manager) run(j *job, scratch *core.RunScratch) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
 
@@ -432,10 +437,11 @@ func (m *Manager) run(j *job) {
 	m.mu.Unlock()
 
 	ctl := core.RunControl{
-		Ctx:    ctx,
-		NProcs: j.spec.NProcs,
-		Resume: resume,
-		Every:  j.spec.Every,
+		Ctx:     ctx,
+		NProcs:  j.spec.NProcs,
+		Resume:  resume,
+		Every:   j.spec.Every,
+		Scratch: scratch,
 		Save: func(ck *core.Checkpoint) error {
 			m.mu.Lock()
 			evicted := m.ckpts.put(j.key, ck)

@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"testing"
+
+	"sprint/internal/core"
+	"sprint/internal/matrix"
+)
+
+// reuseWorkload is a fixed mid-size analysis for the worker-reuse
+// measurements.
+func reuseWorkload() (matrix.Matrix, []int, core.Options) {
+	labels := make([]int, 16)
+	for i := 8; i < 16; i++ {
+		labels[i] = 1
+	}
+	m := sweepMatrix(128, 16, 0x5eed)
+	return m, labels, core.Options{B: 512, Seed: 7}
+}
+
+// TestRunScratchReuseReducesAllocs asserts the point of per-worker scratch
+// ownership: running consecutive jobs with one reused core.RunScratch must
+// allocate strictly less than running each with fresh scratch, and the
+// reused path's steady state must stay under a fixed budget that excludes
+// any per-window or per-batch buffer churn (only per-job setup — prep
+// clone, kernel moments, generator, result — remains).
+func TestRunScratchReuseReducesAllocs(t *testing.T) {
+	m, labels, opt := reuseWorkload()
+	run := func(rs *core.RunScratch) {
+		if _, err := core.RunMatrix(m, labels, opt, core.RunControl{NProcs: 2, Every: 64, Scratch: rs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := &core.RunScratch{}
+	run(shared) // warm the reusable buffers
+	reused := testing.AllocsPerRun(10, func() { run(shared) })
+	fresh := testing.AllocsPerRun(10, func() { run(&core.RunScratch{}) })
+	if reused >= fresh {
+		t.Errorf("reused scratch allocates %.0f objects per job, fresh %.0f — reuse saves nothing", reused, fresh)
+	}
+	// The absolute budget guards against reintroducing per-window
+	// allocations: 8 windows × anything would blow well past this.
+	if reused > 120 {
+		t.Errorf("reused worker path allocates %.0f objects per job, want <= 120 (per-job setup only)", reused)
+	}
+}
+
+// BenchmarkWorkerJobReuse measures the steady-state jobs worker path —
+// repeated identical-shape analyses on one worker-owned scratch — and
+// reports allocs/op for the CI bench smoke to track.
+func BenchmarkWorkerJobReuse(b *testing.B) {
+	m, labels, opt := reuseWorkload()
+	shared := &core.RunScratch{}
+	ctl := core.RunControl{NProcs: 2, Every: 128, Scratch: shared}
+	if _, err := core.RunMatrix(m, labels, opt, ctl); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunMatrix(m, labels, opt, ctl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

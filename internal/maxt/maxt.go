@@ -255,24 +255,88 @@ func (c *Counts) Merge(o *Counts) {
 	c.B += o.B
 }
 
-// Scratch holds per-goroutine working storage for Process, so concurrent
-// chunks never share mutable state.
+// Reset zeroes c for n rows, reusing its buffers when they are large
+// enough — the counterpart of ScratchFrom for per-worker count reuse.
+func (c *Counts) Reset(n int) {
+	if cap(c.Raw) < n {
+		c.Raw = make([]int64, n)
+		c.Adj = make([]int64, n)
+	} else {
+		c.Raw = c.Raw[:n]
+		c.Adj = c.Adj[:n]
+		clear(c.Raw)
+		clear(c.Adj)
+	}
+	c.B = 0
+}
+
+// Scratch holds per-goroutine working storage for Process and
+// ProcessBatched, so concurrent chunks never share mutable state.  The
+// batch fields are sized lazily by ProcessBatched and retain their
+// capacity across preps (see ScratchFrom), which is what makes the jobs
+// worker path allocation-free in steady state.
 type Scratch struct {
 	lab []int
 	z   []float64
 	ks  *stat.KernelScratch
+
+	labs []int              // batch × N flat labellings
+	zb   []float64          // batch × rows statistics (backing store)
+	bks  *stat.BatchScratch // grow-on-demand batch kernel scratch
 }
 
 // NewScratch sizes scratch space for the given prep.
 func (p *Prep) NewScratch() *Scratch {
-	s := &Scratch{
-		lab: make([]int, p.Design.N),
-		z:   make([]float64, p.M.Rows),
+	return p.ScratchFrom(nil)
+}
+
+// ScratchFrom sizes scratch space for the prep, reusing prev's buffers
+// (possibly sized for a different prep) when their capacity suffices.  A
+// long-lived worker passes its previous scratch between jobs so that
+// steady-state processing allocates nothing.
+func (p *Prep) ScratchFrom(prev *Scratch) *Scratch {
+	s := prev
+	if s == nil {
+		s = &Scratch{}
 	}
-	if p.Kernel != nil {
-		s.ks = p.Kernel.NewScratch()
+	if cap(s.lab) < p.Design.N {
+		s.lab = make([]int, p.Design.N)
+	} else {
+		s.lab = s.lab[:p.Design.N]
+	}
+	if cap(s.z) < p.M.Rows {
+		s.z = make([]float64, p.M.Rows)
+	} else {
+		s.z = s.z[:p.M.Rows]
+	}
+	// The scalar kernel scratch is sized lazily by Process: the batched
+	// path (the default) never needs it, so eagerly rebuilding it here
+	// would charge every job an allocation it never uses.
+	s.ks = nil
+	if s.bks == nil {
+		s.bks = &stat.BatchScratch{}
 	}
 	return s
+}
+
+// ensureBatch sizes the batch buffers for batches of up to batch
+// labellings, reusing capacity.
+func (p *Prep) ensureBatch(s *Scratch, batch int) {
+	need := batch * p.Design.N
+	if cap(s.labs) < need {
+		s.labs = make([]int, need)
+	} else {
+		s.labs = s.labs[:need]
+	}
+	zneed := batch * p.M.Rows
+	if cap(s.zb) < zneed {
+		s.zb = make([]float64, zneed)
+	} else {
+		s.zb = s.zb[:zneed]
+	}
+	if s.bks == nil {
+		s.bks = &stat.BatchScratch{}
+	}
 }
 
 // Process accumulates exceedance counts for permutation indices [lo, hi) of
@@ -287,8 +351,10 @@ func Process(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scra
 	if scratch == nil {
 		scratch = p.NewScratch()
 	}
+	if scratch.ks == nil && p.Kernel != nil && lo < hi {
+		scratch.ks = p.Kernel.NewScratch()
+	}
 	lab, z := scratch.lab, scratch.z
-	order, obs := p.Order, p.Obs
 	for idx := lo; idx < hi; idx++ {
 		gen.Label(idx, lab)
 		if p.ref {
@@ -298,31 +364,77 @@ func Process(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scra
 		} else {
 			p.Kernel.Stats(lab, z, scratch.ks)
 		}
-		for i, t := range z {
-			if math.IsNaN(t) {
-				z[i] = math.Inf(-1) // never exceeds, never raises the max
-			} else {
-				z[i] = p.Side.transform(t)
-			}
+		p.countPermutation(z, c)
+	}
+}
+
+// countPermutation side-transforms one permutation's statistics in place
+// and accumulates its raw and step-down counts into c.  It is the single
+// counting path shared by the scalar and batched loops, so the two cannot
+// diverge.
+func (p *Prep) countPermutation(z []float64, c *Counts) {
+	order, obs := p.Order, p.Obs
+	for i, t := range z {
+		if math.IsNaN(t) {
+			z[i] = math.Inf(-1) // never exceeds, never raises the max
+		} else {
+			z[i] = p.Side.transform(t)
 		}
-		// Raw counts: per-row comparison.
-		for i := range z {
-			if !math.IsNaN(obs[i]) && z[i] >= obs[i] {
-				c.Raw[i]++
-			}
+	}
+	// Raw counts: per-row comparison.
+	for i := range z {
+		if !math.IsNaN(obs[i]) && z[i] >= obs[i] {
+			c.Raw[i]++
 		}
-		// Successive maxima from the least significant valid row upward.
-		u := math.Inf(-1)
-		for j := p.Valid - 1; j >= 0; j-- {
-			r := order[j]
-			if z[r] > u {
-				u = z[r]
-			}
-			if u >= obs[r] {
-				c.Adj[r]++
-			}
+	}
+	// Successive maxima from the least significant valid row upward.
+	u := math.Inf(-1)
+	for j := p.Valid - 1; j >= 0; j-- {
+		r := order[j]
+		if z[r] > u {
+			u = z[r]
 		}
-		c.B++
+		if u >= obs[r] {
+			c.Adj[r]++
+		}
+	}
+	c.B++
+}
+
+// ProcessBatched is Process with the permutation loop inverted: the chunk
+// [lo, hi) is evaluated in batches of up to batch labellings through the
+// kernel's StatsBatch, so each matrix row is read once per batch instead
+// of once per permutation.  The counting pass per permutation is shared
+// with Process (countPermutation) and StatsBatch is bitwise identical to
+// Stats, so the accumulated counts are exactly those of Process for every
+// batch size; batch <= 1 (or a reference prep, whose kernel is nil) falls
+// back to the scalar loop.
+func ProcessBatched(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scratch, batch int) {
+	bk, ok := p.Kernel.(stat.BatchKernel)
+	if batch <= 1 || !ok || lo >= hi {
+		Process(p, gen, lo, hi, c, scratch)
+		return
+	}
+	if scratch == nil {
+		scratch = p.NewScratch()
+	}
+	if span := hi - lo; int64(batch) > span {
+		batch = int(span)
+	}
+	p.ensureBatch(scratch, batch)
+	n, rows := p.Design.N, p.M.Rows
+	for base := lo; base < hi; base += int64(batch) {
+		nb := batch
+		if rem := hi - base; int64(nb) > rem {
+			nb = int(rem)
+		}
+		labs := scratch.labs[:nb*n]
+		gen.Labels(base, int64(nb), labs)
+		out := matrix.Matrix{Data: scratch.zb[:nb*rows], Rows: nb, Cols: rows}
+		bk.StatsBatch(labs, out, scratch.bks)
+		for bp := 0; bp < nb; bp++ {
+			p.countPermutation(out.Row(bp), c)
+		}
 	}
 }
 

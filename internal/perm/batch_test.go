@@ -1,0 +1,85 @@
+package perm
+
+import (
+	"testing"
+
+	"sprint/internal/stat"
+)
+
+// TestLabelsMatchesLabel: for every generator kind, the batch unranker must
+// produce exactly the labellings of the equivalent Label loop, for batches
+// starting at 0 (including the observed labelling), mid-sequence, and
+// crossing the end of a stored chunk's prefix.
+func TestLabelsMatchesLabel(t *testing.T) {
+	mk := func(test stat.Test, labels []int) *stat.Design {
+		d, err := stat.NewDesign(test, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	designs := []*stat.Design{
+		mk(stat.Welch, []int{0, 0, 0, 1, 1, 1, 1}),    // two-sample shuffle
+		mk(stat.F, []int{0, 0, 1, 1, 2, 2}),           // multiset shuffle
+		mk(stat.PairT, []int{0, 1, 1, 0, 0, 1}),       // pair flips
+		mk(stat.BlockF, []int{0, 1, 2, 2, 0, 1}),      // block shuffle
+		mk(stat.Welch, []int{0, 0, 1, 1, 1, 1, 1, 1}), // unbalanced
+	}
+	for _, d := range designs {
+		gens := map[string]Generator{}
+		if c, err := NewComplete(d); err == nil {
+			gens["complete"] = c
+		} else {
+			t.Fatal(err)
+		}
+		gens["random"] = NewRandom(d, 99, 40)
+		gens["stored"] = NewStored(d, 99, 40, 0, 40)
+
+		for name, g := range gens {
+			total := g.Total()
+			for _, span := range [][2]int64{{0, 7}, {1, 5}, {3, 1}, {0, 1}} {
+				start, n := span[0], span[1]
+				if start+n > total {
+					continue
+				}
+				w := int64(d.N)
+				batch := make([]int, n*w)
+				g.Labels(start, n, batch)
+				one := make([]int, d.N)
+				for i := int64(0); i < n; i++ {
+					g.Label(start+i, one)
+					got := batch[i*w : (i+1)*w]
+					for j := range one {
+						if got[j] != one[j] {
+							t.Fatalf("%v/%s: Labels(%d,%d) perm %d = %v, Label = %v",
+								d.Test, name, start, n, start+i, got, one)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLabelsBatchAllocs: the batch unranker must not allocate per
+// permutation — at most the one per-call scratch (complete) or none at all
+// (random, stored).
+func TestLabelsBatchAllocs(t *testing.T) {
+	d, err := stat.NewDesign(stat.Welch, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	dst := make([]int, n*d.N)
+	comp, err := NewComplete(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand := NewRandom(d, 7, 1000)
+	if a := testing.AllocsPerRun(20, func() { comp.Labels(1, n, dst) }); a > 1 {
+		t.Errorf("Complete.Labels allocates %.1f objects per %d-permutation batch, want <= 1", a, n)
+	}
+	if a := testing.AllocsPerRun(20, func() { rand.Labels(1, n, dst) }); a != 0 {
+		t.Errorf("Random.Labels allocates %.1f objects per %d-permutation batch, want 0", a, n)
+	}
+}

@@ -43,6 +43,12 @@ type Generator interface {
 	// permutation idx, which must lie in [0, Total()) — and additionally
 	// within the constructed chunk for stored generators.
 	Label(idx int64, dst []int)
+	// Labels is the batch unranker: it fills dst (n × columns, row-major)
+	// with the labellings of permutations start..start+n-1, equivalent to
+	// n successive Label calls but amortising per-call unrank setup
+	// (combinadic scratch, RNG stream seeding) across the batch.  The
+	// range obeys the same bounds as Label.
+	Labels(start, n int64, dst []int)
 }
 
 // kind discriminates the four permutation actions.
@@ -126,6 +132,35 @@ func (g *Complete) Total() int64 { return g.total }
 
 // Label implements Generator.
 func (g *Complete) Label(idx int64, dst []int) {
+	g.labelInto(idx, dst, nil)
+}
+
+// Labels implements Generator: the unrank scratch (combinadic buffer or
+// per-block permutation) is allocated once for the whole batch instead of
+// once per permutation.
+func (g *Complete) Labels(start, n int64, dst []int) {
+	scratch := g.newUnrankScratch()
+	w := int64(g.design.N)
+	for i := int64(0); i < n; i++ {
+		g.labelInto(start+i, dst[i*w:(i+1)*w], scratch)
+	}
+}
+
+// newUnrankScratch sizes the per-call working storage labelInto needs.
+func (g *Complete) newUnrankScratch() []int {
+	switch {
+	case g.k == kindShuffle && g.design.K == 2:
+		return make([]int, g.design.Counts[1])
+	case g.k == kindBlockShuffle:
+		return make([]int, g.design.BlockSize)
+	default:
+		return nil
+	}
+}
+
+// labelInto unranks permutation idx into dst, using scratch when non-nil
+// (allocating otherwise).
+func (g *Complete) labelInto(idx int64, dst []int, scratch []int) {
 	if idx < 0 || idx >= g.total {
 		panic(fmt.Sprintf("perm: complete index %d out of range [0,%d)", idx, g.total))
 	}
@@ -143,7 +178,10 @@ func (g *Complete) Label(idx int64, dst []int) {
 	switch g.k {
 	case kindShuffle:
 		if d.K == 2 {
-			comb := make([]int, d.Counts[1])
+			comb := scratch
+			if comb == nil {
+				comb = make([]int, d.Counts[1])
+			}
 			CombinationUnrank(d.N, d.Counts[1], enum, comb)
 			for i := range dst {
 				dst[i] = 0
@@ -163,7 +201,10 @@ func (g *Complete) Label(idx int64, dst []int) {
 		}
 	case kindBlockShuffle:
 		k := d.BlockSize
-		p := make([]int, k)
+		p := scratch
+		if p == nil {
+			p = make([]int, k)
+		}
 		for b := 0; b < d.Blocks; b++ {
 			digit := enum % g.blockPerms
 			enum /= g.blockPerms
@@ -216,6 +257,26 @@ func (g *Random) Label(idx int64, dst []int) {
 	}
 	src := rng.Stream(g.seed, uint64(idx))
 	drawInto(g.k, g.design, src, dst)
+}
+
+// Labels implements Generator: one stack Source is re-seeded per
+// permutation instead of allocating a fresh generator for each stream.
+func (g *Random) Labels(start, n int64, dst []int) {
+	if start < 0 || n < 0 || start+n > g.total {
+		panic(fmt.Sprintf("perm: random batch [%d,%d) out of range [0,%d)", start, start+n, g.total))
+	}
+	w := int64(g.design.N)
+	var src rng.Source
+	for i := int64(0); i < n; i++ {
+		idx := start + i
+		out := dst[i*w : (i+1)*w]
+		copy(out, g.design.Labels)
+		if idx == 0 {
+			continue
+		}
+		src.SeedStream(g.seed, uint64(idx))
+		drawInto(g.k, g.design, &src, out)
+	}
 }
 
 // drawInto applies one random permutation action to dst in place.
@@ -300,6 +361,16 @@ func (g *Stored) Lo() int64 { return g.lo }
 
 // Hi reports the exclusive upper bound of the materialised chunk.
 func (g *Stored) Hi() int64 { return g.hi }
+
+// Labels implements Generator: a straight copy out of the materialised
+// chunk.  Every index in [start, start+n) must be 0 or lie within the
+// chunk, as for Label.
+func (g *Stored) Labels(start, n int64, dst []int) {
+	w := int64(g.design.N)
+	for i := int64(0); i < n; i++ {
+		g.Label(start+i, dst[i*w:(i+1)*w])
+	}
+}
 
 // Label implements Generator.  idx must be 0 or lie within the chunk.
 func (g *Stored) Label(idx int64, dst []int) {

@@ -73,7 +73,16 @@ func (s *Source) Seed(seed uint64) {
 // start at permutation k simply calls Stream(seed, k) and never touches the
 // earlier streams.
 func Stream(seed uint64, b uint64) *Source {
-	return New(Mix64(seed) ^ Mix64(golden*b+1))
+	var s Source
+	s.SeedStream(seed, b)
+	return &s
+}
+
+// SeedStream re-initialises s in place as the Stream(seed, b) generator.
+// It exists so batch consumers (perm.Generator.Labels) can hop across many
+// streams without allocating a Source per permutation.
+func (s *Source) SeedStream(seed, b uint64) {
+	s.Seed(Mix64(seed) ^ Mix64(golden*b+1))
 }
 
 // Uint64 returns the next value of the xoshiro256** sequence.

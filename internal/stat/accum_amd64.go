@@ -1,0 +1,17 @@
+//go:build amd64
+
+package stat
+
+// accumPair accumulates (sum, sum of squares) of two permutations' selected
+// columns over an interleaved row pair — the SSE2 kernel in accum_amd64.s.
+//
+// vab points at the interleaved pair buffer (vab[2j] = rowA[j], vab[2j+1] =
+// rowB[j]); i0 and i1 point at the two permutations' selected-column lists
+// (each n ascending indices, all < cols by construction).  On return
+// acc[0..3] hold permutation i0's (sa, sb, qa, qb) interleaved as
+// (sa0, sb0, qa0, qb0) and acc[4..7] permutation i1's.  Bitwise identical
+// to the pure Go accumulation: each SIMD lane performs one row's scalar
+// IEEE-754 chain in the same ascending order.
+//
+//go:noescape
+func accumPair(vab *float64, i0 *int32, i1 *int32, n int, acc *[8]float64)

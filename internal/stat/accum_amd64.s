@@ -1,0 +1,53 @@
+// Two-sample batch accumulation kernel: 2 permutations × 2 rows per pass.
+//
+// vab interleaves a row pair as vab[2j] = rowA[j], vab[2j+1] = rowB[j], so
+// one 16-byte MOVUPD load yields (rowA[j], rowB[j]) and the lane-wise
+// ADDPD/MULPD advance both rows' accumulation chains in a single
+// instruction.  Lane-wise packed arithmetic performs exactly the scalar
+// IEEE-754 operations — each lane is one row's serial chain in ascending
+// selected-column order — so the results are bitwise identical to the pure
+// Go path (accum_generic.go), which is also the reference the tests pin.
+//
+// Accumulator layout on return (see accumPair's doc comment):
+//   acc[0]=sa0 acc[1]=sb0 acc[2]=qa0 acc[3]=qb0   (permutation p)
+//   acc[4]=sa1 acc[5]=sb1 acc[6]=qa1 acc[7]=qb1   (permutation p+1)
+
+#include "textflag.h"
+
+// func accumPair(vab *float64, i0 *int32, i1 *int32, n int, acc *[8]float64)
+TEXT ·accumPair(SB), NOSPLIT, $0-40
+	MOVQ vab+0(FP), SI
+	MOVQ i0+8(FP), DI
+	MOVQ i1+16(FP), R8
+	MOVQ n+24(FP), CX
+	MOVQ acc+32(FP), DX
+	PXOR X0, X0 // (sa0, sb0)
+	PXOR X1, X1 // (qa0, qb0)
+	PXOR X2, X2 // (sa1, sb1)
+	PXOR X3, X3 // (qa1, qb1)
+	XORQ AX, AX // e
+	JMP  cond
+
+loop:
+	MOVL (DI)(AX*4), R9  // j0 = i0[e]
+	MOVL (R8)(AX*4), R10 // j1 = i1[e]
+	SHLQ $4, R9          // byte offset of vab[2*j0]
+	SHLQ $4, R10
+	MOVUPD (SI)(R9*1), X4  // (rowA[j0], rowB[j0])
+	ADDPD  X4, X0
+	MULPD  X4, X4
+	ADDPD  X4, X1
+	MOVUPD (SI)(R10*1), X5 // (rowA[j1], rowB[j1])
+	ADDPD  X5, X2
+	MULPD  X5, X5
+	ADDPD  X5, X3
+	INCQ   AX
+
+cond:
+	CMPQ AX, CX
+	JLT  loop
+	MOVUPD X0, (DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	RET

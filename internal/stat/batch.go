@@ -1,0 +1,494 @@
+// Permutation-batched kernel evaluation: the cache-blocked path behind the
+// maxT main kernel.
+//
+// The scalar path (Kernel.Stats) streams the entire flat matrix from memory
+// once per permutation; on the paper's 6102×76 workload that is ~3.7 MB per
+// permutation and the loop is memory-bound, not compute-bound.  StatsBatch
+// inverts the loop: each matrix row is loaded ONCE and, while it sits in L1,
+// serves every permutation of a batch of B labellings — the matrix is
+// streamed once per batch instead of once per permutation.
+//
+// Per row, the accumulation is column-scatter shaped: selected columns are
+// visited in ascending order and each element feeds the accumulators of
+// every permutation in the batch using it (the F, block-F and paired-t
+// kernels scatter through per-batch transposed label/sign tables; the
+// two-sample kernels run per-permutation selected-column lists, two rows ×
+// two permutations at a time — an SSE2 kernel on amd64, see
+// accum_amd64.s).  For any single permutation p, every variant touches p's
+// selected columns in exactly the ascending order the scalar path uses, so
+// p's accumulators receive the identical sequence of IEEE-754 operations
+// and the batch statistics are BITWISE equal to B scalar Stats calls — the
+// property that keeps exceedance counts, content-addressed cache keys and
+// checkpoints valid for any batch size.  The batching also breaks the
+// add-latency dependency chain that binds the scalar loop: within one
+// permutation the accumulation order is fixed by the tie discipline (a
+// serial chain), so interleaving independent permutations' chains is the
+// only way to fill the FP pipeline.
+//
+// Every per-row finishing computation is shared with the scalar path
+// (tsTail.stat via twoSampleStat, wilcoxonStat, fStat, pairTStat,
+// blockFStat): one compiled function serves both, so the operation
+// sequences cannot diverge — the same argument PR 2's tie discipline makes
+// for mathematically tied labellings, extended here to the two evaluation
+// paths.
+package stat
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"sprint/internal/matrix"
+)
+
+// gather loads row[j] without a bounds check.  It is safe only for the
+// selected-column indices buildSelLists constructs: they come from a range
+// loop over a labelling of exactly the row's length, so 0 <= j < len(row)
+// by construction.  The compiler cannot prove that across the slice
+// indirection, and the four per-element checks it would otherwise emit are
+// measurable in the hot loop below.
+func gather(row *float64, j int32) float64 {
+	return *(*float64)(unsafe.Add(unsafe.Pointer(row), uintptr(uint32(j))*8))
+}
+
+// ptrI32 loads p[e] without a bounds check; e is loop-bounded by the
+// caller against the list length.
+func ptrI32(p *int32, e int) int32 {
+	return *(*int32)(unsafe.Add(unsafe.Pointer(p), uintptr(e)*4))
+}
+
+// BatchKernel is the batched evaluation surface implemented by every kernel
+// NewKernel builds: Stats for one labelling, StatsBatch for a whole batch.
+type BatchKernel interface {
+	Kernel
+	// StatsBatch evaluates every row under each of the out.Rows labellings
+	// packed in labs (flattened batch × columns, row-major) and writes
+	// labelling p's statistics into out.Row(p).  The results are bitwise
+	// identical to out.Rows successive Stats calls.  scratch may be nil, in
+	// which case temporary storage is allocated; a reused scratch grows on
+	// demand and makes steady-state calls allocation-free.
+	StatsBatch(labs []int, out matrix.Matrix, scratch *BatchScratch)
+	// NewBatchScratch sizes a private scratch for batches of up to nb
+	// labellings.  Scratch values must not be shared between concurrent
+	// StatsBatch calls.
+	NewBatchScratch(nb int) *BatchScratch
+}
+
+// BatchScratch holds per-goroutine working storage for StatsBatch.  The
+// zero value is valid: every field grows on demand and is reusable across
+// kernels (of any test type) and batch sizes, which is what lets a job
+// worker own one scratch for its whole lifetime.
+type BatchScratch struct {
+	// Per-permutation selected-column lists for the two-sample kernels:
+	// permutation p's selected columns, ascending, at sel[p*L:(p+1)*L]
+	// (class sizes are invariant under relabelling, so every list has the
+	// same length L).
+	sel  []int32
+	sign []float64 // per-permutation statistic sign (two-sample t)
+	as   []float64 // per-permutation accumulated sum (paired t)
+	vab  []float64 // interleaved row pair (two-sample fast path)
+	// Per-permutation class bins for F and block F, laid out [perm][class].
+	bn []int
+	bs []float64
+	bq []float64
+	// Column-major labels labT[j*nb+p] (F, block F) and pair signs
+	// sgnT[j*nb+p] (paired t): the transposed layouts make the perm-inner
+	// scatter loops walk contiguous memory.
+	labT []int32
+	sgnT []float64
+	ord  []int // canonical-order scratch (F, block F)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// checkBatchShape validates the labs/out pair against the kernel's row
+// count and label width, returning the batch size.
+func checkBatchShape(rows, labCols int, labs []int, out matrix.Matrix) int {
+	nb := out.Rows
+	if out.Cols != rows {
+		panic(fmt.Sprintf("stat: batch out has %d columns for %d matrix rows", out.Cols, rows))
+	}
+	if len(labs) != nb*labCols {
+		panic(fmt.Sprintf("stat: batch labels have %d entries for %d labellings of %d columns", len(labs), nb, labCols))
+	}
+	return nb
+}
+
+// ---- two-sample t / Wilcoxon --------------------------------------------
+
+// buildSelLists fills s.sel with each batch permutation's selected columns
+// (ascending, exactly the scalar selectColumns order) and each
+// permutation's sign, returning the shared list length L.  Class sizes are
+// invariant under relabelling, so every permutation selects the same
+// number of columns.  cls follows the scalar rule: the fixed class on
+// unbalanced designs, the class containing column 0 otherwise (fixed < 0).
+func buildSelLists(s *BatchScratch, labs []int, nb, cols, fixed int, withSign bool) int {
+	if nb == 0 {
+		return 0 // nothing anchors labs[0] below; an empty batch is a no-op
+	}
+	L := 0
+	for j := 0; j < cols; j++ {
+		cls := fixed
+		if cls < 0 {
+			cls = labs[0]
+		}
+		if labs[j] == cls {
+			L++
+		}
+	}
+	s.sel = growI32(s.sel, nb*L)
+	if withSign {
+		s.sign = growF(s.sign, nb)
+	}
+	for p := 0; p < nb; p++ {
+		lab := labs[p*cols : (p+1)*cols]
+		cls := fixed
+		if cls < 0 {
+			cls = lab[0]
+		}
+		if withSign {
+			if cls == 0 {
+				s.sign[p] = -1
+			} else {
+				s.sign[p] = 1
+			}
+		}
+		dst := s.sel[p*L : p*L : (p+1)*L]
+		for j, l := range lab {
+			if l == cls {
+				dst = append(dst, int32(j))
+			}
+		}
+	}
+	return L
+}
+
+func (k *twoSampleKernel) NewBatchScratch(nb int) *BatchScratch {
+	return &BatchScratch{
+		sel:  make([]int32, nb*k.m.Cols),
+		sign: make([]float64, nb),
+	}
+}
+
+func (k *twoSampleKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScratch) {
+	nb := checkBatchShape(k.m.Rows, k.m.Cols, labs, out)
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	L := buildSelLists(s, labs, nb, k.m.Cols, k.cls, true)
+	cols := k.m.Cols
+	// On NA-free rows every permutation's accumulated group has exactly L
+	// members, so the tail invariants are one batch-level constant.
+	tail, tailOK := newTSTail(k.pooled, L, cols-L)
+	fast := func(i int) bool { return !k.flat[i] && k.n[i] == cols }
+	for i := 0; i < k.m.Rows; {
+		if k.flat[i] {
+			for p := 0; p < nb; p++ {
+				out.Row(p)[i] = math.NaN()
+			}
+			i++
+			continue
+		}
+		// NA-free rows: every selected cell is present, so the group count
+		// is L without tracking it and the per-element NaN test vanishes.
+		// The row pair is interleaved into vab so that accumPair (an SSE2
+		// kernel on amd64, a pure Go loop elsewhere — bitwise identical by
+		// construction) advances two permutations × two rows at once:
+		// within one permutation the accumulation order is fixed by the
+		// tie discipline (a serial dependency chain), so cross-permutation
+		// and cross-row interleaving is what fills the FP pipeline.
+		if tailOK && fast(i) && i+1 < k.m.Rows && fast(i+1) {
+			rowA, rowB := k.m.Row(i), k.m.Row(i+1)
+			s.vab = growF(s.vab, 2*cols)
+			for j := 0; j < cols; j++ {
+				s.vab[2*j] = rowA[j]
+				s.vab[2*j+1] = rowB[j]
+			}
+			vab := &s.vab[0]
+			SA, QA := k.sum[i], k.sumsq[i]
+			SB, QB := k.sum[i+1], k.sumsq[i+1]
+			var acc [8]float64
+			p := 0
+			for ; p+2 <= nb; p += 2 {
+				accumPair(vab, &s.sel[p*L], &s.sel[(p+1)*L], L, &acc)
+				r0, r1 := out.Row(p), out.Row(p+1)
+				r0[i] = tail.stat(s.sign[p], SA, QA, acc[0], acc[2])
+				r0[i+1] = tail.stat(s.sign[p], SB, QB, acc[1], acc[3])
+				r1[i] = tail.stat(s.sign[p+1], SA, QA, acc[4], acc[6])
+				r1[i+1] = tail.stat(s.sign[p+1], SB, QB, acc[5], acc[7])
+			}
+			for ; p < nb; p++ {
+				idx := s.sel[p*L : (p+1)*L]
+				var sa, qa, sb, qb float64
+				for _, j := range idx {
+					vA := rowA[j]
+					sa += vA
+					qa += vA * vA
+					vB := rowB[j]
+					sb += vB
+					qb += vB * vB
+				}
+				r := out.Row(p)
+				r[i] = tail.stat(s.sign[p], SA, QA, sa, qa)
+				r[i+1] = tail.stat(s.sign[p], SB, QB, sb, qb)
+			}
+			i += 2
+			continue
+		}
+		// General row (missing cells, or an unpaired NA-free row): the
+		// scalar accumulation per permutation, row already in L1.
+		row := k.m.Row(i)
+		n, S, Q := k.n[i], k.sum[i], k.sumsq[i]
+		for p := 0; p < nb; p++ {
+			idx := s.sel[p*L : (p+1)*L]
+			na := 0
+			var sa, qa float64
+			for _, j := range idx {
+				v := row[j]
+				if v == v {
+					na++
+					sa += v
+					qa += v * v
+				}
+			}
+			out.Row(p)[i] = twoSampleStat(k.pooled, s.sign[p], n, S, Q, na, sa, qa)
+		}
+		i++
+	}
+}
+
+func (k *wilcoxonKernel) NewBatchScratch(nb int) *BatchScratch {
+	return &BatchScratch{sel: make([]int32, nb*k.m.Cols)}
+}
+
+func (k *wilcoxonKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScratch) {
+	nb := checkBatchShape(k.m.Rows, k.m.Cols, labs, out)
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	L := buildSelLists(s, labs, nb, k.m.Cols, k.cls, false)
+	for i := 0; i < k.m.Rows; i++ {
+		row := k.m.Row(i)
+		nn, total, totalSq := k.n[i], k.total[i], k.totalSq[i]
+		p := 0
+		if nn == k.m.Cols {
+			for ; p+4 <= nb; p += 4 {
+				i0 := s.sel[(p+0)*L : (p+1)*L]
+				i1 := s.sel[(p+1)*L : (p+2)*L]
+				i2 := s.sel[(p+2)*L : (p+3)*L]
+				i3 := s.sel[(p+3)*L : (p+4)*L]
+				var s0, s1, s2, s3 float64
+				for e := 0; e < L; e++ {
+					s0 += row[i0[e]]
+					s1 += row[i1[e]]
+					s2 += row[i2[e]]
+					s3 += row[i3[e]]
+				}
+				out.Row(p + 0)[i] = wilcoxonStat(k.cls, L, s0, nn, total, totalSq)
+				out.Row(p + 1)[i] = wilcoxonStat(k.cls, L, s1, nn, total, totalSq)
+				out.Row(p + 2)[i] = wilcoxonStat(k.cls, L, s2, nn, total, totalSq)
+				out.Row(p + 3)[i] = wilcoxonStat(k.cls, L, s3, nn, total, totalSq)
+			}
+		}
+		for ; p < nb; p++ {
+			idx := s.sel[p*L : (p+1)*L]
+			nc := 0
+			var sc float64
+			for _, j := range idx {
+				v := row[j]
+				if v == v {
+					nc++
+					sc += v
+				}
+			}
+			out.Row(p)[i] = wilcoxonStat(k.cls, nc, sc, nn, total, totalSq)
+		}
+	}
+}
+
+// ---- one-way F ----------------------------------------------------------
+
+// transposeLabels fills s.labT[j*nb+p] = labs[p*cols+j] so the perm-inner
+// scatter reads labels contiguously.
+func transposeLabels(s *BatchScratch, labs []int, nb, cols int) {
+	s.labT = growI32(s.labT, cols*nb)
+	for p := 0; p < nb; p++ {
+		lab := labs[p*cols : (p+1)*cols]
+		for j, l := range lab {
+			s.labT[j*nb+p] = int32(l)
+		}
+	}
+}
+
+func (k *fKernel) NewBatchScratch(nb int) *BatchScratch {
+	return &BatchScratch{
+		bn:   make([]int, nb*k.k),
+		bs:   make([]float64, nb*k.k),
+		bq:   make([]float64, nb*k.k),
+		labT: make([]int32, k.m.Cols*nb),
+		ord:  make([]int, k.k),
+	}
+}
+
+func (k *fKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScratch) {
+	nb := checkBatchShape(k.m.Rows, k.m.Cols, labs, out)
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	kk, cols := k.k, k.m.Cols
+	transposeLabels(s, labs, nb, cols)
+	s.bn, s.bs, s.bq = growI(s.bn, nb*kk), growF(s.bs, nb*kk), growF(s.bq, nb*kk)
+	s.ord = growI(s.ord, kk)
+	bn, bs, bq := s.bn[:nb*kk], s.bs[:nb*kk], s.bq[:nb*kk]
+	for i := 0; i < k.m.Rows; i++ {
+		if k.flat[i] {
+			for p := 0; p < nb; p++ {
+				out.Row(p)[i] = math.NaN()
+			}
+			continue
+		}
+		for o := range bn {
+			bn[o], bs[o], bq[o] = 0, 0, 0
+		}
+		for j, v := range k.m.Row(i) {
+			if v != v {
+				continue
+			}
+			labCol := s.labT[j*nb : j*nb+nb]
+			for p, g32 := range labCol {
+				g := int(g32)
+				if g < 0 || g >= kk {
+					continue
+				}
+				o := p*kk + g
+				bn[o]++
+				bs[o] += v
+				bq[o] += v * v
+			}
+		}
+		for p := 0; p < nb; p++ {
+			o := p * kk
+			out.Row(p)[i] = fStat(bn[o:o+kk], bs[o:o+kk], bq[o:o+kk], s.ord, kk)
+		}
+	}
+}
+
+// ---- paired t -----------------------------------------------------------
+
+func (k *pairTKernel) NewBatchScratch(nb int) *BatchScratch {
+	return &BatchScratch{sgnT: make([]float64, k.pairs*nb), as: make([]float64, nb)}
+}
+
+func (k *pairTKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScratch) {
+	nb := checkBatchShape(k.diffs.Rows, 2*k.pairs, labs, out)
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	cols := 2 * k.pairs
+	s.sgnT = growF(s.sgnT, k.pairs*nb)
+	s.as = growF(s.as, nb)
+	for p := 0; p < nb; p++ {
+		lab := labs[p*cols : (p+1)*cols]
+		for j := 0; j < k.pairs; j++ {
+			// The difference is (value labelled 1) - (value labelled 0); a
+			// pair stored (1,0) flips it — the scalar sign rule.
+			if lab[2*j] == 1 {
+				s.sgnT[j*nb+p] = -1
+			} else {
+				s.sgnT[j*nb+p] = 1
+			}
+		}
+	}
+	sum := s.as[:nb]
+	for i := 0; i < k.diffs.Rows; i++ {
+		for p := range sum {
+			sum[p] = 0
+		}
+		for j, dv := range k.diffs.Row(i) {
+			if dv != dv {
+				continue
+			}
+			sgnCol := s.sgnT[j*nb : j*nb+nb]
+			for p, sg := range sgnCol {
+				sum[p] += sg * dv
+			}
+		}
+		m, sumsq := k.cnt[i], k.sumsq[i]
+		for p := 0; p < nb; p++ {
+			out.Row(p)[i] = pairTStat(sum[p], m, sumsq)
+		}
+	}
+}
+
+// ---- block F ------------------------------------------------------------
+
+func (k *blockFKernel) NewBatchScratch(nb int) *BatchScratch {
+	return &BatchScratch{
+		bs:   make([]float64, nb*k.k),
+		labT: make([]int32, k.m.Cols*nb),
+		ord:  make([]int, k.k),
+	}
+}
+
+func (k *blockFKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScratch) {
+	nb := checkBatchShape(k.m.Rows, k.m.Cols, labs, out)
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	kk, blocks, cols := k.k, k.blocks, k.m.Cols
+	transposeLabels(s, labs, nb, cols)
+	s.bs = growF(s.bs, nb*kk)
+	s.ord = growI(s.ord, kk)
+	treat := s.bs[:nb*kk]
+	for i := 0; i < k.m.Rows; i++ {
+		used := k.blockUsed[i]
+		if used < 2 {
+			for p := 0; p < nb; p++ {
+				out.Row(p)[i] = math.NaN()
+			}
+			continue
+		}
+		for o := range treat {
+			treat[o] = 0
+		}
+		row := k.m.Row(i)
+		comp := k.complete[i*blocks : (i+1)*blocks]
+		for b, ok := range comp {
+			if !ok {
+				continue
+			}
+			base := b * kk
+			for j := 0; j < kk; j++ {
+				v := row[base+j]
+				labCol := s.labT[(base+j)*nb : (base+j)*nb+nb]
+				for p, t := range labCol {
+					treat[p*kk+int(t)] += v
+				}
+			}
+		}
+		gm, ssTotal, ssBlock := k.grandMean[i], k.ssTotal[i], k.ssBlock[i]
+		for p := 0; p < nb; p++ {
+			o := p * kk
+			out.Row(p)[i] = blockFStat(treat[o:o+kk], s.ord, used, kk, gm, ssTotal, ssBlock)
+		}
+	}
+}

@@ -254,6 +254,11 @@ func (k *twoSampleKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 	if cls == 0 {
 		sign = -1.0
 	}
+	// NA-free rows all share the group sizes (len(idx), cols-len(idx)), so
+	// their tail invariants are computed once per call — the same hoisting
+	// the batch path applies per batch, keeping the two paths bitwise equal.
+	cols := k.m.Cols
+	tail, tailOK := newTSTail(k.pooled, len(idx), cols-len(idx))
 	for i := 0; i < k.m.Rows; i++ {
 		if k.flat[i] {
 			out[i] = math.NaN()
@@ -270,28 +275,83 @@ func (k *twoSampleKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 				qa += v * v
 			}
 		}
-		nb := k.n[i] - na
-		if na < 2 || nb < 2 {
-			out[i] = math.NaN()
-			continue
-		}
-		sb := k.sum[i] - sa
-		qb := k.sumsq[i] - qa
-		fa, fb := float64(na), float64(nb)
-		m2a := clampM2(qa-sa*sa/fa, qa)
-		m2b := clampM2(qb-sb*sb/fb, qb)
-		var se float64
-		if k.pooled {
-			se = math.Sqrt((m2a + m2b) / (fa + fb - 2) * (1/fa + 1/fb))
+		if tailOK && k.n[i] == cols {
+			out[i] = tail.stat(sign, k.sum[i], k.sumsq[i], sa, qa)
 		} else {
-			se = math.Sqrt(m2a/(fa-1)/fa + m2b/(fb-1)/fb)
+			out[i] = twoSampleStat(k.pooled, sign, k.n[i], k.sum[i], k.sumsq[i], na, sa, qa)
 		}
-		if se == 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = sign * (sa/fa - sb/fb) / se
 	}
+}
+
+// tsTail holds the group-size invariants of the two-sample statistic: every
+// factor that depends only on (na, nb), precomputed once and reused for
+// every permutation sharing those counts.  The statistic is evaluated on
+// SCALED central moments m2s = q·f − s·s (= f·m2), which removes every
+// division whose numerator varies per permutation:
+//
+//	Welch:  t = sign · (sa·fb − sb·fa) · rt / sqrt(m2sa·db + m2sb·da)
+//	        da = fa²(fa−1), db = fb²(fb−1), rt = sqrt(da·db)/(fa·fb)
+//	Pooled: t = sign · (sa·fb − sb·fa) · rt / sqrt((m2sa·fb + m2sb·fa)·(fa+fb))
+//	        rt = sqrt(fa + fb − 2)
+//
+// One division and one square root per permutation; the invariant division
+// and square root inside rt are paid once per (na, nb).  Zero-variance
+// semantics are unchanged: both scaled moments clamp to zero exactly when
+// the unscaled ones did (the clamp threshold scales by the same f), and the
+// denominator is zero iff the legacy standard error was.
+type tsTail struct {
+	fa, fb float64
+	da, db float64 // Welch: fa²(fa−1), fb²(fb−1); pooled: fa, fb
+	scale  float64 // pooled: fa+fb; Welch: 1
+	rt     float64
+}
+
+// newTSTail derives the invariants for group sizes (na, nb); ok is false
+// when either group is too small for a variance estimate.
+func newTSTail(pooled bool, na, nb int) (t tsTail, ok bool) {
+	if na < 2 || nb < 2 {
+		return t, false
+	}
+	fa, fb := float64(na), float64(nb)
+	t.fa, t.fb = fa, fb
+	if pooled {
+		t.da, t.db = fa, fb
+		t.scale = fa + fb
+		t.rt = math.Sqrt(fa + fb - 2)
+	} else {
+		t.da = fa * fa * (fa - 1)
+		t.db = fb * fb * (fb - 1)
+		t.scale = 1
+		t.rt = math.Sqrt(t.da*t.db) / (fa * fb)
+	}
+	return t, true
+}
+
+// stat forms the statistic from the accumulated group's (sa, qa); the
+// complement group is derived by subtraction from the row totals (S, Q).
+func (t *tsTail) stat(sign, S, Q, sa, qa float64) float64 {
+	sb := S - sa
+	qb := Q - qa
+	m2a := clampM2(qa*t.fa-sa*sa, qa*t.fa)
+	m2b := clampM2(qb*t.fb-sb*sb, qb*t.fb)
+	den := (m2a*t.db + m2b*t.da) * t.scale
+	if den == 0 {
+		return math.NaN()
+	}
+	return sign * (sa*t.fb - sb*t.fa) * t.rt / math.Sqrt(den)
+}
+
+// twoSampleStat is the shared per-row tail of the scalar and batched
+// two-sample t paths.  Both paths funnel through tsTail.stat so their
+// floating-point operation sequences cannot diverge; the batch fast path
+// additionally hoists newTSTail out of its row loop (bitwise neutral: the
+// invariants are a pure function of the group sizes).
+func twoSampleStat(pooled bool, sign float64, n int, S, Q float64, na int, sa, qa float64) float64 {
+	t, ok := newTSTail(pooled, na, n-na)
+	if !ok {
+		return math.NaN()
+	}
+	return t.stat(sign, S, Q, sa, qa)
 }
 
 // ---- Wilcoxon kernel -----------------------------------------------------
@@ -338,30 +398,34 @@ func (k *wilcoxonKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 				sc += v
 			}
 		}
-		nn := k.n[i]
-		var n0, n1 int
-		var s1 float64
-		if k.cls == 1 {
-			n1, s1 = nc, sc
-			n0 = nn - nc
-		} else {
-			n0 = nc
-			n1 = nn - nc
-			s1 = k.total[i] - sc
-		}
-		if n0 < 2 || n1 < 2 || nn < 3 {
-			out[i] = math.NaN()
-			continue
-		}
-		ybar := k.total[i] / float64(nn)
-		ssq := k.totalSq[i] - float64(nn)*ybar*ybar
-		variance := float64(n0) * float64(n1) / (float64(nn) * float64(nn-1)) * ssq
-		if variance <= 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = (s1 - float64(n1)*ybar) / math.Sqrt(variance)
+		out[i] = wilcoxonStat(k.cls, nc, sc, k.n[i], k.total[i], k.totalSq[i])
 	}
+}
+
+// wilcoxonStat is the shared per-row tail of the scalar and batched
+// Wilcoxon paths: cls names the accumulated class, (nc, sc) its count and
+// sum, and (nn, total, totalSq) the precomputed row totals.
+func wilcoxonStat(cls, nc int, sc float64, nn int, total, totalSq float64) float64 {
+	var n0, n1 int
+	var s1 float64
+	if cls == 1 {
+		n1, s1 = nc, sc
+		n0 = nn - nc
+	} else {
+		n0 = nc
+		n1 = nn - nc
+		s1 = total - sc
+	}
+	if n0 < 2 || n1 < 2 || nn < 3 {
+		return math.NaN()
+	}
+	ybar := total / float64(nn)
+	ssq := totalSq - float64(nn)*ybar*ybar
+	variance := float64(n0) * float64(n1) / (float64(nn) * float64(nn-1)) * ssq
+	if variance <= 0 {
+		return math.NaN()
+	}
+	return (s1 - float64(n1)*ybar) / math.Sqrt(variance)
 }
 
 // ---- one-way F kernel ----------------------------------------------------
@@ -427,7 +491,6 @@ func (k *fKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 	}
 	kk := k.k
 	cn, cs, cq, ord := s.cn, s.cs, s.cq, s.idx[:kk]
-rows:
 	for i := 0; i < k.m.Rows; i++ {
 		if k.flat[i] {
 			out[i] = math.NaN()
@@ -448,38 +511,42 @@ rows:
 			cs[g] += v
 			cq[g] += v * v
 		}
-		total := 0
-		for g := 0; g < kk; g++ {
-			if cn[g] < 2 {
-				out[i] = math.NaN()
-				continue rows
-			}
-			total += cn[g]
-		}
-		// cn is part of the sort key: two classes can share (sum, sum of
-		// squares) with different sizes, and their m2 and ssBetween
-		// contributions differ, so the order must still be canonical.
-		canonicalOrder(ord, cs, cq, cn)
-		var grand float64
-		for _, g := range ord {
-			grand += cs[g]
-		}
-		grand /= float64(total)
-		var ssBetween, ssWithin float64
-		for _, g := range ord {
-			fg := float64(cn[g])
-			mg := cs[g] / fg
-			ssWithin += clampM2(cq[g]-cs[g]*mg, cq[g])
-			dg := mg - grand
-			ssBetween += fg * dg * dg
-		}
-		dfWithin := total - kk
-		if dfWithin <= 0 || ssWithin <= 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = (ssBetween / float64(kk-1)) / (ssWithin / float64(dfWithin))
+		out[i] = fStat(cn, cs, cq, ord, kk)
 	}
+}
+
+// fStat is the shared per-row tail of the scalar and batched F paths: the
+// canonical-order reduction over the accumulated per-class (count, sum,
+// sum of squares) bins.  cn is part of the sort key: two classes can share
+// (sum, sum of squares) with different sizes, and their m2 and ssBetween
+// contributions differ, so the order must still be canonical.
+func fStat(cn []int, cs, cq []float64, ord []int, kk int) float64 {
+	total := 0
+	for g := 0; g < kk; g++ {
+		if cn[g] < 2 {
+			return math.NaN()
+		}
+		total += cn[g]
+	}
+	canonicalOrder(ord, cs, cq, cn)
+	var grand float64
+	for _, g := range ord {
+		grand += cs[g]
+	}
+	grand /= float64(total)
+	var ssBetween, ssWithin float64
+	for _, g := range ord {
+		fg := float64(cn[g])
+		mg := cs[g] / fg
+		ssWithin += clampM2(cq[g]-cs[g]*mg, cq[g])
+		dg := mg - grand
+		ssBetween += fg * dg * dg
+	}
+	dfWithin := total - kk
+	if dfWithin <= 0 || ssWithin <= 0 {
+		return math.NaN()
+	}
+	return (ssBetween / float64(kk-1)) / (ssWithin / float64(dfWithin))
 }
 
 // ---- paired t kernel -----------------------------------------------------
@@ -547,21 +614,31 @@ func (k *pairTKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 				sum += sgn[j] * dv
 			}
 		}
-		m := k.cnt[i]
-		if m < 2 {
-			out[i] = math.NaN()
-			continue
-		}
-		fm := float64(m)
-		mean := sum / fm
-		m2 := clampM2(k.sumsq[i]-fm*mean*mean, k.sumsq[i])
-		sd := math.Sqrt(m2 / (fm - 1))
-		if sd == 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = mean / (sd / math.Sqrt(fm))
+		out[i] = pairTStat(sum, k.cnt[i], k.sumsq[i])
 	}
+}
+
+// pairTStat is the shared per-row tail of the scalar and batched paired-t
+// paths: sum is the signed difference sum, m the complete-pair count and
+// sumsq the precomputed (sign-invariant) sum of squared differences.  On
+// the scaled central moment m2s = sumsq·fm − sum² (= fm·m2) the statistic
+// collapses to
+//
+//	t = mean / (sd/√fm) = sum · √(fm−1) / √m2s
+//
+// — one division and one data-dependent square root per permutation, with
+// the zero-variance NaN exactly when the legacy sd was zero (m2s clamps to
+// zero whenever fm·m2 is numerically zero; the threshold scales by fm).
+func pairTStat(sum float64, m int, sumsq float64) float64 {
+	if m < 2 {
+		return math.NaN()
+	}
+	fm := float64(m)
+	m2s := clampM2(sumsq*fm-sum*sum, sumsq*fm)
+	if m2s == 0 {
+		return math.NaN()
+	}
+	return sum * math.Sqrt(fm-1) / math.Sqrt(m2s)
 }
 
 // ---- block F kernel ------------------------------------------------------
@@ -675,23 +752,25 @@ func (k *blockFKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 				treatSum[lab[base+j]] += row[base+j]
 			}
 		}
-		gm := k.grandMean[i]
-		// Canonical order: a treatment relabelling applied uniformly to
-		// every block permutes the treatment sums bitwise-exactly; sorting
-		// keeps the ssTreat reduction independent of that permutation.
-		ord := s.idx[:kk]
-		canonicalOrder(ord, treatSum, nil, nil)
-		var ssTreat float64
-		for _, t := range ord {
-			dt := treatSum[t]/float64(used) - gm
-			ssTreat += float64(used) * dt * dt
-		}
-		ssErr := k.ssTotal[i] - ssTreat - k.ssBlock[i]
-		dfErr := (kk - 1) * (used - 1)
-		if dfErr <= 0 || ssErr <= 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = (ssTreat / float64(kk-1)) / (ssErr / float64(dfErr))
+		out[i] = blockFStat(treatSum, s.idx[:kk], used, kk, k.grandMean[i], k.ssTotal[i], k.ssBlock[i])
 	}
+}
+
+// blockFStat is the shared per-row tail of the scalar and batched block-F
+// paths.  Canonical order: a treatment relabelling applied uniformly to
+// every block permutes the treatment sums bitwise-exactly; sorting keeps
+// the ssTreat reduction independent of that permutation.
+func blockFStat(treatSum []float64, ord []int, used, kk int, gm, ssTotal, ssBlock float64) float64 {
+	canonicalOrder(ord, treatSum, nil, nil)
+	var ssTreat float64
+	for _, t := range ord {
+		dt := treatSum[t]/float64(used) - gm
+		ssTreat += float64(used) * dt * dt
+	}
+	ssErr := ssTotal - ssTreat - ssBlock
+	dfErr := (kk - 1) * (used - 1)
+	if dfErr <= 0 || ssErr <= 0 {
+		return math.NaN()
+	}
+	return (ssTreat / float64(kk-1)) / (ssErr / float64(dfErr))
 }

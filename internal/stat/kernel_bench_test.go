@@ -1,6 +1,7 @@
 package stat
 
 import (
+	"fmt"
 	"testing"
 
 	"sprint/internal/matrix"
@@ -70,6 +71,67 @@ func BenchmarkKernel(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkKernelBatch measures the permutation-batched column-scatter
+// path on the same workloads as BenchmarkKernel.  One op is ONE
+// permutation (each iteration advances the batch by one slot and flushes
+// a StatsBatch whenever a full batch has accumulated), so ns/op is
+// directly comparable with BenchmarkKernel's batched/legacy numbers.  The
+// acceptance bar of the batching refactor is ≥2× over the scalar kernel
+// on the "t" (6102×76) paper workload at B ∈ {64, 128}.
+func BenchmarkKernelBatch(b *testing.B) {
+	cases := []struct {
+		name   string
+		test   Test
+		labels []int
+		genes  int
+	}{
+		{"t", Welch, halfLabels(76), 6102},
+		{"f", F, thirdsLabels(75), 1024},
+		{"pairt", PairT, pairLabels(76), 1024},
+		{"blockf", BlockF, blockLabels(76, 4), 1024},
+	}
+	for _, tc := range cases {
+		tc := tc
+		d, err := NewDesign(tc.test, tc.labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := benchMatrix(tc.genes, d.N, uint64(tc.test)+1)
+		if d.NeedsRanks() {
+			scratch := make([]int, d.N)
+			for i := 0; i < m.Rows; i++ {
+				Ranks(m.Row(i), scratch)
+			}
+		}
+		labs := benchLabellings(d, 32)
+		for _, bs := range []int{16, 64, 128} {
+			bs := bs
+			b.Run(fmt.Sprintf("%s/B=%d", tc.name, bs), func(b *testing.B) {
+				k, err := NewKernel(d, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bk := k.(BatchKernel)
+				flat := make([]int, bs*d.N)
+				for p := 0; p < bs; p++ {
+					copy(flat[p*d.N:(p+1)*d.N], labs[p%len(labs)])
+				}
+				out := matrix.New(bs, m.Rows)
+				s := bk.NewBatchScratch(bs)
+				b.SetBytes(int64(m.Rows * m.Cols * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i += bs {
+					nb := bs
+					if rem := b.N - i; rem < nb {
+						nb = rem
+					}
+					bk.StatsBatch(flat[:nb*d.N], matrix.Matrix{Data: out.Data[:nb*m.Rows], Rows: nb, Cols: m.Rows}, s)
+				}
+			})
+		}
 	}
 }
 
