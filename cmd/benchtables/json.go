@@ -9,6 +9,7 @@ import (
 
 	"sprint"
 	"sprint/internal/matrix"
+	"sprint/internal/perm"
 	"sprint/internal/rng"
 	"sprint/internal/stat"
 )
@@ -149,6 +150,151 @@ func emitJSON(w io.Writer, genes int, perms int64) error {
 			MainKernelNs:    pr.MainKernel.Nanoseconds(),
 			ComputePNs:      pr.ComputePValues.Nanoseconds(),
 			TotalNs:         pr.Total().Nanoseconds(),
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// emitJSONDelta runs the delta-engine and ISA-dispatch micro-benchmarks
+// and writes one JSON document (CI uploads it as BENCH_delta.json): the
+// revolving-door delta path versus the batch and scalar kernels on the
+// nonpara complete-enumeration workload (genes × 24, 12 vs 12 — the
+// design shape whose complete count fits the default cap), and the
+// generic/SSE2/AVX2 accumulation kernels on the Welch-t genes×76
+// workload.
+func emitJSONDelta(w io.Writer, genes int) error {
+	out := benchJSON{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Genes: genes, Samples: 24,
+	}
+
+	// ---- delta vs batch vs scalar (Wilcoxon on mid-ranks) --------------
+	const cols = 24
+	labels := make([]int, cols)
+	for i := cols / 2; i < cols; i++ {
+		labels[i] = 1
+	}
+	design, err := stat.NewDesign(stat.Wilcoxon, labels)
+	if err != nil {
+		return err
+	}
+	m := matrix.New(genes, cols)
+	src := rng.New(98765)
+	scratch := make([]int, cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float64(src.Uint64n(13)) // quantized: real tie structure
+		}
+		stat.Ranks(row, scratch)
+	}
+	kern, err := stat.NewKernel(design, m)
+	if err != nil {
+		return err
+	}
+	bk := kern.(stat.BatchKernel)
+	dk := kern.(stat.DeltaKernel)
+	if !dk.DeltaOK() {
+		return fmt.Errorf("benchtables: delta path unavailable on rank data")
+	}
+	door, err := perm.NewRevolvingDoor(design)
+	if err != nil {
+		return err
+	}
+	const bs = 64
+	lab0 := make([]int, cols)
+	moves := make([]stat.Exchange, bs-1)
+	door.LabelsDelta(1, bs, lab0, moves)
+	flat := make([]int, bs*cols)
+	door.Labels(1, bs, flat)
+	outM := matrix.New(bs, genes)
+	scr := bk.NewBatchScratch(bs)
+
+	scalar := testing.Benchmark(func(b *testing.B) {
+		ks := kern.NewScratch()
+		z := make([]float64, genes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kern.Stats(flat[(i%bs)*cols:(i%bs+1)*cols], z, ks)
+		}
+	})
+	out.Kernel = append(out.Kernel, kernelBenchJSON{
+		Name: "delta/wilcoxon/scalar", Batch: 1,
+		NsPerOp: float64(scalar.NsPerOp()), NsPerPerm: float64(scalar.NsPerOp()),
+		AllocsPerOp: scalar.AllocsPerOp(), BytesPerOp: scalar.AllocedBytesPerOp(),
+	})
+	batch := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bk.StatsBatch(flat, outM, scr)
+		}
+	})
+	out.Kernel = append(out.Kernel, kernelBenchJSON{
+		Name: "delta/wilcoxon/batch=64", Batch: bs,
+		NsPerOp: float64(batch.NsPerOp()), NsPerPerm: float64(batch.NsPerOp()) / bs,
+		AllocsPerOp: batch.AllocsPerOp(), BytesPerOp: batch.AllocedBytesPerOp(),
+	})
+	delta := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dk.StatsDelta(lab0, moves, outM, scr)
+		}
+	})
+	out.Kernel = append(out.Kernel, kernelBenchJSON{
+		Name: "delta/wilcoxon/delta=64", Batch: bs,
+		NsPerOp: float64(delta.NsPerOp()), NsPerPerm: float64(delta.NsPerOp()) / bs,
+		AllocsPerOp: delta.AllocsPerOp(), BytesPerOp: delta.AllocedBytesPerOp(),
+	})
+
+	// ---- ISA dispatch sweep (Welch t, genes×76) ------------------------
+	prev := stat.ActiveKernelISA().String()
+	defer func() { _, _ = stat.SetKernelISA(prev) }()
+	const tcols = 76
+	tlabels := make([]int, tcols)
+	for i := tcols / 2; i < tcols; i++ {
+		tlabels[i] = 1
+	}
+	tdesign, err := stat.NewDesign(stat.Welch, tlabels)
+	if err != nil {
+		return err
+	}
+	tm := matrix.New(genes, tcols)
+	for i := range tm.Data {
+		tm.Data[i] = src.NormFloat64()
+	}
+	tlabs := make([]int, bs*tcols)
+	for p := 0; p < bs; p++ {
+		lab := tlabs[p*tcols : (p+1)*tcols]
+		copy(lab, tlabels)
+		src.Shuffle(tcols, func(a, b int) { lab[a], lab[b] = lab[b], lab[a] })
+	}
+	tout := matrix.New(bs, genes)
+	for _, isa := range stat.SupportedISAs() {
+		if _, err := stat.SetKernelISA(isa); err != nil {
+			return err
+		}
+		tk, err := stat.NewKernel(tdesign, tm) // captures the active ISA
+		if err != nil {
+			return err
+		}
+		tbk := tk.(stat.BatchKernel)
+		tscr := tbk.NewBatchScratch(bs)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tbk.StatsBatch(tlabs, tout, tscr)
+			}
+		})
+		// The row name carries the column count: the document-level
+		// Samples field describes the delta section's 24-column workload,
+		// not this 76-column one.
+		out.Kernel = append(out.Kernel, kernelBenchJSON{
+			Name: fmt.Sprintf("isa/t%d/%s/batch=%d", tcols, isa, bs), Batch: bs,
+			NsPerOp: float64(r.NsPerOp()), NsPerPerm: float64(r.NsPerOp()) / bs,
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
 		})
 	}
 

@@ -48,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	perms := fs.Int64("perms", 3000, "measured workload: permutation count (scaled from 150000)")
 	csvOut := fs.Bool("csv", false, "emit model profiles for all platforms as CSV and exit")
 	jsonOut := fs.Bool("json", false, "run the kernel micro-benchmarks and measured profile, emit JSON, and exit")
+	jsonDelta := fs.Bool("json-delta", false, "run the delta-engine and ISA-dispatch micro-benchmarks, emit JSON, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +57,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *jsonOut {
 		return emitJSON(w, *genes, *perms)
+	}
+	if *jsonDelta {
+		return emitJSONDelta(w, *genes)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*measure {
 		*all = true

@@ -42,6 +42,8 @@ func run(args []string, stdout io.Writer) error {
 	na := fs.Float64("na", sprint.DefaultNA, "missing value code")
 	seed := fs.Uint64("seed", 0, "permutation RNG seed")
 	batch := fs.Int("batch", 0, "kernel permutation batch size (0 = auto; results are identical at any value)")
+	kernel := fs.String("kernel", "auto", "accumulation kernel: auto, generic, sse2, avx2 (results are identical on all)")
+	order := fs.String("order", "auto", "complete-enumeration order: auto, lex, door (results are identical on all)")
 	top := fs.Int("top", 20, "number of most significant genes to print")
 	profile := fs.Bool("profile", true, "print the five-section time profile")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -52,6 +54,9 @@ func run(args []string, stdout io.Writer) error {
 	if *dataPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -data")
+	}
+	if _, err := sprint.SetKernel(*kernel); err != nil {
+		return err
 	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
@@ -92,6 +97,7 @@ func run(args []string, stdout io.Writer) error {
 	opt := sprint.Options{
 		Test: *test, Side: *side, FixedSeedSampling: *fss,
 		B: *b, NA: *na, Nonpara: *nonpara, Seed: *seed, BatchSize: *batch,
+		PermOrder: *order,
 	}
 	var res *sprint.Result
 	if *serial {
@@ -107,8 +113,8 @@ func run(args []string, stdout io.Writer) error {
 	if *serial {
 		mode = "mt.maxT (serial)"
 	}
-	fmt.Fprintf(stdout, "%s: %d x %d dataset, %d permutations (complete: %v), %d process(es)\n\n",
-		mode, data.Rows(), data.Cols(), res.B, res.Complete, res.NProcs)
+	fmt.Fprintf(stdout, "%s: %d x %d dataset, %d permutations (complete: %v), %d process(es), kernel %s\n\n",
+		mode, data.Rows(), data.Cols(), res.B, res.Complete, res.NProcs, sprint.KernelName())
 
 	if err := report.PValueTable(stdout, data.GeneNames, res.Stat, res.RawP, res.AdjP, res.Order, *top); err != nil {
 		return err

@@ -56,9 +56,15 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	ckptDir := fs.String("checkpoint-dir", "", "persist checkpoints here to survive restarts (empty = memory only)")
 	maxBody := fs.Int64("max-body", 256<<20, "maximum submission body bytes")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	kernel := fs.String("kernel", "auto", "accumulation kernel: auto, generic, sse2, avx2 (results are identical on all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	active, err := sprint.SetKernel(*kernel)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pmaxtd: kernel %s\n", active)
 	if *pprofAddr != "" {
 		// The pprof handlers live on the DefaultServeMux, kept off the API
 		// listener so profiling can stay on a private interface.  Only the

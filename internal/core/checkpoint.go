@@ -54,24 +54,29 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 
 // engineVersion tags the statistics engine whose counts a checkpoint
 // accumulates.  Version 2 was the flat-matrix batched-kernel engine;
-// version 3 is the permutation-batched engine whose two-sample and
-// paired-t tails evaluate on scaled central moments (one division per
-// permutation).  Each version's statistic bit patterns differ from its
-// predecessor's in the last ulps, so exceedance counts from different
-// engines must never be merged.  Mixing the tag into the fingerprint
-// makes resuming an older checkpoint fail loudly with
-// ErrCheckpointMismatch instead of producing a result bit-identical to
-// neither engine.  BatchSize is deliberately NOT part of the
-// fingerprint: the batch path is bitwise identical to the scalar path,
-// so checkpoints are interchangeable across batch sizes.
-const engineVersion = 3
+// version 3 the permutation-batched engine whose two-sample and paired-t
+// tails evaluate on scaled central moments; version 4 is the
+// delta-evaluation engine, whose complete two-sample enumerations run in
+// revolving-door order by default.  Version 4's statistic bit patterns
+// are IDENTICAL to version 3's (the integer rank path and the hoisted
+// Wilcoxon tail are exact-by-construction rewrites), but the enumeration
+// ORDER of complete two-sample runs changed, and a checkpoint's counts
+// are a prefix over one specific order — resuming a v3 prefix under the
+// v4 order would process the wrong remainder, so old checkpoints must
+// fail loudly with ErrCheckpointMismatch.  BatchSize and the kernel ISA
+// are deliberately NOT part of the fingerprint: both are bitwise neutral
+// AND order-neutral, so checkpoints are interchangeable across them.
+// The resolved enumeration order (doorOrder) IS part of it, for the same
+// prefix-semantics reason the version bump exists.
+const engineVersion = 4
 
 // fingerprint summarises the analysis identity: the engine version,
-// validated options, the class labels and a sample of the data.  Any
-// change that could alter the permutation stream or the statistics
-// changes the fingerprint.
-func fingerprint(cfg config, x matrix.Matrix, classlabel []int) uint64 {
-	h := rng.Mix64(uint64(engineVersion)<<44 ^ uint64(cfg.test)<<32 ^ uint64(cfg.side)<<24 ^ uint64(boolToInt64(cfg.fixedSeed))<<16 ^ uint64(boolToInt64(cfg.nonpara)))
+// validated options, the resolved enumeration order, the class labels
+// and a sample of the data.  Any change that could alter the permutation
+// stream — its membership or its order — or the statistics changes the
+// fingerprint.
+func fingerprint(cfg config, x matrix.Matrix, classlabel []int, doorOrder bool) uint64 {
+	h := rng.Mix64(uint64(engineVersion)<<44 ^ uint64(boolToInt64(doorOrder))<<40 ^ uint64(cfg.test)<<32 ^ uint64(cfg.side)<<24 ^ uint64(boolToInt64(cfg.fixedSeed))<<16 ^ uint64(boolToInt64(cfg.nonpara)))
 	h = rng.Mix64(h ^ uint64(cfg.b) ^ cfg.seed<<1)
 	h = rng.Mix64(h ^ uint64(x.Rows)<<32 ^ uint64(x.Cols))
 	for _, l := range classlabel {

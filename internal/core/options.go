@@ -81,6 +81,18 @@ type Options struct {
 	// so BatchSize never changes results — it is excluded from job cache
 	// keys and checkpoint fingerprints.
 	BatchSize int
+	// PermOrder selects the enumeration order of complete permutation
+	// runs: "auto" (default) uses the revolving-door Gray order on
+	// two-sample designs — enabling the O(1) delta kernel on rank data —
+	// and the combinadic order otherwise; "lex" forces the combinadic
+	// order everywhere; "door" demands the revolving-door order and fails
+	// on designs that do not admit it.  Every order enumerates the same
+	// labelling set, so results and job cache keys are identical — like
+	// BatchSize, PermOrder is excluded from cache keys.  It IS part of
+	// the checkpoint fingerprint: a checkpoint's counts are a prefix over
+	// one specific enumeration order, so resuming under a different order
+	// would process the wrong remainder.
+	PermOrder string
 }
 
 // DefaultOptions returns the documented mt.maxT defaults.
@@ -95,6 +107,43 @@ func DefaultOptions() Options {
 	}
 }
 
+// permOrder is the validated enumeration-order knob.
+type permOrder int
+
+const (
+	// orderAuto picks the revolving-door order where it applies.
+	orderAuto permOrder = iota
+	// orderLex forces the combinadic (lexicographic-rank) order.
+	orderLex
+	// orderDoor demands the revolving-door order.
+	orderDoor
+)
+
+var orderNames = map[permOrder]string{
+	orderAuto: "auto",
+	orderLex:  "lex",
+	orderDoor: "door",
+}
+
+func (o permOrder) String() string {
+	if s, ok := orderNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("permOrder(%d)", int(o))
+}
+
+func parsePermOrder(s string) (permOrder, error) {
+	if s == "" {
+		return orderAuto, nil
+	}
+	for o, name := range orderNames {
+		if name == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown perm order %q (want auto, lex or door)", s)
+}
+
 // config is the validated, enum-typed form of Options.
 type config struct {
 	test         stat.Test
@@ -107,6 +156,7 @@ type config struct {
 	maxComplete  int64
 	scalarParams bool
 	batch        int
+	order        permOrder
 }
 
 // effectiveBatch resolves the BatchSize knob: 0 means auto.
@@ -115,6 +165,27 @@ func (cfg config) effectiveBatch() int {
 		return cfg.batch
 	}
 	return DefaultBatchSize
+}
+
+// completeGen builds the complete-enumeration generator under the order
+// knob: the revolving-door Gray order when it applies (enabling the delta
+// kernel), the combinadic order otherwise.  An explicit "door" on a design
+// that cannot run it is an error rather than a silent fallback.
+func (cfg config) completeGen(d *stat.Design) (perm.Generator, error) {
+	if cfg.doorOrder(d) {
+		return perm.NewRevolvingDoor(d)
+	}
+	if cfg.order == orderDoor {
+		return nil, fmt.Errorf("core: perm order \"door\" requires a two-sample design (test %v does not admit a revolving-door enumeration)", d.Test)
+	}
+	return perm.NewComplete(d)
+}
+
+// doorOrder reports whether a complete enumeration for this design runs
+// in revolving-door order — the resolved form of the PermOrder knob that
+// the checkpoint fingerprint records.
+func (cfg config) doorOrder(d *stat.Design) bool {
+	return cfg.order != orderLex && perm.RevolvingDoorOK(d)
 }
 
 // parseOptions validates opt and fills defaults, mirroring the parameter
@@ -171,6 +242,9 @@ func parseOptions(opt Options) (config, error) {
 	if opt.BatchSize < 0 {
 		return cfg, fmt.Errorf("core: BatchSize = %d must be >= 0 (0 selects the default)", opt.BatchSize)
 	}
+	if cfg.order, err = parsePermOrder(opt.PermOrder); err != nil {
+		return cfg, err
+	}
 	cfg.b = opt.B
 	cfg.na = opt.NA
 	cfg.seed = opt.Seed
@@ -204,6 +278,24 @@ func planPermutations(cfg config, d *stat.Design) (useComplete bool, total int64
 	}
 	return false, cfg.b, nil
 }
+
+// SetKernel selects the two-sample accumulation kernel by name — "auto"
+// (the best the CPU supports), "generic", "sse2" or "avx2" — returning the
+// name now active.  The choice is process-wide, meant for startup (CLI
+// flags); it never changes results, only wall time, because every kernel
+// performs the identical per-(row, permutation) IEEE-754 chains.
+func SetKernel(name string) (string, error) {
+	isa, err := stat.SetKernelISA(name)
+	return isa.String(), err
+}
+
+// KernelName reports the active accumulation kernel ("avx2", "sse2" or
+// "generic").
+func KernelName() string { return stat.ActiveKernelISA().String() }
+
+// PermOrderPolicy describes the default (PermOrder = "auto") enumeration
+// order, surfaced by the pmaxtd /stats endpoint.
+const PermOrderPolicy = "auto: revolving-door (delta kernel) for complete two-sample enumerations, combinadic otherwise"
 
 // scrubNA returns m with the NA code replaced by NaN.  A pure scan runs
 // first: when no cell matches the NA code the input is returned

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sprint/internal/microarray"
+)
+
+// orderTestData builds a dataset small enough for complete enumeration
+// (12 choose 6 = 924 labellings).
+func orderTestData(t *testing.T, test string) (*microarray.Dataset, Options) {
+	t.Helper()
+	data, err := microarray.Generate(microarray.GenOptions{
+		Genes: 40, Samples: 12, Classes: 2,
+		DiffFraction: 0.1, EffectSize: 2.0, MissingRate: 0.02, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Test = test
+	opt.B = 0 // complete enumeration
+	return data, opt
+}
+
+// TestPermOrderResultsIdentical asserts every enumeration order produces
+// bitwise identical results — the order changes the sequence, never the
+// set — serial and parallel, parametric and rank-based.
+func TestPermOrderResultsIdentical(t *testing.T) {
+	for _, test := range []string{"t", "wilcoxon"} {
+		for _, nonpara := range []string{"n", "y"} {
+			data, opt := orderTestData(t, test)
+			opt.Nonpara = nonpara
+			opt.PermOrder = "lex"
+			want, err := MaxT(data.X, data.Labels, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Complete {
+				t.Fatal("expected a complete enumeration")
+			}
+			for _, order := range []string{"auto", "door", ""} {
+				opt.PermOrder = order
+				got, err := MaxT(data.X, data.Labels, opt)
+				if err != nil {
+					t.Fatalf("order %q: %v", order, err)
+				}
+				sameResult(t, got, want)
+				par, err := PMaxT(data.X, data.Labels, 3, opt)
+				if err != nil {
+					t.Fatalf("order %q parallel: %v", order, err)
+				}
+				sameResult(t, par, want)
+			}
+		}
+	}
+}
+
+// TestPermOrderDoorRequiresTwoSample pins the explicit-door error on
+// designs without a revolving-door enumeration.
+func TestPermOrderDoorRequiresTwoSample(t *testing.T) {
+	data, err := microarray.Generate(microarray.GenOptions{
+		Genes: 10, Samples: 8, Classes: 2, DiffFraction: 0.2,
+		EffectSize: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairLabels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	opt := DefaultOptions()
+	opt.Test = "pairt"
+	opt.B = 0
+	opt.PermOrder = "door"
+	if _, err := MaxT(data.X, pairLabels, opt); err == nil || !strings.Contains(err.Error(), "door") {
+		t.Fatalf("pairt + door: err = %v, want a door-order error", err)
+	}
+	opt.PermOrder = "bogus"
+	if _, err := MaxT(data.X, pairLabels, opt); err == nil {
+		t.Fatal("bogus order accepted")
+	}
+}
+
+// TestPermOrderCheckpointFingerprint asserts checkpoints are tied to the
+// enumeration order: a prefix of counts accumulated in one order is not a
+// valid resume point for another, so resuming across orders fails loudly.
+func TestPermOrderCheckpointFingerprint(t *testing.T) {
+	data, opt := orderTestData(t, "wilcoxon")
+	var last *Checkpoint
+	save := func(c *Checkpoint) error { last = c; return nil }
+	opt.PermOrder = "door"
+	if _, err := Run(data.X, data.Labels, opt, RunControl{Every: 100, Save: save}); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint saved")
+	}
+	opt.PermOrder = "lex"
+	if _, err := Run(data.X, data.Labels, opt, RunControl{Resume: last}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("lex run resumed a door checkpoint: %v", err)
+	}
+	// "auto" resolves to door on this design, so the checkpoint IS valid.
+	opt.PermOrder = "auto"
+	res, err := Run(data.X, data.Labels, opt, RunControl{Resume: last})
+	if err != nil {
+		t.Fatalf("auto run rejected a door checkpoint: %v", err)
+	}
+	opt.PermOrder = "door"
+	want, err := MaxT(data.X, data.Labels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, want)
+}
+
+// TestPermOrderExcludedFromCanonicalIdentity asserts the knob survives
+// canonicalisation (it still selects the execution strategy) while two
+// option sets differing only in PermOrder stay equivalent analyses —
+// the property jobs.KeyMatrix relies on to share cache entries.
+func TestPermOrderExcludedFromCanonicalIdentity(t *testing.T) {
+	a, err := CanonicalOptions(Options{B: 100, PermOrder: "lex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PermOrder != "lex" {
+		t.Fatalf("canonical PermOrder = %q, want lex", a.PermOrder)
+	}
+	b, err := CanonicalOptions(Options{B: 100, PermOrder: "door"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PermOrder, b.PermOrder = "", ""
+	if a != b {
+		t.Fatalf("options differing only in PermOrder canonicalise differently: %+v vs %+v", a, b)
+	}
+}

@@ -205,7 +205,9 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 	var gen perm.Generator
 	switch {
 	case useComplete:
-		gen, err = perm.NewComplete(design)
+		// Every rank builds the same generator, so the order knob (and
+		// with it the delta fast path) applies identically across ranks.
+		gen, err = cfg.completeGen(design)
 		if err != nil {
 			return nil, err
 		}
@@ -272,8 +274,9 @@ func broadcastParams(c *mpi.Comm, cfg config) config {
 		side := cfg.side.String()
 		fss := boolToYN(cfg.fixedSeed)
 		np := boolToYN(cfg.nonpara)
-		msg.strLens = []int{len(test), len(side), len(fss), len(np)}
-		msg.strs = []byte(test + side + fss + np)
+		ord := cfg.order.String()
+		msg.strLens = []int{len(test), len(side), len(fss), len(np), len(ord)}
+		msg.strs = []byte(test + side + fss + np + ord)
 		msg.scalars = []int64{cfg.b, int64(cfg.seed), cfg.maxComplete, int64(cfg.batch)}
 	}
 	lens := mpi.Bcast(c, 0, msg.strLens)
@@ -287,10 +290,11 @@ func broadcastParams(c *mpi.Comm, cfg config) config {
 	side, _ := maxt.ParseSide(next(lens[1]))
 	fixed := next(lens[2]) == "y"
 	nonpara := next(lens[3]) == "y"
+	order, _ := parsePermOrder(next(lens[4]))
 	return config{
 		test: test, side: side, fixedSeed: fixed, nonpara: nonpara,
 		b: scal[0], seed: uint64(scal[1]), maxComplete: scal[2],
-		batch: int(scal[3]),
+		batch: int(scal[3]), order: order,
 	}
 }
 
@@ -300,7 +304,7 @@ func (cfg config) toScalars() []int64 {
 	return []int64{
 		int64(cfg.test), int64(cfg.side), boolToInt64(cfg.fixedSeed),
 		boolToInt64(cfg.nonpara), cfg.b, int64(cfg.seed), cfg.maxComplete,
-		boolToInt64(cfg.scalarParams), int64(cfg.batch),
+		boolToInt64(cfg.scalarParams), int64(cfg.batch), int64(cfg.order),
 	}
 }
 
@@ -315,6 +319,7 @@ func configFromScalars(s []int64) config {
 		maxComplete:  s[6],
 		scalarParams: s[7] != 0,
 		batch:        int(s[8]),
+		order:        permOrder(s[9]),
 	}
 }
 
@@ -424,7 +429,7 @@ func MaxTMatrix(x matrix.Matrix, classlabel []int, opt Options) (*Result, error)
 	var gen perm.Generator
 	switch {
 	case useComplete:
-		gen, err = perm.NewComplete(design)
+		gen, err = cfg.completeGen(design)
 		if err != nil {
 			return nil, err
 		}

@@ -128,7 +128,8 @@ func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (
 	if err != nil {
 		return nil, err
 	}
-	fp := fingerprint(cfg, clean, classlabel)
+	door := useComplete && cfg.doorOrder(design)
+	fp := fingerprint(cfg, clean, classlabel, door)
 
 	nprocs := ctl.NProcs
 	if nprocs < 1 {
@@ -168,7 +169,7 @@ func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (
 	var gen perm.Generator
 	switch {
 	case useComplete:
-		gen, err = perm.NewComplete(design)
+		gen, err = cfg.completeGen(design)
 		if err != nil {
 			return nil, err
 		}
@@ -291,9 +292,11 @@ func CanonicalOptions(opt Options) (Options, error) {
 		Seed:              cfg.seed,
 		MaxComplete:       cfg.maxComplete,
 		ScalarParams:      cfg.scalarParams,
-		// Like ScalarParams, BatchSize is preserved (it still selects the
-		// execution strategy) but never hashed into content keys: results
-		// are bitwise identical at every batch size.
+		// Like ScalarParams, BatchSize and PermOrder are preserved (they
+		// still select the execution strategy) but never hashed into
+		// content keys: results are bitwise identical at every batch size
+		// and under every enumeration order.
 		BatchSize: cfg.batch,
+		PermOrder: cfg.order.String(),
 	}, nil
 }

@@ -211,6 +211,10 @@ type OptionsJSON struct {
 	// default).  It never changes results or cache keys — the batched
 	// path is bitwise identical to the scalar path.
 	BatchSize int `json:"batch_size,omitempty"`
+	// PermOrder selects the complete-enumeration order: "auto" (default,
+	// revolving-door where the delta kernel applies), "lex" or "door".
+	// Like BatchSize it never changes results or cache keys.
+	PermOrder string `json:"perm_order,omitempty"`
 }
 
 func (o OptionsJSON) options() core.Options {
@@ -225,6 +229,7 @@ func (o OptionsJSON) options() core.Options {
 		MaxComplete:       o.MaxComplete,
 		ScalarParams:      o.ScalarParams,
 		BatchSize:         o.BatchSize,
+		PermOrder:         o.PermOrder,
 	}
 }
 

@@ -139,6 +139,12 @@ type Stats struct {
 	Jobs          int   `json:"jobs"`
 	CachedResults int   `json:"cached_results"`
 	Checkpoints   int   `json:"checkpoints"`
+	// Kernel is the active two-sample accumulation kernel ISA
+	// ("avx2", "sse2" or "generic" — process-wide runtime dispatch).
+	Kernel string `json:"kernel"`
+	// PermOrder describes the enumeration order jobs run under when they
+	// leave Options.PermOrder at its default.
+	PermOrder string `json:"perm_order"`
 }
 
 // Manager owns the queue, the worker pool, the result cache and the
@@ -364,6 +370,8 @@ func (m *Manager) StatsSnapshot() Stats {
 	s := m.stats
 	s.QueueCap = m.cfg.QueueDepth
 	s.Workers = m.cfg.Workers
+	s.Kernel = core.KernelName()
+	s.PermOrder = core.PermOrderPolicy
 	s.Jobs = len(m.jobs)
 	s.CachedResults = m.cache.len()
 	s.Checkpoints = m.ckpts.len()

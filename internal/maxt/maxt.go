@@ -280,9 +280,10 @@ type Scratch struct {
 	z   []float64
 	ks  *stat.KernelScratch
 
-	labs []int              // batch × N flat labellings
-	zb   []float64          // batch × rows statistics (backing store)
-	bks  *stat.BatchScratch // grow-on-demand batch kernel scratch
+	labs  []int              // batch × N flat labellings
+	zb    []float64          // batch × rows statistics (backing store)
+	moves []stat.Exchange    // batch-1 delta moves (revolving-door path)
+	bks   *stat.BatchScratch // grow-on-demand batch kernel scratch
 }
 
 // NewScratch sizes scratch space for the given prep.
@@ -333,6 +334,9 @@ func (p *Prep) ensureBatch(s *Scratch, batch int) {
 		s.zb = make([]float64, zneed)
 	} else {
 		s.zb = s.zb[:zneed]
+	}
+	if cap(s.moves) < batch-1 {
+		s.moves = make([]stat.Exchange, batch-1)
 	}
 	if s.bks == nil {
 		s.bks = &stat.BatchScratch{}
@@ -409,6 +413,14 @@ func (p *Prep) countPermutation(z []float64, c *Counts) {
 // Stats, so the accumulated counts are exactly those of Process for every
 // batch size; batch <= 1 (or a reference prep, whose kernel is nil) falls
 // back to the scalar loop.
+//
+// When the generator emits single-exchange deltas (perm.RevolvingDoor)
+// AND the kernel can evaluate them exactly (stat.DeltaKernel on integer
+// rank data), each batch is driven through StatsDelta instead: one
+// subtract and one add per (row, permutation) in place of the O(n1)
+// column scatter.  StatsDelta is bitwise identical to StatsBatch on the
+// materialised labellings, so the fast path changes wall time only —
+// counts, p-values, cache keys and checkpoints are unaffected.
 func ProcessBatched(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratch *Scratch, batch int) {
 	bk, ok := p.Kernel.(stat.BatchKernel)
 	if batch <= 1 || !ok || lo >= hi {
@@ -422,16 +434,26 @@ func ProcessBatched(p *Prep, gen perm.Generator, lo, hi int64, c *Counts, scratc
 		batch = int(span)
 	}
 	p.ensureBatch(scratch, batch)
+	dk, okDK := p.Kernel.(stat.DeltaKernel)
+	dg, okDG := gen.(perm.DeltaGenerator)
+	useDelta := okDK && okDG && dk.DeltaOK()
 	n, rows := p.Design.N, p.M.Rows
 	for base := lo; base < hi; base += int64(batch) {
 		nb := batch
 		if rem := hi - base; int64(nb) > rem {
 			nb = int(rem)
 		}
-		labs := scratch.labs[:nb*n]
-		gen.Labels(base, int64(nb), labs)
 		out := matrix.Matrix{Data: scratch.zb[:nb*rows], Rows: nb, Cols: rows}
-		bk.StatsBatch(labs, out, scratch.bks)
+		if useDelta {
+			lab0 := scratch.lab
+			moves := scratch.moves[:nb-1]
+			dg.LabelsDelta(base, int64(nb), lab0, moves)
+			dk.StatsDelta(lab0, moves, out, scratch.bks)
+		} else {
+			labs := scratch.labs[:nb*n]
+			gen.Labels(base, int64(nb), labs)
+			bk.StatsBatch(labs, out, scratch.bks)
+		}
 		for bp := 0; bp < nb; bp++ {
 			p.countPermutation(out.Row(bp), c)
 		}

@@ -1,0 +1,169 @@
+package perm
+
+import (
+	"fmt"
+	"testing"
+
+	"sprint/internal/stat"
+)
+
+// doorDesign builds a two-sample design with n0 zeros then n1 ones.
+func doorDesign(t *testing.T, test stat.Test, n0, n1 int) *stat.Design {
+	t.Helper()
+	lab := make([]int, n0+n1)
+	for i := n0; i < n0+n1; i++ {
+		lab[i] = 1
+	}
+	d, err := stat.NewDesign(test, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func combKey(lab []int) string { return fmt.Sprint(lab) }
+
+// TestRevolvingDoorEnumeratesCompleteSet asserts the property the delta
+// engine's correctness rests on: RevolvingDoor enumerates EXACTLY the
+// labelling set Complete does (every distinct labelling once, observed
+// first), in an order where every consecutive pair — including the wrap
+// from the last index back to 0 — differs by a single exchange.
+func TestRevolvingDoorEnumeratesCompleteSet(t *testing.T) {
+	cases := []struct{ n0, n1 int }{
+		{2, 2}, {3, 2}, {2, 3}, {4, 4}, {5, 3}, {3, 5}, {6, 2}, {2, 6}, {5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dv%d", tc.n0, tc.n1), func(t *testing.T) {
+			d := doorDesign(t, stat.Welch, tc.n0, tc.n1)
+			door, err := NewRevolvingDoor(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, err := NewComplete(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if door.Total() != comp.Total() {
+				t.Fatalf("door total %d, complete total %d", door.Total(), comp.Total())
+			}
+			total := int(door.Total())
+			lab := make([]int, d.N)
+			seenDoor := make(map[string]bool, total)
+			labsDoor := make([][]int, total)
+			for idx := 0; idx < total; idx++ {
+				door.Label(int64(idx), lab)
+				key := combKey(lab)
+				if seenDoor[key] {
+					t.Fatalf("door repeats labelling %s at index %d", key, idx)
+				}
+				seenDoor[key] = true
+				labsDoor[idx] = append([]int(nil), lab...)
+			}
+			for idx := 0; idx < total; idx++ {
+				comp.Label(int64(idx), lab)
+				if !seenDoor[combKey(lab)] {
+					t.Fatalf("door misses complete labelling %v (complete index %d)", lab, idx)
+				}
+			}
+			// Observed first.
+			if combKey(labsDoor[0]) != combKey(d.Labels) {
+				t.Fatalf("door index 0 = %v, want observed %v", labsDoor[0], d.Labels)
+			}
+			// Gray property, cyclically.
+			for idx := 0; idx < total; idx++ {
+				a, b := labsDoor[idx], labsDoor[(idx+1)%total]
+				diff := 0
+				for j := range a {
+					if a[j] != b[j] {
+						diff++
+					}
+				}
+				if diff != 2 {
+					t.Fatalf("step %d -> %d changes %d positions (want 2): %v -> %v",
+						idx, (idx+1)%total, diff, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestRevolvingDoorRankUnrank asserts rank/unrank are inverse over the
+// whole Gray sequence.
+func TestRevolvingDoorRankUnrank(t *testing.T) {
+	d := doorDesign(t, stat.Welch, 4, 3)
+	door, err := NewRevolvingDoor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := make([]int, 3)
+	for r := int64(0); r < door.Total(); r++ {
+		door.unrank(r, comb)
+		if got := door.rank(comb); got != r {
+			t.Fatalf("rank(unrank(%d)) = %d (comb %v)", r, got, comb)
+		}
+	}
+}
+
+// TestRevolvingDoorLabelsDelta asserts the delta form reproduces Labels:
+// applying the move chain to lab0 yields each labelling, at every offset.
+func TestRevolvingDoorLabelsDelta(t *testing.T) {
+	d := doorDesign(t, stat.Wilcoxon, 4, 4)
+	door, err := NewRevolvingDoor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := door.Total()
+	for _, start := range []int64{0, 1, 17, total - 5} {
+		n := int64(9)
+		if start+n > total {
+			n = total - start
+		}
+		flat := make([]int, n*int64(d.N))
+		door.Labels(start, n, flat)
+		lab0 := make([]int, d.N)
+		moves := make([]stat.Exchange, n-1)
+		door.LabelsDelta(start, n, lab0, moves)
+		cur := append([]int(nil), lab0...)
+		for i := int64(0); i < n; i++ {
+			if i > 0 {
+				mv := moves[i-1]
+				if cur[mv.Out] != 1 || cur[mv.In] != 0 {
+					t.Fatalf("start %d move %d = %+v invalid on %v", start, i-1, mv, cur)
+				}
+				cur[mv.Out], cur[mv.In] = 0, 1
+			}
+			want := flat[i*int64(d.N) : (i+1)*int64(d.N)]
+			for j := range cur {
+				if cur[j] != want[j] {
+					t.Fatalf("start %d perm %d: delta %v, labels %v", start, i, cur, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRevolvingDoorOK pins the applicability rule: two-class shuffles
+// qualify, pair-flip and block designs do not.
+func TestRevolvingDoorOK(t *testing.T) {
+	if d := doorDesign(t, stat.Welch, 3, 4); !RevolvingDoorOK(d) {
+		t.Error("two-sample Welch design should admit the revolving-door order")
+	}
+	pair, err := stat.NewDesign(stat.PairT, []int{0, 1, 0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RevolvingDoorOK(pair) {
+		t.Error("pairt design must not admit the revolving-door order")
+	}
+	if _, err := NewRevolvingDoor(pair); err == nil {
+		t.Error("NewRevolvingDoor on a pairt design should error")
+	}
+	blockLab := []int{0, 1, 2, 0, 1, 2}
+	block, err := stat.NewDesign(stat.BlockF, blockLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RevolvingDoorOK(block) {
+		t.Error("blockf design must not admit the revolving-door order")
+	}
+}

@@ -51,6 +51,18 @@ type Generator interface {
 	Labels(start, n int64, dst []int)
 }
 
+// DeltaGenerator is implemented by generators whose consecutive labellings
+// differ by a single element exchange (perm.RevolvingDoor).  The delta
+// form feeds stat.DeltaKernel's O(1)-per-permutation update path; callers
+// that cannot use it fall back to Labels.
+type DeltaGenerator interface {
+	Generator
+	// LabelsDelta fills lab0 with the labelling of permutation start and
+	// moves[0:n-1] with the exchanges leading to permutations start+1 ..
+	// start+n-1.  The range obeys the same bounds as Label.
+	LabelsDelta(start, n int64, lab0 []int, moves []stat.Exchange)
+}
+
 // kind discriminates the four permutation actions.
 type kind int
 

@@ -10,8 +10,53 @@ package stat
 // (each n ascending indices, all < cols by construction).  On return
 // acc[0..3] hold permutation i0's (sa, sb, qa, qb) interleaved as
 // (sa0, sb0, qa0, qb0) and acc[4..7] permutation i1's.  Bitwise identical
-// to the pure Go accumulation: each SIMD lane performs one row's scalar
-// IEEE-754 chain in the same ascending order.
+// to the pure Go accumulation (accumPairGo): each SIMD lane performs one
+// row's scalar IEEE-754 chain in the same ascending order.
 //
 //go:noescape
 func accumPair(vab *float64, i0 *int32, i1 *int32, n int, acc *[8]float64)
+
+// accumQuad is the 4-lane AVX2 widening of accumPair (accum_avx2_amd64.s):
+// v4 interleaves FOUR rows as v4[4j+r] = row_r[j], one 32-byte VMOVUPD
+// yields all four rows' values at a column, and lane-wise VADDPD/VMULPD
+// advance four rows × two permutations per iteration.  acc layout matches
+// accumQuadGo: [0..3] perm i0 sums, [4..7] perm i0 sums of squares,
+// [8..15] the same for perm i1.  Callers must have verified AVX2 support
+// (ActiveKernelISA() == ISAAVX2 implies it).
+//
+//go:noescape
+func accumQuad(v4 *float64, i0 *int32, i1 *int32, n int, acc *[16]float64)
+
+// cpuidex executes CPUID with the given leaf and subleaf
+// (cpuid_amd64.s).
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0, reporting which vector
+// register states the OS saves across context switches (cpuid_amd64.s).
+// Only valid when CPUID.1:ECX.OSXSAVE is set.
+func xgetbv0() (eax, edx uint32)
+
+// bestISA probes the CPU once at init: AVX2 requires the instruction set
+// itself (CPUID.7.0:EBX bit 5) AND OS support for saving YMM state
+// (OSXSAVE + XCR0 bits 1 and 2) — the standard detection sequence.  SSE2
+// is architectural on amd64.
+func bestISA() KernelISA {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return ISASSE2
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return ISASSE2
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 { // XMM and YMM state enabled
+		return ISASSE2
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	if ebx7&(1<<5) == 0 { // AVX2
+		return ISASSE2
+	}
+	return ISAAVX2
+}

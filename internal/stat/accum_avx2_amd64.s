@@ -1,0 +1,58 @@
+// Two-sample batch accumulation kernel, AVX2 widening: 2 permutations ×
+// 4 rows per pass.
+//
+// v4 interleaves a row quad as v4[4j+r] = row_r[j], so one 32-byte VMOVUPD
+// load yields (row0[j], row1[j], row2[j], row3[j]) and lane-wise
+// VADDPD/VMULPD advance all four rows' accumulation chains in a single
+// instruction.  As with the SSE2 pair kernel, lane-wise packed arithmetic
+// performs exactly the scalar IEEE-754 operations — each lane is one
+// (row, permutation) serial chain in ascending selected-column order — so
+// the results are bitwise identical to the pure Go path (accumQuadGo),
+// which is also the reference the tests pin.
+//
+// Accumulator layout on return (see accumQuad's doc comment):
+//   acc[0..3]  = s  of rows 0..3 under permutation i0
+//   acc[4..7]  = q  of rows 0..3 under permutation i0
+//   acc[8..11] = s  of rows 0..3 under permutation i1
+//   acc[12..15]= q  of rows 0..3 under permutation i1
+
+#include "textflag.h"
+
+// func accumQuad(v4 *float64, i0 *int32, i1 *int32, n int, acc *[16]float64)
+TEXT ·accumQuad(SB), NOSPLIT, $0-40
+	MOVQ v4+0(FP), SI
+	MOVQ i0+8(FP), DI
+	MOVQ i1+16(FP), R8
+	MOVQ n+24(FP), CX
+	MOVQ acc+32(FP), DX
+	VXORPD Y0, Y0, Y0 // s rows 0..3, permutation i0
+	VXORPD Y1, Y1, Y1 // q rows 0..3, permutation i0
+	VXORPD Y2, Y2, Y2 // s rows 0..3, permutation i1
+	VXORPD Y3, Y3, Y3 // q rows 0..3, permutation i1
+	XORQ AX, AX // e
+	JMP  qcond
+
+qloop:
+	MOVL (DI)(AX*4), R9  // j0 = i0[e]
+	MOVL (R8)(AX*4), R10 // j1 = i1[e]
+	SHLQ $5, R9          // byte offset of v4[4*j0]
+	SHLQ $5, R10
+	VMOVUPD (SI)(R9*1), Y4  // (row0[j0], row1[j0], row2[j0], row3[j0])
+	VADDPD  Y4, Y0, Y0
+	VMULPD  Y4, Y4, Y4
+	VADDPD  Y4, Y1, Y1
+	VMOVUPD (SI)(R10*1), Y5 // (row0[j1], row1[j1], row2[j1], row3[j1])
+	VADDPD  Y5, Y2, Y2
+	VMULPD  Y5, Y5, Y5
+	VADDPD  Y5, Y3, Y3
+	INCQ    AX
+
+qcond:
+	CMPQ AX, CX
+	JLT  qloop
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VZEROUPPER
+	RET

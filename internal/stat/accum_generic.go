@@ -2,30 +2,18 @@
 
 package stat
 
-// accumPair is the portable fallback of the SSE2 kernel in accum_amd64.s:
-// see accum_amd64.go for the contract.  The loop below is the reference
-// semantics — two permutations × two rows, each accumulator advanced in
-// ascending selected-column order, one scalar IEEE-754 operation per step —
-// and the assembly's lane-wise packed instructions perform exactly these
-// operations, so the two implementations are bitwise interchangeable.
+// Portable fallbacks: on non-amd64 the dispatch never selects an assembly
+// ISA (bestISA reports generic), so these bindings exist only to satisfy
+// the shared call sites in batch.go.  The pure-Go kernels in accum_go.go
+// are the reference semantics every implementation is pinned to.
+
 func accumPair(vab *float64, i0 *int32, i1 *int32, n int, acc *[8]float64) {
-	var sa0, sb0, qa0, qb0, sa1, sb1, qa1, qb1 float64
-	for e := 0; e < n; e++ {
-		j0 := ptrI32(i0, e)
-		j1 := ptrI32(i1, e)
-		vA0 := gather(vab, 2*j0)
-		vB0 := gather(vab, 2*j0+1)
-		sa0 += vA0
-		qa0 += vA0 * vA0
-		sb0 += vB0
-		qb0 += vB0 * vB0
-		vA1 := gather(vab, 2*j1)
-		vB1 := gather(vab, 2*j1+1)
-		sa1 += vA1
-		qa1 += vA1 * vA1
-		sb1 += vB1
-		qb1 += vB1 * vB1
-	}
-	acc[0], acc[1], acc[2], acc[3] = sa0, sb0, qa0, qb0
-	acc[4], acc[5], acc[6], acc[7] = sa1, sb1, qa1, qb1
+	accumPairGo(vab, i0, i1, n, acc)
 }
+
+func accumQuad(v4 *float64, i0 *int32, i1 *int32, n int, acc *[16]float64) {
+	accumQuadGo(v4, i0, i1, n, acc)
+}
+
+// bestISA reports the only ISA available off amd64: the portable Go kernel.
+func bestISA() KernelISA { return ISAGeneric }

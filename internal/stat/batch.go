@@ -96,7 +96,8 @@ type BatchScratch struct {
 	// scatter loops walk contiguous memory.
 	labT []int32
 	sgnT []float64
-	ord  []int // canonical-order scratch (F, block F)
+	ord  []int   // canonical-order scratch (F, block F)
+	seg  []int32 // constant-sign run boundaries (two-sample delta path)
 }
 
 func growI32(s []int32, n int) []int32 {
@@ -200,12 +201,57 @@ func (k *twoSampleKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScra
 	// members, so the tail invariants are one batch-level constant.
 	tail, tailOK := newTSTail(k.pooled, L, cols-L)
 	fast := func(i int) bool { return !k.flat[i] && k.n[i] == cols }
+	quad := k.isa == ISAAVX2
+	asmPair := k.isa >= ISASSE2
 	for i := 0; i < k.m.Rows; {
 		if k.flat[i] {
 			for p := 0; p < nb; p++ {
 				out.Row(p)[i] = math.NaN()
 			}
 			i++
+			continue
+		}
+		// NA-free row quads (AVX2 dispatch): four rows interleaved so one
+		// 32-byte load feeds four accumulation chains — see the pair path
+		// below for why cross-row/cross-permutation interleaving is the
+		// lever and why lane-wise packed arithmetic stays bitwise equal.
+		if tailOK && quad && i+3 < k.m.Rows && fast(i) && fast(i+1) && fast(i+2) && fast(i+3) {
+			r4 := [4][]float64{k.m.Row(i), k.m.Row(i + 1), k.m.Row(i + 2), k.m.Row(i + 3)}
+			s.vab = growF(s.vab, 4*cols)
+			for j := 0; j < cols; j++ {
+				s.vab[4*j] = r4[0][j]
+				s.vab[4*j+1] = r4[1][j]
+				s.vab[4*j+2] = r4[2][j]
+				s.vab[4*j+3] = r4[3][j]
+			}
+			v4 := &s.vab[0]
+			S4 := [4]float64{k.sum[i], k.sum[i+1], k.sum[i+2], k.sum[i+3]}
+			Q4 := [4]float64{k.sumsq[i], k.sumsq[i+1], k.sumsq[i+2], k.sumsq[i+3]}
+			var acc [16]float64
+			p := 0
+			for ; p+2 <= nb; p += 2 {
+				accumQuad(v4, &s.sel[p*L], &s.sel[(p+1)*L], L, &acc)
+				r0, r1 := out.Row(p), out.Row(p+1)
+				for r := 0; r < 4; r++ {
+					r0[i+r] = tail.stat(s.sign[p], S4[r], Q4[r], acc[r], acc[4+r])
+					r1[i+r] = tail.stat(s.sign[p+1], S4[r], Q4[r], acc[8+r], acc[12+r])
+				}
+			}
+			for ; p < nb; p++ {
+				idx := s.sel[p*L : (p+1)*L]
+				outRow := out.Row(p)
+				for r := 0; r < 4; r++ {
+					row := r4[r]
+					var sa, qa float64
+					for _, j := range idx {
+						v := row[j]
+						sa += v
+						qa += v * v
+					}
+					outRow[i+r] = tail.stat(s.sign[p], S4[r], Q4[r], sa, qa)
+				}
+			}
+			i += 4
 			continue
 		}
 		// NA-free rows: every selected cell is present, so the group count
@@ -229,7 +275,11 @@ func (k *twoSampleKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScra
 			var acc [8]float64
 			p := 0
 			for ; p+2 <= nb; p += 2 {
-				accumPair(vab, &s.sel[p*L], &s.sel[(p+1)*L], L, &acc)
+				if asmPair {
+					accumPair(vab, &s.sel[p*L], &s.sel[(p+1)*L], L, &acc)
+				} else {
+					accumPairGo(vab, &s.sel[p*L], &s.sel[(p+1)*L], L, &acc)
+				}
 				r0, r1 := out.Row(p), out.Row(p+1)
 				r0[i] = tail.stat(s.sign[p], SA, QA, acc[0], acc[2])
 				r0[i+1] = tail.stat(s.sign[p], SB, QB, acc[1], acc[3])
@@ -287,10 +337,62 @@ func (k *wilcoxonKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScrat
 	}
 	L := buildSelLists(s, labs, nb, k.m.Cols, k.cls, false)
 	for i := 0; i < k.m.Rows; i++ {
-		row := k.m.Row(i)
 		nn, total, totalSq := k.n[i], k.total[i], k.totalSq[i]
+		full := nn == k.m.Cols
+		if k.ir != nil && k.ir.ok[i] {
+			// Integer fast path: 4 permutations' scaled rank sums advance
+			// per gather step in independent int64 lanes (no NaN tests, no
+			// rounding — the sums are exact, so the converted floats equal
+			// the float accumulation bit for bit).
+			ri := k.ir.row(i)
+			p := 0
+			if full {
+				tail := &k.tails[i]
+				for ; p+4 <= nb; p += 4 {
+					i0 := s.sel[(p+0)*L : (p+1)*L]
+					i1 := s.sel[(p+1)*L : (p+2)*L]
+					i2 := s.sel[(p+2)*L : (p+3)*L]
+					i3 := s.sel[(p+3)*L : (p+4)*L]
+					var s0, s1, s2, s3 int64
+					for e := 0; e < L; e++ {
+						s0 += int64(ri[i0[e]])
+						s1 += int64(ri[i1[e]])
+						s2 += int64(ri[i2[e]])
+						s3 += int64(ri[i3[e]])
+					}
+					out.Row(p + 0)[i] = tail.stat(float64(s0) * 0.5)
+					out.Row(p + 1)[i] = tail.stat(float64(s1) * 0.5)
+					out.Row(p + 2)[i] = tail.stat(float64(s2) * 0.5)
+					out.Row(p + 3)[i] = tail.stat(float64(s3) * 0.5)
+				}
+				for ; p < nb; p++ {
+					idx := s.sel[p*L : (p+1)*L]
+					var isum int64
+					for _, j := range idx {
+						isum += int64(ri[j])
+					}
+					out.Row(p)[i] = tail.stat(float64(isum) * 0.5)
+				}
+			} else {
+				for ; p < nb; p++ {
+					idx := s.sel[p*L : (p+1)*L]
+					nc := 0
+					var isum int64
+					for _, j := range idx {
+						if v := ri[j]; v != 0 {
+							nc++
+							isum += int64(v)
+						}
+					}
+					out.Row(p)[i] = wilcoxonStat(k.cls, nc, float64(isum)*0.5, nn, total, totalSq)
+				}
+			}
+			continue
+		}
+		row := k.m.Row(i)
 		p := 0
-		if nn == k.m.Cols {
+		if full {
+			tail := &k.tails[i]
 			for ; p+4 <= nb; p += 4 {
 				i0 := s.sel[(p+0)*L : (p+1)*L]
 				i1 := s.sel[(p+1)*L : (p+2)*L]
@@ -303,10 +405,10 @@ func (k *wilcoxonKernel) StatsBatch(labs []int, out matrix.Matrix, s *BatchScrat
 					s2 += row[i2[e]]
 					s3 += row[i3[e]]
 				}
-				out.Row(p + 0)[i] = wilcoxonStat(k.cls, L, s0, nn, total, totalSq)
-				out.Row(p + 1)[i] = wilcoxonStat(k.cls, L, s1, nn, total, totalSq)
-				out.Row(p + 2)[i] = wilcoxonStat(k.cls, L, s2, nn, total, totalSq)
-				out.Row(p + 3)[i] = wilcoxonStat(k.cls, L, s3, nn, total, totalSq)
+				out.Row(p + 0)[i] = tail.stat(s0)
+				out.Row(p + 1)[i] = tail.stat(s1)
+				out.Row(p + 2)[i] = tail.stat(s2)
+				out.Row(p + 3)[i] = tail.stat(s3)
 			}
 		}
 		for ; p < nb; p++ {

@@ -1,0 +1,481 @@
+// Delta evaluation: the O(1)-per-permutation fast path for rank-valued
+// rows under single-exchange permutation orders.
+//
+// Rank-based tests (Wilcoxon always, every test under nonpara="y") run on
+// mid-ranks — exact half-integers.  Scaling by 2 turns every cell into a
+// small integer, so per-row subset sums become EXACT int64 arithmetic, and
+// exact arithmetic is order-insensitive: a subset sum maintained by one
+// subtract + one add per permutation (when consecutive labellings differ by
+// a single element exchange, as in perm.RevolvingDoor's Gray order) is the
+// same integer a full re-accumulation produces.  Converting that integer
+// back to float64 is exact too (the representability bounds below), so the
+// delta path's statistics are bitwise identical to Stats/StatsBatch *by
+// construction* — the same argument PR 3 makes for lane-wise SIMD, made
+// here for incremental evaluation.
+//
+// The cost model: the batched column-scatter path pays O(n1) element visits
+// per (row, permutation); the delta path pays O(1) — two int32 loads, two
+// int64 adds — leaving the per-permutation statistic tail (hoisted into
+// per-row state, see wilxTail/tsTail) as the only remaining work.
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"sprint/internal/matrix"
+)
+
+// Exchange is one revolving-door move between consecutive labellings of a
+// two-sample design: column Out leaves class 1 and column In enters it
+// (all other columns keep their labels).
+type Exchange struct {
+	Out, In int32
+}
+
+// DeltaKernel is implemented by kernels that can evaluate a permutation
+// batch described as a start labelling plus a chain of single-element
+// exchanges, updating per-row accumulators in O(1) per move.
+type DeltaKernel interface {
+	BatchKernel
+	// DeltaOK is the dispatch predicate: whether the delta path is
+	// available (every row exactly representable as scaled integers —
+	// true for rank-transformed data) AND expected to outrun StatsBatch
+	// for this kernel.  The Wilcoxon kernel always profits — its tail is
+	// two flops, so removing the O(n1) gather dominates.  The two-sample
+	// t kernels profit only when the accumulated group is large enough
+	// that re-accumulation costs more than the scalar move recurrence;
+	// with the SIMD batch kernels, the measured breakeven is ~32 columns
+	// per group, which feasible complete enumerations (capped at
+	// DefaultMaxComplete labellings, hence C(n, k) small) never reach —
+	// so in practice the t kernels keep the batch path.  When false,
+	// callers fall back to StatsBatch; StatsDelta itself stays callable
+	// whenever the rows are representable.
+	DeltaOK() bool
+	// StatsDelta evaluates lab0 and the labellings reached by successively
+	// applying moves, writing labelling p's statistics into out.Row(p)
+	// (out.Rows = len(moves)+1).  The results are bitwise identical to
+	// StatsBatch over the materialised labellings.  scratch may be nil.
+	StatsDelta(lab0 []int, moves []Exchange, out matrix.Matrix, scratch *BatchScratch)
+}
+
+// Exactness bounds for the integer view.  Cells are stored as s = 2v (so
+// mid-ranks become integers); with |s| ≤ maxScaled = 2^20 and at most
+// maxIntCols = 2^11 columns, Σ|s| ≤ 2^31 and Σs² ≤ 2^51 — comfortably
+// inside float64's 2^53 exact-integer range.  Every partial float sum the
+// scalar/batched kernels form over such cells is therefore exact (each
+// partial sum is a half- or quarter-integer with an exactly representable
+// value), which is what makes integer accumulation bitwise interchangeable
+// with float accumulation in ANY order.
+const (
+	maxIntCols = 1 << 11
+	maxScaled  = 1 << 20
+)
+
+// intRank is the exact integer view of a matrix whose rows hold
+// half-integer values (mid-ranks, or any quantized data meeting the
+// bounds): data[i*cols+j] = 2·m[i][j] as int32, with 0 marking a missing
+// cell (valid because mid-ranks are ≥ 1, so 2v ≥ 2; the per-cell gate
+// rejects rows containing genuine zeros or negatives).
+type intRank struct {
+	cols  int
+	data  []int32
+	ok    []bool  // row passed the representability gate
+	all   bool    // every row passed (the DeltaOK gate)
+	sum2  []int64 // Σ 2v over the row's non-missing cells
+	sumq4 []int64 // Σ (2v)² over the row's non-missing cells
+}
+
+// intCell reports whether v is representable in the integer view (NaN
+// cells are, as the 0 sentinel).
+func intCell(v float64) bool {
+	if v != v {
+		return true
+	}
+	sv := v * 2
+	return sv == math.Trunc(sv) && sv >= 1 && sv <= maxScaled
+}
+
+// newIntRank builds the integer view, or nil when no row qualifies.  Like
+// scrubNA, it scans before it allocates: raw continuous data fails the
+// gate on each row's first fractional cell, so the common non-rank case
+// costs one cheap pass and zero allocations.
+func newIntRank(m matrix.Matrix) *intRank {
+	if m.Cols == 0 || m.Cols > maxIntCols {
+		return nil
+	}
+	any := false
+	for i := 0; i < m.Rows && !any; i++ {
+		rowOK := true
+		for _, v := range m.Row(i) {
+			if !intCell(v) {
+				rowOK = false
+				break
+			}
+		}
+		any = rowOK
+	}
+	if !any {
+		return nil
+	}
+	ir := &intRank{
+		cols:  m.Cols,
+		data:  make([]int32, len(m.Data)),
+		ok:    make([]bool, m.Rows),
+		sum2:  make([]int64, m.Rows),
+		sumq4: make([]int64, m.Rows),
+	}
+	ir.all = true
+	for i := 0; i < m.Rows; i++ {
+		dst := ir.data[i*m.Cols : (i+1)*m.Cols]
+		rowOK := true
+		var s2, q4 int64
+		for j, v := range m.Row(i) {
+			if v != v { // missing: sentinel 0
+				continue
+			}
+			if !intCell(v) {
+				rowOK = false
+				break
+			}
+			iv := int64(v * 2)
+			dst[j] = int32(iv)
+			s2 += iv
+			q4 += iv * iv
+		}
+		if rowOK {
+			ir.ok[i] = true
+			ir.sum2[i], ir.sumq4[i] = s2, q4
+		} else {
+			ir.all = false
+		}
+	}
+	return ir
+}
+
+func (ir *intRank) row(i int) []int32 { return ir.data[i*ir.cols : (i+1)*ir.cols] }
+
+// checkDeltaShape validates a StatsDelta call against the kernel shape.
+func checkDeltaShape(rows, cols int, lab0 []int, moves []Exchange, out matrix.Matrix) {
+	if out.Cols != rows {
+		panic(fmt.Sprintf("stat: delta out has %d columns for %d matrix rows", out.Cols, rows))
+	}
+	if len(lab0) != cols {
+		panic(fmt.Sprintf("stat: delta start labelling has %d entries for %d columns", len(lab0), cols))
+	}
+	if out.Rows != len(moves)+1 {
+		panic(fmt.Sprintf("stat: delta out has %d rows for %d moves", out.Rows, len(moves)))
+	}
+}
+
+// selClass1 fills s.sel with the ascending class-1 columns of lab0 — the
+// set the exchanges operate on — and returns it.
+func selClass1(s *BatchScratch, lab0 []int) []int32 {
+	sel := s.sel[:0]
+	for j, l := range lab0 {
+		if l == 1 {
+			sel = append(sel, int32(j))
+		}
+	}
+	s.sel = sel
+	return sel
+}
+
+// ---- Wilcoxon delta ------------------------------------------------------
+
+// DeltaOK implements DeltaKernel.  Mid-rank rows always qualify; arbitrary
+// data qualifies only when every row meets the exactness gate.  The
+// Wilcoxon delta always profits, so capability is the whole predicate.
+func (k *wilcoxonKernel) DeltaOK() bool { return k.ir != nil && k.ir.all }
+
+// StatsDelta implements DeltaKernel: per row, the class-1 count and scaled
+// rank sum are maintained in int64 across moves — one subtract, one add —
+// and each permutation's statistic falls out of the per-row hoisted tail.
+func (k *wilcoxonKernel) StatsDelta(lab0 []int, moves []Exchange, out matrix.Matrix, s *BatchScratch) {
+	nb := out.Rows
+	if nb == 0 {
+		return
+	}
+	checkDeltaShape(k.m.Rows, k.m.Cols, lab0, moves, out)
+	if k.ir == nil || !k.ir.all {
+		panic("stat: StatsDelta on a kernel whose rows are not integer-representable")
+	}
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	sel1 := selClass1(s, lab0)
+	cls := k.cls
+	stride := out.Cols
+	for i := 0; i < k.m.Rows; i++ {
+		ri := k.ir.row(i)
+		n1c := 0
+		var s1 int64
+		for _, j := range sel1 {
+			if v := ri[j]; v != 0 {
+				n1c++
+				s1 += int64(v)
+			}
+		}
+		nn, total, totalSq := k.n[i], k.total[i], k.totalSq[i]
+		full := nn == k.m.Cols
+		tail := &k.tails[i]
+		// NA-free rows with a computable tail: the steady-state lane.  The
+		// class counts never vary, the tie-corrected variance is hoisted
+		// per row, and the tracked sum converts exactly — so the loop body
+		// is two int32 loads, one int64 update, and the two-flop tail.
+		// The expressions below are wilxTail.stat with its (invariant)
+		// branches hoisted out of the permutation loop: bitwise identical,
+		// since  (total − sc) − mu1  is exactly the op sequence stat forms.
+		if full && tail.ok {
+			mu1, sd := tail.mu1, tail.sd
+			o := i
+			if cls == 1 {
+				out.Data[o] = (float64(s1)*0.5 - mu1) / sd
+				o += stride
+				for _, mv := range moves {
+					s1 += int64(ri[mv.In]) - int64(ri[mv.Out])
+					out.Data[o] = (float64(s1)*0.5 - mu1) / sd
+					o += stride
+				}
+			} else {
+				// tail.neg: the accumulated class-0 sum is total − sc, and
+				// the tracked class-1 sum already IS sc's complement — the
+				// two derivations compose to sc0 = float64(sum2−s1)/2 and
+				// s1stat = total − sc0, both exact.
+				sum2 := k.ir.sum2[i]
+				sc0 := float64(sum2-s1) * 0.5
+				out.Data[o] = (total - sc0 - mu1) / sd
+				o += stride
+				for _, mv := range moves {
+					s1 += int64(ri[mv.In]) - int64(ri[mv.Out])
+					sc0 = float64(sum2-s1) * 0.5
+					out.Data[o] = (total - sc0 - mu1) / sd
+					o += stride
+				}
+			}
+			continue
+		}
+		if full { // tail permanently uncomputable: NaN for every labelling
+			o := i
+			for p := 0; p < nb; p++ {
+				out.Data[o] = math.NaN()
+				o += stride
+			}
+			continue
+		}
+		// NA-bearing rows: counts shift with the moves; the general tail.
+		sum2 := k.ir.sum2[i]
+		o := i
+		for p := 0; p < nb; p++ {
+			if p > 0 {
+				mv := moves[p-1]
+				vi, vo := ri[mv.In], ri[mv.Out]
+				s1 += int64(vi) - int64(vo)
+				if vi != 0 {
+					n1c++
+				}
+				if vo != 0 {
+					n1c--
+				}
+			}
+			var nc int
+			var sc float64
+			if cls == 1 {
+				nc = n1c
+				sc = float64(s1) * 0.5
+			} else {
+				nc = nn - n1c
+				sc = float64(sum2-s1) * 0.5
+			}
+			out.Data[o] = wilcoxonStat(cls, nc, sc, nn, total, totalSq)
+			o += stride
+		}
+	}
+}
+
+// ---- two-sample t delta --------------------------------------------------
+
+// deltaMinGroup is the accumulated-group size below which the two-sample
+// batch path (SIMD column scatter + shared tail) measures faster than the
+// scalar move recurrence: the delta saves O(group) element visits per
+// permutation but pays ~a dozen scalar ops per (row, move), while the
+// AVX2 batch kernel amortises the same visits across four rows.  See
+// BenchmarkKernelDelta (t-nonpara) and EXPERIMENTS.md.
+const deltaMinGroup = 32
+
+// DeltaOK implements DeltaKernel: the rows must be exactly
+// integer-representable — rank data under nonpara="y", or naturally
+// quantized inputs — and the accumulated group large enough for the move
+// recurrence to beat SIMD re-accumulation.
+func (k *twoSampleKernel) DeltaOK() bool {
+	return k.ir != nil && k.ir.all && k.nsel >= deltaMinGroup
+}
+
+// StatsDelta implements DeltaKernel for the Welch and pooled t kernels.
+// Per row, the class-1 count, scaled sum and scaled sum of squares are
+// maintained in int64 across moves; whichever group the scalar rule
+// accumulates (the fixed smaller class, or the class containing column 0)
+// is derived exactly from the tracked class-1 sums — by identity when that
+// group is class 1, by integer subtraction from the precomputed row totals
+// otherwise — reproducing the float accumulation bit for bit.
+func (k *twoSampleKernel) StatsDelta(lab0 []int, moves []Exchange, out matrix.Matrix, s *BatchScratch) {
+	nb := out.Rows
+	if nb == 0 {
+		return
+	}
+	checkDeltaShape(k.m.Rows, k.m.Cols, lab0, moves, out)
+	if k.ir == nil || !k.ir.all {
+		panic("stat: StatsDelta on a kernel whose rows are not integer-representable")
+	}
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	cols := k.m.Cols
+	sel1 := selClass1(s, lab0)
+	n1 := len(sel1)
+	// Per-permutation statistic sign, following the scalar rule: the
+	// accumulated class is the fixed class on unbalanced designs, column
+	// 0's class otherwise.  sign < 0 encodes "accumulated class is 0".
+	s.sign = growF(s.sign, nb)
+	has0 := lab0[0] == 1
+	for p := 0; p < nb; p++ {
+		if p > 0 {
+			mv := moves[p-1]
+			if mv.In == 0 {
+				has0 = true
+			} else if mv.Out == 0 {
+				has0 = false
+			}
+		}
+		cls := k.cls
+		if cls < 0 {
+			if has0 {
+				cls = 1
+			} else {
+				cls = 0
+			}
+		}
+		if cls == 0 {
+			s.sign[p] = -1
+		} else {
+			s.sign[p] = 1
+		}
+	}
+	// Accumulated-group size for NA-free rows (relabelling-invariant): the
+	// class-1 size, or its complement when the fixed class is 0.  On
+	// balanced designs both are cols/2.
+	L := n1
+	if k.cls == 0 {
+		L = cols - n1
+	}
+	tail, tailOK := newTSTail(k.pooled, L, cols-L)
+	stride := out.Cols
+	sign := s.sign[:nb]
+	// Constant-sign run boundaries.  On balanced designs the accumulated
+	// class flips only when a move touches column 0; testing the sign per
+	// permutation inside the row loop makes that branch data-dependent and
+	// mispredict-prone right in front of the tail's divider chain, so the
+	// row loops below iterate sign-homogeneous segments instead.
+	s.seg = append(s.seg[:0], 0)
+	for p := 1; p < nb; p++ {
+		if (sign[p] > 0) != (sign[p-1] > 0) {
+			s.seg = append(s.seg, int32(p))
+		}
+	}
+	s.seg = append(s.seg, int32(nb))
+	seg := s.seg
+	s.vab = growF(s.vab, 2*nb) // per-perm (sa, qa) staging for the tail pass
+	for i := 0; i < k.m.Rows; i++ {
+		if k.flat[i] {
+			o := i
+			for p := 0; p < nb; p++ {
+				out.Data[o] = math.NaN()
+				o += stride
+			}
+			continue
+		}
+		ri := k.ir.row(i)
+		na1 := 0
+		var s1, q1 int64
+		for _, j := range sel1 {
+			if v := int64(ri[j]); v != 0 {
+				na1++
+				s1 += v
+				q1 += v * v
+			}
+		}
+		n, S, Q := k.n[i], k.sum[i], k.sumsq[i]
+		sum2, sumq4 := k.ir.sum2[i], k.ir.sumq4[i]
+		// NA-free rows with valid tail invariants: the steady-state lane —
+		// counts never shift, so per permutation the work is the O(1)
+		// integer update, two exact conversions and the one-division tail.
+		// The recurrence and the tails are split into two passes (mirroring
+		// the batch path's accumulate-then-finish structure): the first is
+		// a pure integer chain, the second a run of independent tail
+		// evaluations over sign-homogeneous segments.
+		if tailOK && n == cols {
+			sa := s.vab[:nb]
+			qa := s.vab[nb : 2*nb]
+			for si := 0; si+1 < len(seg); si++ {
+				lo, hi := int(seg[si]), int(seg[si+1])
+				if sign[lo] > 0 { // accumulated class is 1
+					for p := lo; p < hi; p++ {
+						if p > 0 {
+							mv := moves[p-1]
+							vi, vo := int64(ri[mv.In]), int64(ri[mv.Out])
+							s1 += vi - vo
+							q1 += vi*vi - vo*vo
+						}
+						sa[p] = float64(s1) * 0.5
+						qa[p] = float64(q1) * 0.25
+					}
+				} else {
+					for p := lo; p < hi; p++ {
+						if p > 0 {
+							mv := moves[p-1]
+							vi, vo := int64(ri[mv.In]), int64(ri[mv.Out])
+							s1 += vi - vo
+							q1 += vi*vi - vo*vo
+						}
+						sa[p] = float64(sum2-s1) * 0.5
+						qa[p] = float64(sumq4-q1) * 0.25
+					}
+				}
+			}
+			o := i
+			for p := 0; p < nb; p++ {
+				out.Data[o] = tail.stat(sign[p], S, Q, sa[p], qa[p])
+				o += stride
+			}
+			continue
+		}
+		o := i
+		for p := 0; p < nb; p++ {
+			if p > 0 {
+				mv := moves[p-1]
+				vi, vo := int64(ri[mv.In]), int64(ri[mv.Out])
+				s1 += vi - vo
+				q1 += vi*vi - vo*vo
+				if vi != 0 {
+					na1++
+				}
+				if vo != 0 {
+					na1--
+				}
+			}
+			var na int
+			var sa, qa float64
+			if sign[p] > 0 { // accumulated class is 1
+				na = na1
+				sa = float64(s1) * 0.5
+				qa = float64(q1) * 0.25
+			} else {
+				na = n - na1
+				sa = float64(sum2-s1) * 0.5
+				qa = float64(sumq4-q1) * 0.25
+			}
+			out.Data[o] = twoSampleStat(k.pooled, sign[p], n, S, Q, na, sa, qa)
+			o += stride
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package stat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KernelISA names the instruction set the two-sample batch accumulation
+// kernel runs on.  The three implementations are bitwise interchangeable —
+// every SIMD lane performs one (row, permutation) chain's scalar IEEE-754
+// operations in the same ascending selected-column order — so the choice is
+// purely a performance knob, never a correctness one.
+type KernelISA int
+
+const (
+	// ISAGeneric is the portable pure-Go row-pair kernel.
+	ISAGeneric KernelISA = iota
+	// ISASSE2 is the 2-lane assembly kernel (amd64): one 16-byte load per
+	// interleaved row pair, two rows × two permutations per iteration.
+	ISASSE2
+	// ISAAVX2 is the 4-lane assembly kernel (amd64 with AVX2): one 32-byte
+	// load per interleaved row quad, four rows × two permutations per
+	// iteration.
+	ISAAVX2
+)
+
+var isaNames = map[KernelISA]string{
+	ISAGeneric: "generic",
+	ISASSE2:    "sse2",
+	ISAAVX2:    "avx2",
+}
+
+// String returns the flag-level name of the ISA.
+func (i KernelISA) String() string {
+	if s, ok := isaNames[i]; ok {
+		return s
+	}
+	return fmt.Sprintf("KernelISA(%d)", int(i))
+}
+
+// activeISA is the process-wide kernel dispatch choice, initialised to the
+// best ISA the CPU supports.  It is read once per kernel construction
+// (NewKernel); SetKernelISA is meant for process startup (CLI flags) and
+// tests, not for concurrent mutation during runs.
+var activeISA = bestISA()
+
+// ActiveKernelISA reports the ISA newly built kernels will use.
+func ActiveKernelISA() KernelISA { return activeISA }
+
+// SupportedISAs lists the ISA names this process can run, best last.
+func SupportedISAs() []string {
+	out := []string{ISAGeneric.String()}
+	for isa := ISASSE2; isa <= bestISA(); isa++ {
+		out = append(out, isa.String())
+	}
+	return out
+}
+
+// SetKernelISA selects the accumulation kernel by name: "auto" picks the
+// best supported ISA, "generic", "sse2" and "avx2" force one.  Requesting
+// an ISA the CPU (or GOARCH) cannot run returns an error and leaves the
+// active choice unchanged.  The returned value is the ISA now active.
+func SetKernelISA(name string) (KernelISA, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		activeISA = bestISA()
+		return activeISA, nil
+	case "generic":
+		activeISA = ISAGeneric
+		return activeISA, nil
+	case "sse2":
+		if bestISA() < ISASSE2 {
+			return activeISA, fmt.Errorf("stat: kernel %q not supported on this CPU (have %s)", name, SupportedISAs())
+		}
+		activeISA = ISASSE2
+		return activeISA, nil
+	case "avx2":
+		if bestISA() < ISAAVX2 {
+			return activeISA, fmt.Errorf("stat: kernel %q not supported on this CPU (have %s)", name, SupportedISAs())
+		}
+		activeISA = ISAAVX2
+		return activeISA, nil
+	default:
+		return activeISA, fmt.Errorf("stat: unknown kernel %q (want auto, generic, sse2 or avx2)", name)
+	}
+}

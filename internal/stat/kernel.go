@@ -179,15 +179,27 @@ type twoSampleKernel struct {
 	sum    []float64
 	sumsq  []float64
 	flat   []bool // row is constant over its non-missing cells
+	nsel   int    // accumulated-group size (relabelling-invariant)
+	isa    KernelISA
+	ir     *intRank // exact integer view of the rows; nil if unrepresentable
 }
 
 func newTwoSampleKernel(d *Design, m matrix.Matrix, pooled bool) *twoSampleKernel {
-	k := &twoSampleKernel{m: m, pooled: pooled, cls: -1}
+	k := &twoSampleKernel{m: m, pooled: pooled, cls: -1, isa: activeISA}
+	k.nsel = d.Counts[smallerClass(d)] // = Counts[0] = Counts[1] when balanced
 	if d.Counts[0] != d.Counts[1] {
 		k.cls = smallerClass(d)
 	}
 	k.n, k.sum, k.sumsq = rowTotals(m)
 	k.flat = constantRows(m)
+	// k.ir (the integer view) is deliberately NOT built here.  Unlike
+	// Wilcoxon — whose regular paths use it — the t kernels read it only
+	// in StatsDelta, and the profitability gate (DeltaOK, deltaMinGroup)
+	// dispatches that path only for accumulated groups so large that
+	// their complete enumeration (C(n, k)) could never fit under any
+	// sane MaxComplete — so an eager +50% matrix mirror would never be
+	// read in production.  Direct StatsDelta callers (tests, the gate's
+	// evidence benchmark) build the view themselves.
 	return k
 }
 
@@ -362,18 +374,96 @@ func twoSampleStat(pooled bool, sign float64, n int, S, Q float64, na int, sa, q
 // class and derived by subtraction when class 0 is smaller.  On mid-rank
 // data (half-integers) the sums are exact, so the derived values are
 // bit-identical to direct accumulation.
+//
+// Two per-row precomputations ride on that exactness.  (1) The integer
+// view (intRank): mid-ranks scaled by 2 are small integers, so the
+// per-permutation class sum accumulates in int64 — no NaN tests on
+// NA-free rows, half the bytes per element — and converts back to the
+// identical float.  (2) The hoisted tail (wilxTail): on NA-free rows the
+// class counts never vary, so the whole tie-corrected variance — which
+// depends only on the row's tie structure through the centered sum of
+// squares — moves out of the permutation loop into per-row state, leaving
+// one subtraction and one division per (row, permutation).
 type wilcoxonKernel struct {
 	m       matrix.Matrix
 	cls     int
+	nsel    int // columns in the accumulated class (relabelling-invariant)
 	n       []int
 	total   []float64
 	totalSq []float64
+	ir      *intRank   // exact integer view; nil if no row is representable
+	tails   []wilxTail // hoisted per-row tail, valid on NA-free rows
 }
 
 func newWilcoxonKernel(d *Design, m matrix.Matrix) *wilcoxonKernel {
 	k := &wilcoxonKernel{m: m, cls: smallerClass(d)}
+	k.nsel = d.Counts[k.cls]
 	k.n, k.total, k.totalSq = rowTotals(m)
+	k.ir = newIntRank(m)
+	k.tails = make([]wilxTail, m.Rows)
+	for i := range k.tails {
+		if k.n[i] == m.Cols {
+			k.tails[i] = newWilxTail(k.cls, k.nsel, k.n[i], k.total[i], k.totalSq[i])
+		}
+	}
 	return k
+}
+
+// wilxTail holds the permutation-invariant part of the Wilcoxon z-score
+// for one row with fixed class counts (every NA-free row): the row mean's
+// class-1 expectation mu1 = n1·ybar and the tie-corrected standard
+// deviation sd = sqrt(n0·n1/(nn·(nn−1))·Σ(y−ybar)²), both pure functions
+// of the row totals and the (relabelling-invariant) class sizes.  The
+// per-permutation statistic is then (s1 − mu1)/sd — the identical
+// IEEE-754 operations wilcoxonStat performs, with the invariant factors
+// computed once at kernel construction instead of once per permutation.
+type wilxTail struct {
+	ok    bool
+	neg   bool // accumulated class is 0: s1 = total − sc
+	total float64
+	mu1   float64
+	sd    float64
+}
+
+// newWilxTail derives the invariants for a row with nc accumulated-class
+// observations out of nn; ok is false when the statistic is never
+// computable (small counts or zero tie-corrected variance).
+func newWilxTail(cls, nc, nn int, total, totalSq float64) (t wilxTail) {
+	var n0, n1 int
+	if cls == 1 {
+		n1 = nc
+		n0 = nn - nc
+	} else {
+		n0 = nc
+		n1 = nn - nc
+		t.neg = true
+	}
+	t.total = total
+	if n0 < 2 || n1 < 2 || nn < 3 {
+		return t
+	}
+	ybar := total / float64(nn)
+	ssq := totalSq - float64(nn)*ybar*ybar
+	variance := float64(n0) * float64(n1) / (float64(nn) * float64(nn-1)) * ssq
+	if variance <= 0 {
+		return t
+	}
+	t.ok = true
+	t.mu1 = float64(n1) * ybar
+	t.sd = math.Sqrt(variance)
+	return t
+}
+
+// stat forms the statistic from the accumulated class sum sc.
+func (t *wilxTail) stat(sc float64) float64 {
+	if !t.ok {
+		return math.NaN()
+	}
+	s1 := sc
+	if t.neg {
+		s1 = t.total - sc
+	}
+	return (s1 - t.mu1) / t.sd
 }
 
 func (k *wilcoxonKernel) Rows() int { return k.m.Rows }
@@ -388,6 +478,29 @@ func (k *wilcoxonKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 	}
 	idx := selectColumns(lab, k.cls, s)
 	for i := 0; i < k.m.Rows; i++ {
+		full := k.n[i] == k.m.Cols
+		if k.ir != nil && k.ir.ok[i] {
+			// Integer fast path: the scaled sum is exact, so converting it
+			// back yields the identical float the accumulation below forms.
+			ri := k.ir.row(i)
+			var isum int64
+			if full {
+				for _, j := range idx {
+					isum += int64(ri[j])
+				}
+				out[i] = k.tails[i].stat(float64(isum) * 0.5)
+			} else {
+				nc := 0
+				for _, j := range idx {
+					if v := ri[j]; v != 0 {
+						nc++
+						isum += int64(v)
+					}
+				}
+				out[i] = wilcoxonStat(k.cls, nc, float64(isum)*0.5, k.n[i], k.total[i], k.totalSq[i])
+			}
+			continue
+		}
 		row := k.m.Row(i)
 		nc := 0
 		var sc float64
@@ -398,7 +511,11 @@ func (k *wilcoxonKernel) Stats(lab []int, out []float64, s *KernelScratch) {
 				sc += v
 			}
 		}
-		out[i] = wilcoxonStat(k.cls, nc, sc, k.n[i], k.total[i], k.totalSq[i])
+		if full {
+			out[i] = k.tails[i].stat(sc)
+		} else {
+			out[i] = wilcoxonStat(k.cls, nc, sc, k.n[i], k.total[i], k.totalSq[i])
+		}
 	}
 }
 

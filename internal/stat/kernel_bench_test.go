@@ -135,6 +135,130 @@ func BenchmarkKernelBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelDelta measures the delta-evaluation path against the
+// column-scatter batch path on the nonpara complete-enumeration workload:
+// paper-scale gene count (6102) over a 12-vs-12 design — the shape whose
+// complete enumeration (C(24,12) ≈ 2.7M labellings) fits the default cap
+// and therefore actually runs in revolving-door order in production.  One
+// op is ONE permutation, directly comparable with BenchmarkKernelBatch
+// and BenchmarkKernel.  The delta acceptance bar is ≥3× over the scalar
+// kernel at batch 64.
+func BenchmarkKernelDelta(b *testing.B) {
+	cases := []struct {
+		name string
+		test Test
+	}{
+		{"wilcoxon", Wilcoxon},
+		{"t-nonpara", Welch},
+	}
+	const cols = 24
+	const bs = 64
+	for _, tc := range cases {
+		tc := tc
+		d, err := NewDesign(tc.test, halfLabels(cols))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := benchMatrix(6102, cols, uint64(tc.test)+7)
+		scratch := make([]int, cols)
+		for i := 0; i < m.Rows; i++ {
+			Ranks(m.Row(i), scratch) // nonpara / rank transform
+		}
+		k, err := NewKernel(d, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bk := k.(BatchKernel)
+		dk := k.(DeltaKernel)
+		// Wilcoxon dispatches through the delta path in production; the
+		// two-sample t case calls StatsDelta directly past its
+		// profitability gate (building the integer view the gate skips),
+		// to keep the measurement that justifies the gate (see
+		// deltaMinGroup) on record.
+		if ts, isT := k.(*twoSampleKernel); isT && ts.ir == nil {
+			ts.ir = newIntRank(m)
+		}
+		if tc.test == Wilcoxon && !dk.DeltaOK() {
+			b.Fatal("delta path not available on rank data")
+		}
+		lab0, moves, labs := randomExchangeChain(d, bs, 42)
+		out := matrix.New(bs, m.Rows)
+		s := bk.NewBatchScratch(bs)
+		b.Run(tc.name+"/scalar", func(b *testing.B) {
+			ks := k.NewScratch()
+			z := make([]float64, m.Rows)
+			b.SetBytes(int64(m.Rows * m.Cols * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Stats(labs[(i%bs)*cols:(i%bs+1)*cols], z, ks)
+			}
+		})
+		b.Run(tc.name+"/batch=64", func(b *testing.B) {
+			b.SetBytes(int64(m.Rows * m.Cols * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i += bs {
+				nb := bs
+				if rem := b.N - i; rem < nb {
+					nb = rem
+				}
+				bk.StatsBatch(labs[:nb*cols], matrix.Matrix{Data: out.Data[:nb*m.Rows], Rows: nb, Cols: m.Rows}, s)
+			}
+		})
+		b.Run(tc.name+"/delta=64", func(b *testing.B) {
+			b.SetBytes(int64(m.Rows * m.Cols * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i += bs {
+				nb := bs
+				if rem := b.N - i; rem < nb {
+					nb = rem
+				}
+				dk.StatsDelta(lab0, moves[:nb-1], matrix.Matrix{Data: out.Data[:nb*m.Rows], Rows: nb, Cols: m.Rows}, s)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelISA sweeps the two-sample accumulation kernel dispatch —
+// generic, SSE2, AVX2 (where supported) — on the paper's Welch-t 6102×76
+// workload at batch 64.  One op is one permutation.  All three produce
+// bitwise identical statistics (TestStatsBatchISASweep); the bar for the
+// AVX2 kernel is beating SSE2 here.
+func BenchmarkKernelISA(b *testing.B) {
+	d, err := NewDesign(Welch, halfLabels(76))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchMatrix(6102, d.N, 2)
+	labs := benchLabellings(d, 32)
+	const bs = 64
+	flat := make([]int, bs*d.N)
+	for p := 0; p < bs; p++ {
+		copy(flat[p*d.N:(p+1)*d.N], labs[p%len(labs)])
+	}
+	for isa := ISAGeneric; isa <= bestISA(); isa++ {
+		isa := isa
+		b.Run(isa.String()+"/B=64", func(b *testing.B) {
+			k, err := NewKernel(d, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := k.(*twoSampleKernel)
+			ts.isa = isa
+			out := matrix.New(bs, m.Rows)
+			s := ts.NewBatchScratch(bs)
+			b.SetBytes(int64(m.Rows * m.Cols * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i += bs {
+				nb := bs
+				if rem := b.N - i; rem < nb {
+					nb = rem
+				}
+				ts.StatsBatch(flat[:nb*d.N], matrix.Matrix{Data: out.Data[:nb*m.Rows], Rows: nb, Cols: m.Rows}, s)
+			}
+		})
+	}
+}
+
 func benchMatrix(rows, cols int, seed uint64) matrix.Matrix {
 	m := matrix.New(rows, cols)
 	r := lcg(seed)

@@ -89,6 +89,15 @@ func PMaxT(x [][]float64, classlabel []int, nprocs int, opt Options) (*Result, e
 	return core.PMaxT(x, classlabel, nprocs, opt)
 }
 
+// SetKernel selects the two-sample accumulation kernel by name — "auto",
+// "generic", "sse2" or "avx2" — returning the name now active.  Meant for
+// process startup (the pmaxt/pmaxtd -kernel flags); every kernel produces
+// bitwise identical results, so this is purely a performance knob.
+func SetKernel(name string) (string, error) { return core.SetKernel(name) }
+
+// KernelName reports the active accumulation kernel.
+func KernelName() string { return core.KernelName() }
+
 // GenerateDataset synthesises a microarray-like dataset with known
 // differential genes, suitable for validating analyses and for regenerating
 // the paper's benchmark workloads.
