@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"sprint"
+	"sprint/internal/httpapi"
+	"sprint/internal/jobs"
+	"sprint/internal/matrix"
+	"sprint/internal/rng"
+)
+
+// The -json-ingest mode emits the dataset-plane benchmark data CI tracks
+// as an artifact (BENCH_ingest.json): how fast a paper-shaped matrix gets
+// from wire bytes into the engine's layout (binary spb in both layouts
+// versus streaming and buffered JSON), and what a submission costs end to
+// end when the prepared state is cold versus served from the cross-job
+// prep cache.
+
+// ingestBenchJSON is one ingest micro-benchmark result.
+type ingestBenchJSON struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type ingestDoc struct {
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	CPUs         int               `json:"cpus"`
+	Genes        int               `json:"genes"`
+	Samples      int               `json:"samples"`
+	MatrixBytes  int               `json:"matrix_bytes"`
+	JSONBytes    int               `json:"json_body_bytes"`
+	SPBBytes     int               `json:"spb_bytes"`
+	Ingest       []ingestBenchJSON `json:"ingest"`
+	Submit       []ingestBenchJSON `json:"submit"`
+	PrepBuilds   int64             `json:"prep_builds"`
+	PrepHits     int64             `json:"prep_hits"`
+	SubmitRounds int               `json:"submit_rounds"`
+}
+
+// emitJSONIngest measures the ingest paths on a genes×76 workload and
+// writes one JSON document.
+func emitJSONIngest(w io.Writer, genes int) error {
+	const samples = 76
+	doc := ingestDoc{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Genes: genes, Samples: samples,
+	}
+
+	m := matrix.New(genes, samples)
+	src := rng.New(20260727)
+	for i := range m.Data {
+		m.Data[i] = 8 + 2*src.NormFloat64()
+	}
+	labels := make([]int, samples)
+	for j := samples / 2; j < samples; j++ {
+		labels[j] = 1
+	}
+	doc.MatrixBytes = len(m.Data) * 8
+
+	// ---- wire payloads -------------------------------------------------
+	spbRow, err := matrix.EncodeBytes(m, nil, nil, matrix.RowMajor)
+	if err != nil {
+		return err
+	}
+	spbCol, err := matrix.EncodeBytes(m, nil, nil, matrix.ColMajor)
+	if err != nil {
+		return err
+	}
+	doc.SPBBytes = len(spbRow)
+	flat := make([]float64, genes*samples)
+	for j := 0; j < samples; j++ {
+		for i := 0; i < genes; i++ {
+			flat[j*genes+i] = m.At(i, j)
+		}
+	}
+	body, err := json.Marshal(map[string]any{
+		"dataset": map[string]any{
+			"x_flat": httpapi.Floats(flat), "genes": genes, "samples": samples,
+			"labels": labels,
+		},
+		"options": map[string]any{"b": 1000, "seed": 1},
+	})
+	if err != nil {
+		return err
+	}
+	doc.JSONBytes = len(body)
+
+	record := func(list *[]ingestBenchJSON, name string, payload int, r testing.BenchmarkResult) {
+		row := ingestBenchJSON{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if payload > 0 && r.NsPerOp() > 0 {
+			row.MBPerS = float64(payload) / (1 << 20) / (float64(r.NsPerOp()) / 1e9)
+		}
+		*list = append(*list, row)
+	}
+
+	// ---- ingest micro-benchmarks --------------------------------------
+	work := make([]byte, len(spbRow))
+	record(&doc.Ingest, "ingest/spb-rowmajor", len(spbRow), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// DecodeBytes consumes its buffer, so each iteration pays one
+			// refresh memcpy — as a real server does per request body.
+			copy(work, spbRow)
+			if _, err := matrix.DecodeBytes(work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	workCol := make([]byte, len(spbCol))
+	record(&doc.Ingest, "ingest/spb-colmajor", len(spbCol), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(workCol, spbCol)
+			if _, err := matrix.DecodeBytes(workCol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record(&doc.Ingest, "ingest/json-stream", len(body), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := httpapi.DecodeSubmit(bytes.NewReader(body)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record(&doc.Ingest, "ingest/json-buffered", len(body), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var req httpapi.SubmitRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// ---- end-to-end submission latency --------------------------------
+	// Tiny B isolates the serving overhead (ingest + key + prep) from the
+	// permutation kernel; distinct seeds defeat the result cache so every
+	// submission computes.
+	mgr, err := jobs.NewManager(jobs.Config{Workers: 1, DefaultNProcs: 1, QueueDepth: 4096})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	opt := sprint.DefaultOptions()
+	opt.B = 2
+	seed := uint64(1)
+	submitWait := func(spec jobs.Spec) error {
+		st, err := mgr.Submit(spec)
+		if err != nil {
+			return err
+		}
+		for {
+			cur, err := mgr.Get(st.ID)
+			if err != nil {
+				return err
+			}
+			if cur.State.Terminal() {
+				if cur.State != jobs.Done {
+					return fmt.Errorf("job %s finished %s: %s", st.ID, cur.State, cur.Error)
+				}
+				return nil
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	record(&doc.Submit, "submit/x_flat-cold-prep", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opt
+			seed++
+			o.Seed = seed
+			if err := submitWait(jobs.Spec{XFlat: flat, Genes: genes, Samples: samples, Labels: labels, Opt: o}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	info, _, err := mgr.PutDataset(m.Clone())
+	if err != nil {
+		return err
+	}
+	// Warm the prep cache once, then measure hot submissions.
+	o := opt
+	seed++
+	o.Seed = seed
+	if err := submitWait(jobs.Spec{DatasetID: info.ID, Labels: labels, Opt: o}); err != nil {
+		return err
+	}
+	hot := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opt
+			seed++
+			o.Seed = seed
+			if err := submitWait(jobs.Spec{DatasetID: info.ID, Labels: labels, Opt: o}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record(&doc.Submit, "submit/dataset-id-hot-prep", 0, hot)
+	doc.SubmitRounds = hot.N
+	stats := mgr.StatsSnapshot()
+	doc.PrepBuilds, doc.PrepHits = stats.PrepBuilds, stats.PrepHits
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

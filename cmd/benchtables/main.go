@@ -49,6 +49,7 @@ func run(args []string, w io.Writer) error {
 	csvOut := fs.Bool("csv", false, "emit model profiles for all platforms as CSV and exit")
 	jsonOut := fs.Bool("json", false, "run the kernel micro-benchmarks and measured profile, emit JSON, and exit")
 	jsonDelta := fs.Bool("json-delta", false, "run the delta-engine and ISA-dispatch micro-benchmarks, emit JSON, and exit")
+	jsonIngest := fs.Bool("json-ingest", false, "run the dataset-plane ingest benchmarks (spb vs JSON, cold vs hot prep), emit JSON, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +61,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *jsonDelta {
 		return emitJSONDelta(w, *genes)
+	}
+	if *jsonIngest {
+		return emitJSONIngest(w, *genes)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*measure {
 		*all = true

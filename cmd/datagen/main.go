@@ -7,6 +7,7 @@
 //
 //	datagen -genes 6102 -samples 76 -out paper.csv
 //	datagen -paper -out paper.csv          # the Tables I–V dataset shape
+//	datagen -paper -format spb -out paper.spb  # binary columnar (zero-copy ingest)
 //	datagen -exon 6 -out exon36612.csv     # the small Table VI dataset
 //	datagen -genes 100 -samples 12 -paired # a paired design on stdout
 package main
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sprint/internal/microarray"
 )
@@ -41,8 +43,20 @@ func run(args []string, stdout io.Writer) error {
 	paper := fs.Bool("paper", false, "generate the paper's 6102x76 benchmark dataset shape")
 	exon := fs.Int("exon", 0, "generate a Table VI exon-array dataset (6 -> 36612 genes, 12 -> 73224)")
 	out := fs.String("out", "", "output file (default stdout)")
+	format := fs.String("format", "", "output format: csv or spb (default csv, or inferred from -out extension)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "":
+		if strings.HasSuffix(*out, ".spb") {
+			*format = "spb"
+		} else {
+			*format = "csv"
+		}
+	case "csv", "spb":
+	default:
+		return fmt.Errorf("unknown format %q (want csv or spb)", *format)
 	}
 
 	opt := microarray.GenOptions{
@@ -72,10 +86,15 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := d.WriteCSV(w); err != nil {
+	if *format == "spb" {
+		err = d.WriteSPB(w)
+	} else {
+		err = d.WriteCSV(w)
+	}
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "datagen: wrote %d x %d dataset (%.2f MB, %d classes, seed %d)\n",
-		d.Rows(), d.Cols(), d.SizeMB(), opt.Classes, opt.Seed)
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d x %d dataset (%.2f MB, %d classes, seed %d, %s)\n",
+		d.Rows(), d.Cols(), d.SizeMB(), opt.Classes, opt.Seed, *format)
 	return nil
 }

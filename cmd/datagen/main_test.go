@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -80,5 +81,72 @@ func TestRunRejectsBadOptions(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunSPBRoundTrip: -format spb writes a binary dataset that reads
+// back bitwise identical to the generator's output (the CSV format, by
+// contrast, goes through decimal text).
+func TestRunSPBRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.spb")
+	if err := run([]string{"-genes", "20", "-samples", "8", "-seed", "5", "-missing", "0.1", "-out", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := microarray.ReadSPB(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := microarray.Generate(microarray.GenOptions{
+		Genes: 20, Samples: 8, Classes: 2,
+		DiffFraction: 0.05, EffectSize: 1.5, MissingRate: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("dims %dx%d, want %dx%d", got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := range want.X {
+		for j := range want.X[i] {
+			g, w := got.X[i][j], want.X[i][j]
+			if math.IsNaN(w) {
+				if !math.IsNaN(g) {
+					t.Fatalf("cell %d,%d: got %v, want NaN", i, j, g)
+				}
+				continue
+			}
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("cell %d,%d: %x != %x (spb round trip must be bitwise)", i, j,
+					math.Float64bits(g), math.Float64bits(w))
+			}
+		}
+	}
+	for j, l := range want.Labels {
+		if got.Labels[j] != l {
+			t.Fatalf("label %d: %d != %d", j, got.Labels[j], l)
+		}
+	}
+	for i, n := range want.GeneNames {
+		if got.GeneNames[i] != n {
+			t.Fatalf("name %d: %q != %q", i, got.GeneNames[i], n)
+		}
+	}
+	for i, d := range want.Differential {
+		if got.Differential[i] != d {
+			t.Fatalf("differential flag %d lost in round trip", i)
+		}
+	}
+}
+
+// TestRunFormatValidation rejects unknown formats.
+func TestRunFormatValidation(t *testing.T) {
+	err := run([]string{"-genes", "5", "-samples", "4", "-format", "parquet"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("err = %v, want unknown format", err)
 	}
 }

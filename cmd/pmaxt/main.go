@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"sprint"
 	"sprint/internal/report"
@@ -31,7 +32,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pmaxt", flag.ContinueOnError)
-	dataPath := fs.String("data", "", "input dataset CSV (required; see cmd/datagen)")
+	dataPath := fs.String("data", "", "input dataset: CSV, or binary .spb (required; see cmd/datagen)")
 	np := fs.Int("np", 0, "number of parallel processes (goroutine ranks); 0 = all CPUs (GOMAXPROCS)")
 	serial := fs.Bool("serial", false, "run the serial mt.maxT baseline instead of pmaxT")
 	test := fs.String("test", "t", "statistic: t, t.equalvar, wilcoxon, f, pairt, blockf")
@@ -89,7 +90,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	data, err := sprint.ReadDatasetCSV(f)
+	var data *sprint.Dataset
+	if strings.HasSuffix(*dataPath, ".spb") {
+		data, err = sprint.ReadDatasetSPB(f)
+	} else {
+		data, err = sprint.ReadDatasetCSV(f)
+	}
 	if err != nil {
 		return err
 	}

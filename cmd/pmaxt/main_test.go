@@ -103,3 +103,38 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bogus test accepted")
 	}
 }
+
+// TestRunSPBInput: pmaxt on a .spb dataset must produce exactly the
+// analysis of the same dataset read from CSV.
+func TestRunSPBInput(t *testing.T) {
+	data, err := sprint.GenerateDataset(sprint.DatasetOptions{
+		Genes: 40, Samples: 10, Classes: 2,
+		DiffFraction: 0.1, EffectSize: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	spbPath := filepath.Join(dir, "data.spb")
+	sf, err := os.Create(spbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.WriteSPB(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-data", spbPath, "-serial", "-B", "400", "-seed", "3", "-top", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// 252 = C(10,5): the complete enumeration undercuts B=400 and wins,
+	// exactly as it would for the CSV form of the same dataset.
+	for _, want := range []string{"mt.maxT (serial)", "252 permutations (complete: true)", ".DE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("spb output missing %q:\n%s", want, s)
+		}
+	}
+}

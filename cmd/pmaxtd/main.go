@@ -54,6 +54,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	every := fs.Int64("every", 1000, "default checkpoint window (permutations)")
 	cache := fs.Int("cache", 128, "result cache entries (negative disables)")
 	ckptDir := fs.String("checkpoint-dir", "", "persist checkpoints here to survive restarts (empty = memory only)")
+	dsCache := fs.Int("dataset-cache", 0, "in-memory dataset registry entries (0 = default 32, negative disables)")
+	dsDir := fs.String("dataset-dir", "", "mirror registered datasets here as .spb files so they survive restarts (empty = memory only)")
 	maxBody := fs.Int64("max-body", 256<<20, "maximum submission body bytes")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	kernel := fs.String("kernel", "auto", "accumulation kernel: auto, generic, sse2, avx2 (results are identical on all)")
@@ -80,12 +82,14 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 	srv, err := sprint.NewServer(sprint.ServerConfig{
 		Jobs: sprint.JobsConfig{
-			Workers:       *workers,
-			QueueDepth:    *queue,
-			DefaultNProcs: *nprocs,
-			DefaultEvery:  *every,
-			CacheSize:     *cache,
-			CheckpointDir: *ckptDir,
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			DefaultNProcs:    *nprocs,
+			DefaultEvery:     *every,
+			CacheSize:        *cache,
+			CheckpointDir:    *ckptDir,
+			DatasetCacheSize: *dsCache,
+			DatasetDir:       *dsDir,
 		},
 		MaxBodyBytes: *maxBody,
 	})

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprint/internal/matrix"
+	"sprint/internal/maxt"
+	"sprint/internal/perm"
+	"sprint/internal/stat"
+)
+
+// This file splits the expensive, input-only half of a permutation run —
+// NA scrub, design validation, rank transform, per-row moment precompute,
+// observed statistics, step-down order — out of the per-run path, so that
+// a job server running a thousand analyses over one dataset (different
+// seeds, different B) builds that state ONCE and shares it read-only
+// across jobs and workers.  A Prepared depends only on (matrix, labels,
+// test, side, nonpara, NA code); everything per-run (B, seed, order,
+// batch, rank count, checkpoints) stays in RunPrepared.
+
+// Prepared is the immutable, shareable preparation of analyses over one
+// (dataset, labels, test, side, nonpara, NA) tuple.  It is safe for
+// concurrent use by any number of RunPrepared calls: maxt.Prep is
+// read-only after construction and all per-run mutable state lives in
+// RunControl scratch.
+type Prepared struct {
+	clean  matrix.Matrix
+	labels []int
+	design *stat.Design
+	prep   *maxt.Prep
+
+	// The prep-relevant option subset, recorded so RunPrepared can refuse
+	// an options mismatch instead of silently computing the wrong test.
+	test    stat.Test
+	side    maxt.Side
+	nonpara bool
+	na      float64
+
+	// scrubTime and buildTime record what Prepare spent, so wrappers that
+	// prepare and run in one call (RunMatrix) can report the historical
+	// profile sections.  Cached reuse deliberately does NOT charge them:
+	// a cache hit really does skip that work.
+	scrubTime time.Duration
+	buildTime time.Duration
+}
+
+// prepBuilds counts Prepare calls process-wide.  The jobs layer asserts
+// prep reuse against it: N jobs on one cached dataset must add exactly 1.
+var prepBuilds atomic.Int64
+
+// PrepBuilds reports how many full preparations (scrub + rank transform +
+// moment precompute + observed statistics) this process has built.
+func PrepBuilds() int64 { return prepBuilds.Load() }
+
+// Rows returns the number of matrix rows (genes) the preparation covers.
+func (p *Prepared) Rows() int { return p.prep.Rows() }
+
+// Labels returns the class labels the preparation was built under.  The
+// slice is shared; callers must not modify it.
+func (p *Prepared) Labels() []int { return p.labels }
+
+// Prepare builds the shareable preparation of x under opt's prep-relevant
+// options (Test, Side, Nonpara, NA).  x is not modified.  The returned
+// value may be cached and shared by any number of concurrent RunPrepared
+// calls whose options agree on that subset — B, Seed, FixedSeedSampling,
+// PermOrder, BatchSize and MaxComplete are free to vary per run.
+func Prepare(x matrix.Matrix, classlabel []int, opt Options) (*Prepared, error) {
+	cfg, err := parseOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	if x.IsEmpty() {
+		return nil, fmt.Errorf("core: empty input matrix")
+	}
+	start := time.Now()
+	clean := scrubNA(x, cfg.na)
+	scrubTime := time.Since(start)
+
+	start = time.Now()
+	design, err := stat.NewDesign(cfg.test, classlabel)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := maxt.NewPrepMatrix(clean, design, cfg.side, cfg.nonpara)
+	if err != nil {
+		return nil, err
+	}
+	prepBuilds.Add(1)
+	return &Prepared{
+		clean:  clean,
+		labels: append([]int(nil), classlabel...),
+		design: design,
+		prep:   prep,
+		test:   cfg.test, side: cfg.side, nonpara: cfg.nonpara, na: cfg.na,
+		scrubTime: scrubTime,
+		buildTime: time.Since(start),
+	}, nil
+}
+
+// ErrPrepMismatch reports a RunPrepared call whose options disagree with
+// the preparation on a prep-relevant field.
+var ErrPrepMismatch = fmt.Errorf("core: options do not match the prepared state (test, side, nonpara or NA changed)")
+
+// compatible checks that opt's prep-relevant subset matches p.
+func (p *Prepared) compatible(cfg config) error {
+	if cfg.test != p.test || cfg.side != p.side || cfg.nonpara != p.nonpara || cfg.na != p.na {
+		return ErrPrepMismatch
+	}
+	return nil
+}
+
+// RunPrepared executes the permutation testing function over a shared
+// preparation: the same bit-exact computation as RunMatrix with the same
+// inputs, minus every cost Prepare already paid.  opt must agree with the
+// preparation on Test, Side, Nonpara and NA (ErrPrepMismatch otherwise);
+// all other options select this run's permutation plan.  The returned
+// profile charges only work this call performed — a served-from-cache
+// preparation reports (near-)zero pre-processing and data-creation time,
+// which is the point.
+func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
+	if ctl.Ctx != nil {
+		if err := ctl.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run not started: %w", err)
+		}
+	}
+	cfg, err := parseOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.compatible(cfg); err != nil {
+		return nil, err
+	}
+	var prof Profile
+
+	start := time.Now()
+	prep, design := p.prep, p.design
+	useComplete, totalB, err := planPermutations(cfg, design)
+	if err != nil {
+		return nil, err
+	}
+	door := useComplete && cfg.doorOrder(design)
+	fp := fingerprint(cfg, p.clean, p.labels, door)
+
+	nprocs := ctl.NProcs
+	if nprocs < 1 {
+		nprocs = runtime.GOMAXPROCS(0)
+	}
+	batch := cfg.effectiveBatch()
+	every := ctl.Every
+	if every < 1 {
+		every = totalB
+	} else if every < totalB {
+		// Align the window (and therefore every checkpoint boundary) to a
+		// whole number of kernel batches, so no window ends on a ragged
+		// tail batch.  Checkpoint semantics are unchanged: a checkpoint
+		// taken at ANY boundary — including one saved by an earlier,
+		// unaligned engine — remains a valid resume point, because counts
+		// are a pure prefix sum over the permutation sequence.
+		eb := int64(batch)
+		every = (every + eb - 1) / eb * eb
+	}
+
+	counts := maxt.NewCounts(prep.Rows())
+	first := int64(0)
+	if ctl.Resume != nil {
+		r := ctl.Resume
+		if r.Fingerprint != fp || r.TotalB != totalB || r.Complete != useComplete {
+			return nil, ErrCheckpointMismatch
+		}
+		if len(r.Raw) != prep.Rows() || len(r.Adj) != prep.Rows() {
+			return nil, ErrCheckpointMismatch
+		}
+		copy(counts.Raw, r.Raw)
+		copy(counts.Adj, r.Adj)
+		counts.B = r.Done
+		first = r.Next
+	}
+
+	var gen perm.Generator
+	switch {
+	case useComplete:
+		gen, err = cfg.completeGen(design)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.fixedSeed:
+		gen = perm.NewRandom(design, cfg.seed, totalB)
+	default:
+		// One materialisation covering every remaining permutation; the
+		// window workers index into their sub-chunks of it.
+		gen = perm.NewStored(design, cfg.seed, totalB, first, totalB)
+	}
+	prof.CreateData = time.Since(start)
+
+	// Per-rank reusable state: generators are concurrency-safe, so ranks
+	// share gen but own their scratch and partial counts.  The state lives
+	// in a RunScratch so a long-lived worker can carry it across jobs.
+	rs := ctl.Scratch
+	if rs == nil {
+		rs = &RunScratch{}
+	}
+	rs.ensure(prep, nprocs)
+	scratches, partials := rs.scratches, rs.partials
+
+	kernelStart := time.Now()
+	for lo := first; lo < totalB; lo += every {
+		if ctl.Ctx != nil {
+			if err := ctl.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run stopped at permutation %d of %d: %w", lo, totalB, err)
+			}
+		}
+		hi := lo + every
+		if hi > totalB {
+			hi = totalB
+		}
+		span := hi - lo
+		if nprocs == 1 {
+			maxt.ProcessBatched(prep, gen, lo, hi, counts, scratches[0], batch)
+		} else {
+			var wg sync.WaitGroup
+			for r := 0; r < nprocs; r++ {
+				// Rank boundaries inside the window align to batch
+				// multiples (relative to the window start), so only the
+				// window's last rank can see a ragged tail batch.
+				clo := lo + alignBoundary(span*int64(r)/int64(nprocs), span, batch)
+				chi := lo + alignBoundary(span*int64(r+1)/int64(nprocs), span, batch)
+				if clo == chi {
+					continue
+				}
+				wg.Add(1)
+				go func(r int, clo, chi int64) {
+					defer wg.Done()
+					maxt.ProcessBatched(prep, gen, clo, chi, partials[r], scratches[r], batch)
+				}(r, clo, chi)
+			}
+			wg.Wait()
+			for r := 0; r < nprocs; r++ {
+				if partials[r].B > 0 {
+					counts.Merge(partials[r])
+					clear(partials[r].Raw)
+					clear(partials[r].Adj)
+					partials[r].B = 0
+				}
+			}
+		}
+		if ctl.Save != nil {
+			snap := &Checkpoint{
+				Fingerprint: fp,
+				TotalB:      totalB,
+				Complete:    useComplete,
+				Next:        hi,
+				Raw:         append([]int64(nil), counts.Raw...),
+				Adj:         append([]int64(nil), counts.Adj...),
+				Done:        counts.B,
+			}
+			if err := ctl.Save(snap); err != nil {
+				return nil, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
+			}
+		}
+		if ctl.OnProgress != nil {
+			ctl.OnProgress(counts.B, totalB)
+		}
+	}
+	prof.MainKernel = time.Since(kernelStart)
+
+	start = time.Now()
+	if counts.B != totalB {
+		return nil, fmt.Errorf("core: accumulated permutation count %d, want %d", counts.B, totalB)
+	}
+	final := maxt.Finalize(prep, counts)
+	prof.ComputePValues = time.Since(start)
+
+	return &Result{
+		Stat:      final.Stat,
+		RawP:      final.RawP,
+		AdjP:      final.AdjP,
+		Order:     final.Order,
+		B:         final.B,
+		Complete:  useComplete,
+		NProcs:    nprocs,
+		Profile:   prof,
+		KernelMax: prof.MainKernel,
+	}, nil
+}

@@ -3,14 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"time"
 
 	"sprint/internal/matrix"
 	"sprint/internal/maxt"
-	"sprint/internal/perm"
-	"sprint/internal/stat"
 )
 
 // This file generalises the permutation loop for long-lived callers (the
@@ -93,7 +88,10 @@ func Run(x [][]float64, classlabel []int, opt Options, ctl RunControl) (*Result,
 // RunMatrix is Run on the flat matrix the engine computes on; x is not
 // modified.  Large callers (the job server) use it directly so the only
 // full-matrix copies left are the NA scrub (skipped when clean) and the
-// prep's private transform copy.
+// prep's private transform copy.  It is Prepare + RunPrepared in one call;
+// callers that run many analyses over one dataset should hold the
+// Prepared themselves (or submit by dataset id to the job server) so the
+// preparation is paid once, not per run.
 func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (*Result, error) {
 	// Observe cancellation before the expensive setup too (preparation
 	// and the stored generator materialise the whole remaining run), so
@@ -103,174 +101,21 @@ func RunMatrix(x matrix.Matrix, classlabel []int, opt Options, ctl RunControl) (
 			return nil, fmt.Errorf("core: run not started: %w", err)
 		}
 	}
-	var prof Profile
-	start := time.Now()
-	cfg, err := parseOptions(opt)
+	p, err := Prepare(x, classlabel, opt)
 	if err != nil {
 		return nil, err
 	}
-	if x.IsEmpty() {
-		return nil, fmt.Errorf("core: empty input matrix")
-	}
-	clean := scrubNA(x, cfg.na)
-	prof.PreProcessing = time.Since(start)
-
-	start = time.Now()
-	design, err := stat.NewDesign(cfg.test, classlabel)
+	res, err := RunPrepared(p, opt, ctl)
 	if err != nil {
 		return nil, err
 	}
-	prep, err := maxt.NewPrepMatrix(clean, design, cfg.side, cfg.nonpara)
-	if err != nil {
-		return nil, err
-	}
-	useComplete, totalB, err := planPermutations(cfg, design)
-	if err != nil {
-		return nil, err
-	}
-	door := useComplete && cfg.doorOrder(design)
-	fp := fingerprint(cfg, clean, classlabel, door)
-
-	nprocs := ctl.NProcs
-	if nprocs < 1 {
-		nprocs = runtime.GOMAXPROCS(0)
-	}
-	batch := cfg.effectiveBatch()
-	every := ctl.Every
-	if every < 1 {
-		every = totalB
-	} else if every < totalB {
-		// Align the window (and therefore every checkpoint boundary) to a
-		// whole number of kernel batches, so no window ends on a ragged
-		// tail batch.  Checkpoint semantics are unchanged: a checkpoint
-		// taken at ANY boundary — including one saved by an earlier,
-		// unaligned engine — remains a valid resume point, because counts
-		// are a pure prefix sum over the permutation sequence.
-		eb := int64(batch)
-		every = (every + eb - 1) / eb * eb
-	}
-
-	counts := maxt.NewCounts(prep.Rows())
-	first := int64(0)
-	if ctl.Resume != nil {
-		r := ctl.Resume
-		if r.Fingerprint != fp || r.TotalB != totalB || r.Complete != useComplete {
-			return nil, ErrCheckpointMismatch
-		}
-		if len(r.Raw) != prep.Rows() || len(r.Adj) != prep.Rows() {
-			return nil, ErrCheckpointMismatch
-		}
-		copy(counts.Raw, r.Raw)
-		copy(counts.Adj, r.Adj)
-		counts.B = r.Done
-		first = r.Next
-	}
-
-	var gen perm.Generator
-	switch {
-	case useComplete:
-		gen, err = cfg.completeGen(design)
-		if err != nil {
-			return nil, err
-		}
-	case cfg.fixedSeed:
-		gen = perm.NewRandom(design, cfg.seed, totalB)
-	default:
-		// One materialisation covering every remaining permutation; the
-		// window workers index into their sub-chunks of it.
-		gen = perm.NewStored(design, cfg.seed, totalB, first, totalB)
-	}
-	prof.CreateData = time.Since(start)
-
-	// Per-rank reusable state: generators are concurrency-safe, so ranks
-	// share gen but own their scratch and partial counts.  The state lives
-	// in a RunScratch so a long-lived worker can carry it across jobs.
-	rs := ctl.Scratch
-	if rs == nil {
-		rs = &RunScratch{}
-	}
-	rs.ensure(prep, nprocs)
-	scratches, partials := rs.scratches, rs.partials
-
-	kernelStart := time.Now()
-	for lo := first; lo < totalB; lo += every {
-		if ctl.Ctx != nil {
-			if err := ctl.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: run stopped at permutation %d of %d: %w", lo, totalB, err)
-			}
-		}
-		hi := lo + every
-		if hi > totalB {
-			hi = totalB
-		}
-		span := hi - lo
-		if nprocs == 1 {
-			maxt.ProcessBatched(prep, gen, lo, hi, counts, scratches[0], batch)
-		} else {
-			var wg sync.WaitGroup
-			for r := 0; r < nprocs; r++ {
-				// Rank boundaries inside the window align to batch
-				// multiples (relative to the window start), so only the
-				// window's last rank can see a ragged tail batch.
-				clo := lo + alignBoundary(span*int64(r)/int64(nprocs), span, batch)
-				chi := lo + alignBoundary(span*int64(r+1)/int64(nprocs), span, batch)
-				if clo == chi {
-					continue
-				}
-				wg.Add(1)
-				go func(r int, clo, chi int64) {
-					defer wg.Done()
-					maxt.ProcessBatched(prep, gen, clo, chi, partials[r], scratches[r], batch)
-				}(r, clo, chi)
-			}
-			wg.Wait()
-			for r := 0; r < nprocs; r++ {
-				if partials[r].B > 0 {
-					counts.Merge(partials[r])
-					clear(partials[r].Raw)
-					clear(partials[r].Adj)
-					partials[r].B = 0
-				}
-			}
-		}
-		if ctl.Save != nil {
-			snap := &Checkpoint{
-				Fingerprint: fp,
-				TotalB:      totalB,
-				Complete:    useComplete,
-				Next:        hi,
-				Raw:         append([]int64(nil), counts.Raw...),
-				Adj:         append([]int64(nil), counts.Adj...),
-				Done:        counts.B,
-			}
-			if err := ctl.Save(snap); err != nil {
-				return nil, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
-			}
-		}
-		if ctl.OnProgress != nil {
-			ctl.OnProgress(counts.B, totalB)
-		}
-	}
-	prof.MainKernel = time.Since(kernelStart)
-
-	start = time.Now()
-	if counts.B != totalB {
-		return nil, fmt.Errorf("core: accumulated permutation count %d, want %d", counts.B, totalB)
-	}
-	final := maxt.Finalize(prep, counts)
-	prof.ComputePValues = time.Since(start)
-
-	return &Result{
-		Stat:      final.Stat,
-		RawP:      final.RawP,
-		AdjP:      final.AdjP,
-		Order:     final.Order,
-		B:         final.B,
-		Complete:  useComplete,
-		NProcs:    nprocs,
-		Profile:   prof,
-		KernelMax: prof.MainKernel,
-	}, nil
+	// The preparation happened inline on this call: charge its cost to
+	// the historical profile sections (scrub is pre-processing, design +
+	// prep build is data creation), exactly as the pre-split code timed
+	// them.
+	res.Profile.PreProcessing += p.scrubTime
+	res.Profile.CreateData += p.buildTime
+	return res, nil
 }
 
 // CanonicalOptions validates opt and returns it with the documented

@@ -5,15 +5,25 @@
 //	GET    /v1/jobs/{id}        job status with live permutation progress
 //	GET    /v1/jobs/{id}/result adjusted p-values of a finished job
 //	DELETE /v1/jobs/{id}        cancel (checkpoint retained for resume)
+//	PUT    /v1/datasets         register a matrix; returns its content id
+//	GET    /v1/datasets         list registered datasets
+//	GET    /v1/datasets/{id}    one dataset's registry entry
+//	DELETE /v1/datasets/{id}    evict a dataset (409 while jobs pin it)
 //	GET    /v1/healthz          liveness
 //	GET    /v1/stats            queue / cache / worker counters
 //
 // The body formats are defined by the *JSON types in this file.  Matrix
 // cells may be JSON null for missing values (NaN), and NaN/±Inf outputs
 // serialise as null, since bare JSON has no tokens for them.  Datasets may
-// be submitted row per gene ("x") or as one flat column-major buffer
-// ("x_flat" + "genes" + "samples", R's native layout); both forms hash to
-// the same cache key.
+// be submitted row per gene ("x"), as one flat column-major buffer
+// ("x_flat" + "genes" + "samples", R's native layout), or — the zero-copy
+// path — by "dataset_id" against a matrix previously registered on
+// /v1/datasets; all three forms hash to the same cache key.  Dataset
+// uploads accept JSON (the same "x"/"x_flat" shapes) or the binary spb
+// codec (Content-Type application/x-sprint-spb).  JSON request bodies are
+// decoded with a streaming decoder (peak memory tracks the decoded matrix,
+// not the body text), and any request body may be sent with
+// Content-Encoding: gzip.
 package httpapi
 
 import (
@@ -24,10 +34,12 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"sprint/internal/core"
 	"sprint/internal/jobs"
+	"sprint/internal/matrix"
 )
 
 // Config configures a Server.
@@ -63,6 +75,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("PUT /v1/datasets", s.handlePutDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetInfo)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s, nil
@@ -190,6 +206,11 @@ type DatasetJSON struct {
 	// Genes and Samples give XFlat's shape; ignored with X.
 	Genes   int `json:"genes,omitempty"`
 	Samples int `json:"samples,omitempty"`
+	// DatasetID submits against a matrix previously registered on
+	// /v1/datasets instead of carrying one: the request body shrinks to
+	// a few hundred bytes, the server hashes nothing, and the run reuses
+	// the registry's cached preparation.
+	DatasetID string `json:"dataset_id,omitempty"`
 	// Labels assigns each sample column a class.
 	Labels []int `json:"labels"`
 }
@@ -329,39 +350,186 @@ type ResultJSON struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	var req SubmitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
-			return
-		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	body, err := s.requestBody(w, r)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	defer body.Close()
+	req, err := DecodeSubmit(body)
+	if err != nil {
+		writeBodyError(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	st, err := s.mgr.Submit(jobs.Spec{
-		X:       req.Dataset.X,
-		XFlat:   req.Dataset.XFlat,
-		Genes:   req.Dataset.Genes,
-		Samples: req.Dataset.Samples,
-		Labels:  req.Dataset.Labels,
-		Opt:     req.Options.options(),
-		NProcs:  req.NProcs,
-		Every:   req.CheckpointEvery,
+		X:         req.Dataset.X,
+		XFlat:     req.Dataset.XFlat,
+		Genes:     req.Dataset.Genes,
+		Samples:   req.Dataset.Samples,
+		DatasetID: req.Dataset.DatasetID,
+		Labels:    req.Dataset.Labels,
+		Opt:       req.Options.options(),
+		NProcs:    req.NProcs,
+		Every:     req.CheckpointEvery,
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, jobs.ErrUnknownDataset):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrDatasetsDisabled):
+		writeError(w, http.StatusForbidden, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
 		writeJSON(w, http.StatusAccepted, statusJSON(st))
+	}
+}
+
+// SPBContentType is the Content-Type of binary spb dataset uploads.
+const SPBContentType = "application/x-sprint-spb"
+
+// DatasetListJSON is the GET /v1/datasets body.
+type DatasetListJSON struct {
+	Datasets []jobs.DatasetInfo `json:"datasets"`
+}
+
+// handlePutDataset registers a matrix in the content-addressed registry:
+// binary spb bodies decode zero-copy, JSON bodies carry the same
+// "x"/"x_flat" shapes as a submission's dataset block (labels, if
+// present, are ignored — a dataset is just the matrix; the labels travel
+// with each job).  Responds 201 on first registration, 200 on a
+// content-identical re-upload, both with the registry entry.
+func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
+	body, err := s.requestBody(w, r)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	defer body.Close()
+
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	var m matrix.Matrix
+	switch ct {
+	case SPBContentType, "application/octet-stream":
+		f, err := matrix.Decode(body)
+		if err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		m = f.M
+	case "", "application/json":
+		d, err := decodeDatasetUpload(body)
+		if err != nil {
+			writeBodyError(w, fmt.Errorf("decoding dataset: %w", err))
+			return
+		}
+		m, err = datasetMatrix(d)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported content type %q (want %s or application/json)", ct, SPBContentType))
+		return
+	}
+
+	info, created, err := s.mgr.PutDataset(m)
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	switch {
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil && info.ID != "":
+		// Registered but the disk mirror failed: the id IS usable (the
+		// in-memory entry serves it), so the client must still receive
+		// it — with the durability warning, not a rejection that blames
+		// the client for a server-side disk fault.
+		writeJSON(w, code, DatasetUploadJSON{DatasetInfo: info, MirrorError: err.Error()})
+	case errors.Is(err, jobs.ErrDatasetsDisabled):
+		writeError(w, http.StatusForbidden, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, code, DatasetUploadJSON{DatasetInfo: info})
+	}
+}
+
+// DatasetUploadJSON is the PUT /v1/datasets response: the registry entry
+// plus, when the configured disk mirror could not be written, the error —
+// the dataset is registered and usable either way, the warning is about
+// restart durability only.
+type DatasetUploadJSON struct {
+	jobs.DatasetInfo
+	MirrorError string `json:"mirror_error,omitempty"`
+}
+
+// datasetMatrix resolves an uploaded DatasetJSON into the engine's
+// row-major matrix.  The decoded buffers are fresh (they came off the
+// wire), so the flat form is consumed in place — the only full pass is
+// the in-place transpose.
+func datasetMatrix(d DatasetJSON) (matrix.Matrix, error) {
+	switch {
+	case d.DatasetID != "":
+		return matrix.Matrix{}, fmt.Errorf("dataset upload cannot itself reference a dataset_id")
+	case d.X != nil && d.XFlat != nil:
+		return matrix.Matrix{}, fmt.Errorf("dataset upload carries both x and x_flat")
+	case d.XFlat != nil:
+		if d.Genes < 1 || d.Samples < 1 {
+			return matrix.Matrix{}, fmt.Errorf("x_flat upload needs positive genes and samples, got %dx%d", d.Genes, d.Samples)
+		}
+		if len(d.XFlat) != d.Genes*d.Samples {
+			return matrix.Matrix{}, fmt.Errorf("x_flat upload has %d values for %d genes × %d samples", len(d.XFlat), d.Genes, d.Samples)
+		}
+		return matrix.FromColumnMajor(d.XFlat, d.Genes, d.Samples), nil
+	case d.X != nil:
+		m, err := matrix.FromRows(d.X)
+		if err != nil {
+			return matrix.Matrix{}, err
+		}
+		return m, nil
+	default:
+		return matrix.Matrix{}, fmt.Errorf("dataset upload carries no matrix (want x or x_flat)")
+	}
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DatasetListJSON{Datasets: s.mgr.Datasets()})
+}
+
+func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mgr.DatasetInfoByID(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownDataset):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, info)
+	}
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	err := s.mgr.DeleteDataset(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownDataset):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrDatasetBusy):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, jobs.ErrDatasetsDisabled):
+		writeError(w, http.StatusForbidden, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
 	}
 }
 

@@ -39,9 +39,17 @@ type Spec struct {
 	// instead of X.  The manager transposes a private copy into the
 	// engine's row-major layout; the caller's slice is never modified, so
 	// a submission rejected with ErrQueueFull can be retried verbatim.
-	// Exactly one of X and XFlat must be set.
+	// Exactly one of X, XFlat and DatasetID must be set.
 	XFlat          []float64
 	Genes, Samples int
+	// DatasetID submits against a matrix previously registered with
+	// Manager.PutDataset (or the PUT /v1/datasets endpoint): the
+	// submission carries no matrix at all, the content key is derived
+	// from the registered digest without touching a single cell, and the
+	// run reuses the registry's cached preparation (scrub, rank
+	// transform, moment precompute) when one exists for this (labels,
+	// options) combination.
+	DatasetID string
 	// Opt configures the analysis.  Zero-valued fields take the mt.maxT
 	// defaults (core.DefaultOptions semantics via canonicalisation).
 	Opt core.Options
@@ -109,6 +117,12 @@ type Status struct {
 
 // validate checks the matrix payload's shape without copying anything.
 func (s *Spec) validate() error {
+	if s.DatasetID != "" {
+		if s.X != nil || s.XFlat != nil {
+			return fmt.Errorf("jobs: submission carries both a dataset id and a matrix payload")
+		}
+		return nil
+	}
 	if s.XFlat != nil {
 		if s.X != nil {
 			return fmt.Errorf("jobs: submission carries both X and XFlat")
@@ -146,6 +160,11 @@ func (s *Spec) resolve() (matrix.Matrix, error) {
 	if err := s.validate(); err != nil {
 		return matrix.Matrix{}, err
 	}
+	if s.DatasetID != "" {
+		// Dataset submissions never resolve a matrix here: the worker
+		// fetches the registry's shared preparation instead.
+		return matrix.Matrix{}, fmt.Errorf("jobs: dataset submissions have no matrix payload to resolve")
+	}
 	if s.XFlat != nil {
 		buf := append([]float64(nil), s.XFlat...)
 		return matrix.FromColumnMajor(buf, s.Genes, s.Samples), nil
@@ -157,36 +176,79 @@ func (s *Spec) resolve() (matrix.Matrix, error) {
 	return m, nil
 }
 
-// contentKey hashes the submission in row-major cell order whichever form
-// it arrived in — producing exactly KeyMatrix of the resolved matrix —
-// without copying or transposing anything, so cache hits and queue-full
-// rejections never pay the matrix copy.
+// contentKey hashes the submission whichever form it arrived in —
+// producing exactly KeyMatrix of the resolved matrix — without copying or
+// transposing anything, so cache hits and queue-full rejections never pay
+// the matrix copy.  Dataset-id submissions hash nothing at all: the id IS
+// the matrix digest, so the key costs a few hundred bytes of SHA-256
+// instead of a pass over the cells.
 func (s *Spec) contentKey() (string, error) {
 	if err := s.validate(); err != nil {
 		return "", err
 	}
+	if s.DatasetID != "" {
+		return jobKey(s.DatasetID, s.Labels, s.Opt)
+	}
+	var digest string
 	if s.XFlat != nil {
 		genes := s.Genes
-		return keyHash(genes, s.Samples, func(i, j int) float64 { return s.XFlat[j*genes+i] }, s.Labels, s.Opt)
+		digest = datasetDigestAt(genes, s.Samples, func(i, j int) float64 { return s.XFlat[j*genes+i] })
+	} else {
+		digest = datasetDigestAt(len(s.X), len(s.X[0]), func(i, j int) float64 { return s.X[i][j] })
 	}
-	return keyHash(len(s.X), len(s.X[0]), func(i, j int) float64 { return s.X[i][j] }, s.Labels, s.Opt)
+	return jobKey(digest, s.Labels, s.Opt)
 }
 
-// KeyMatrix computes the content address of a submission: a SHA-256 over
-// the flat row-major matrix buffer (one pass over contiguous memory), the
-// class labels and the canonical options.  ScalarParams is excluded — it
-// changes only the broadcast wire protocol, never the result — as are
-// NProcs and Every, because results are bit-identical for every rank count
-// and window size.  Row-slice and flat column-major submissions of the
-// same data therefore share one key.
+// DatasetDigest computes the content address of a matrix: a SHA-256 over
+// its dimensions and row-major cell bits (one pass over contiguous
+// memory), with every NaN hashed as the one canonical quiet NaN so the
+// digest is independent of how a producer spelled its missing values.
+// The digest is the dataset id of the registry: same cells, same id —
+// however the matrix arrived (rows, flat column-major or binary).
+func DatasetDigest(m matrix.Matrix) string {
+	return datasetDigestAt(m.Rows, m.Cols, m.At)
+}
+
+// datasetDigestAt is DatasetDigest through a cell accessor, so row-slice
+// and column-major flat payloads hash without being transposed first.
+func datasetDigestAt(rows, cols int, at func(i, j int) float64) string {
+	canonNaN := math.Float64bits(math.NaN())
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte("sprint-dataset-v1"))
+	writeU64(uint64(rows))
+	writeU64(uint64(cols))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := at(i, j)
+			if math.IsNaN(v) {
+				writeU64(canonNaN)
+			} else {
+				writeU64(math.Float64bits(v))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeyMatrix computes the content address of a submission: the dataset
+// digest of the matrix combined with the class labels and the canonical
+// options.  ScalarParams is excluded — it changes only the broadcast wire
+// protocol, never the result — as are NProcs and Every, because results
+// are bit-identical for every rank count and window size.  Row-slice,
+// flat column-major and dataset-id submissions of the same data therefore
+// share one key.
 func KeyMatrix(m matrix.Matrix, labels []int, opt core.Options) (string, error) {
-	return keyHash(m.Rows, m.Cols, m.At, labels, opt)
+	return jobKey(DatasetDigest(m), labels, opt)
 }
 
-// keyHash is the shared content-address computation: cells are consumed
-// in row-major order through the accessor, so every representation of
-// the same matrix hashes identically.
-func keyHash(rows, cols int, at func(i, j int) float64, labels []int, opt core.Options) (string, error) {
+// jobKey combines a dataset digest with the run identity (labels +
+// canonical options) into the content address of one analysis.
+func jobKey(datasetDigest string, labels []int, opt core.Options) (string, error) {
 	canon, err := core.CanonicalOptions(opt)
 	if err != nil {
 		return "", err
@@ -201,14 +263,8 @@ func keyHash(rows, cols int, at func(i, j int) float64, labels []int, opt core.O
 		writeInt(int64(len(s)))
 		h.Write([]byte(s))
 	}
-	writeInt(int64(rows))
-	writeInt(int64(cols))
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(at(i, j)))
-			h.Write(buf[:])
-		}
-	}
+	h.Write([]byte("sprint-job-v1"))
+	writeStr(datasetDigest)
 	writeInt(int64(len(labels)))
 	for _, l := range labels {
 		writeInt(int64(l))
@@ -244,4 +300,13 @@ var (
 	ErrUnknownJob = fmt.Errorf("jobs: unknown job")
 	// ErrNotDone reports a result request for an unfinished job.
 	ErrNotDone = fmt.Errorf("jobs: job not done")
+	// ErrUnknownDataset reports a dataset id the registry does not hold
+	// (neither in memory nor in its disk mirror).
+	ErrUnknownDataset = fmt.Errorf("jobs: unknown dataset")
+	// ErrDatasetBusy rejects deleting a dataset that queued or running
+	// jobs still hold a reference to.
+	ErrDatasetBusy = fmt.Errorf("jobs: dataset in use by queued or running jobs")
+	// ErrDatasetsDisabled rejects registry operations when the manager
+	// was configured with a negative DatasetCacheSize.
+	ErrDatasetsDisabled = fmt.Errorf("jobs: dataset registry disabled")
 )

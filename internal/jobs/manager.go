@@ -40,6 +40,21 @@ type Config struct {
 	// MaxJobs bounds the job table; the oldest finished jobs are pruned
 	// beyond it.  Defaults to 4096.
 	MaxJobs int
+	// DatasetCacheSize bounds the in-memory dataset registry (entries).
+	// Defaults to 32.  Negative disables the registry: PutDataset and
+	// dataset-id submissions are rejected.  Entries referenced by queued
+	// or running jobs are never evicted, so the bound can be transiently
+	// exceeded while every entry is in use.
+	DatasetCacheSize int
+	// DatasetDir, when non-empty, mirrors registered datasets to disk as
+	// "<digest>.spb" files (typically alongside CheckpointDir), so they
+	// survive LRU eviction and daemon restarts.  Empty keeps the registry
+	// memory-only.
+	DatasetDir string
+	// MaxPrepsPerDataset bounds the cached preparations (scrub + rank +
+	// moment precompute state) kept per dataset, one per distinct
+	// (labels, test, side, nonpara, NA) combination.  Defaults to 8.
+	MaxPrepsPerDataset int
 	// Clock overrides time.Now in tests; nil uses time.Now.
 	Clock func() time.Time
 	// OnCheckpoint, when non-nil, is called after every saved checkpoint
@@ -73,6 +88,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxCheckpoints == 0 {
 		c.MaxCheckpoints = 512
 	}
+	if c.DatasetCacheSize == 0 {
+		c.DatasetCacheSize = 32
+	}
+	if c.MaxPrepsPerDataset == 0 {
+		c.MaxPrepsPerDataset = 8
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -87,7 +108,11 @@ type job struct {
 	spec Spec
 	// data is the resolved flat matrix the analysis runs on; the spec's
 	// X/XFlat payloads are released at submission once data exists.
+	// Dataset-id jobs carry no data at all: ds pins the registry entry
+	// (one reference, held from submission to the terminal state) and the
+	// worker runs over its shared preparation instead.
 	data matrix.Matrix
+	ds   *dsEntry
 
 	state       State
 	err         error
@@ -139,6 +164,16 @@ type Stats struct {
 	Jobs          int   `json:"jobs"`
 	CachedResults int   `json:"cached_results"`
 	Checkpoints   int   `json:"checkpoints"`
+	// DatasetsAdded counts registrations that created a new entry (dedup
+	// re-uploads don't count); Datasets and DatasetBytes snapshot the
+	// in-memory registry.  PrepBuilds counts full preparations (scrub +
+	// rank + moment precompute) actually built for dataset jobs;
+	// PrepHits counts dataset jobs that reused one without building.
+	DatasetsAdded int64 `json:"datasets_added"`
+	Datasets      int   `json:"datasets"`
+	DatasetBytes  int64 `json:"dataset_bytes"`
+	PrepBuilds    int64 `json:"prep_builds"`
+	PrepHits      int64 `json:"prep_hits"`
 	// Kernel is the active two-sample accumulation kernel ISA
 	// ("avx2", "sse2" or "generic" — process-wide runtime dispatch).
 	Kernel string `json:"kernel"`
@@ -152,14 +187,15 @@ type Stats struct {
 type Manager struct {
 	cfg Config
 
-	mu     sync.Mutex
-	closed bool
-	seq    int64
-	jobs   map[string]*job
-	order  []string // submission order, for pruning
-	cache  *resultCache
-	ckpts  *ckptStore
-	stats  Stats
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	jobs     map[string]*job
+	order    []string // submission order, for pruning
+	cache    *resultCache
+	ckpts    *ckptStore
+	datasets *dsStore
+	stats    Stats
 
 	queue     chan *job
 	baseCtx   context.Context
@@ -175,12 +211,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	datasets, err := newDSStore(cfg.DatasetDir, cfg.DatasetCacheSize, cfg.MaxPrepsPerDataset)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:       cfg,
 		jobs:      make(map[string]*job),
 		cache:     newResultCache(cfg.CacheSize),
 		ckpts:     ckpts,
+		datasets:  datasets,
 		queue:     make(chan *job, cfg.QueueDepth),
 		baseCtx:   ctx,
 		cancelAll: cancel,
@@ -251,18 +292,31 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 	}
 	m.mu.Unlock()
 
-	// Cache miss: make the engine's private matrix (the one copy) outside
-	// the lock — a transpose of the paper's exon-array matrix takes tens
-	// of milliseconds and must not stall API handlers.
-	data, err := spec.resolve()
-	if err != nil {
-		return Status{}, err
+	// Cache miss: attach the payload outside the lock.  Dataset
+	// submissions pin their registry entry (one reference held until the
+	// job is terminal) and carry no matrix at all; matrix submissions
+	// make the engine's private copy (the one copy) — a transpose of the
+	// paper's exon-array matrix takes tens of milliseconds and must not
+	// stall API handlers.
+	var data matrix.Matrix
+	var ds *dsEntry
+	if spec.DatasetID != "" {
+		ds, err = m.datasetRef(spec.DatasetID)
+		if err != nil {
+			return Status{}, err
+		}
+	} else {
+		data, err = spec.resolve()
+		if err != nil {
+			return Status{}, err
+		}
+		spec.X, spec.XFlat = nil, nil // data supersedes the submission payload
 	}
-	spec.X, spec.XFlat = nil, nil // data supersedes the submission payload
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		m.releaseDatasetLocked(ds)
 		return Status{}, ErrClosed
 	}
 	now := m.cfg.Clock()
@@ -272,6 +326,7 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		key:         key,
 		spec:        spec,
 		data:        data,
+		ds:          ds,
 		state:       Queued,
 		total:       canon.B, // 0 for complete enumerations until planned
 		submittedAt: now,
@@ -279,11 +334,24 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 	select {
 	case m.queue <- j:
 	default:
+		m.releaseDatasetLocked(ds)
 		return Status{}, ErrQueueFull
 	}
 	m.stats.Submitted++
 	m.insertLocked(j)
 	return j.status(), nil
+}
+
+// releaseJobLocked frees a terminal job's inputs: the (potentially very
+// large) matrix, the labels, and — for dataset jobs — the registry
+// reference that protected the dataset from eviction while the job was
+// alive.  Callers hold m.mu.
+func (m *Manager) releaseJobLocked(j *job) {
+	j.data, j.spec.Labels = matrix.Matrix{}, nil
+	if j.ds != nil {
+		m.releaseDatasetLocked(j.ds)
+		j.ds = nil
+	}
 }
 
 // insertLocked records j and prunes the oldest finished jobs beyond
@@ -352,7 +420,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	case Queued:
 		j.state = Cancelled
 		j.finishedAt = m.cfg.Clock()
-		j.data, j.spec.Labels = matrix.Matrix{}, nil
+		m.releaseJobLocked(j)
 		m.stats.Cancelled++
 	case Running:
 		j.cancelRequested = true
@@ -375,6 +443,10 @@ func (m *Manager) StatsSnapshot() Stats {
 	s.Jobs = len(m.jobs)
 	s.CachedResults = m.cache.len()
 	s.Checkpoints = m.ckpts.len()
+	s.Datasets = len(m.datasets.entries)
+	for _, e := range m.datasets.entries {
+		s.DatasetBytes += int64(len(e.m.Data)) * 8
+	}
 	for _, j := range m.jobs {
 		switch j.state {
 		case Queued:
@@ -400,6 +472,16 @@ func (m *Manager) Close() {
 	m.cancelAll()
 	close(m.queue)
 	m.wg.Wait()
+}
+
+// execute runs one job's analysis: over the shared preparation for
+// dataset jobs, over the job's private matrix otherwise.  Both paths are
+// bit-identical for the same inputs.
+func (m *Manager) execute(j *job, prepared *core.Prepared, ctl core.RunControl) (*core.Result, error) {
+	if prepared != nil {
+		return core.RunPrepared(prepared, j.spec.Opt, ctl)
+	}
+	return core.RunMatrix(j.data, j.spec.Labels, j.spec.Opt, ctl)
 }
 
 // worker pops jobs FIFO and runs them to a terminal state.  Each worker
@@ -428,7 +510,7 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 	if m.baseCtx.Err() != nil { // shutting down: drain without running
 		j.state = Cancelled
 		j.finishedAt = m.cfg.Clock()
-		j.data, j.spec.Labels = matrix.Matrix{}, nil
+		m.releaseJobLocked(j)
 		m.stats.Cancelled++
 		m.mu.Unlock()
 		return
@@ -473,26 +555,40 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 			m.mu.Unlock()
 		},
 	}
-	res, err := core.RunMatrix(j.data, j.spec.Labels, j.spec.Opt, ctl)
-	if resume != nil && errors.Is(err, core.ErrCheckpointMismatch) {
-		// A stale checkpoint — e.g. one written by an older engine
-		// version whose fingerprints no longer validate — must not
-		// poison its content key forever: discard it and run fresh
-		// instead of failing every future submission of this dataset.
-		m.mu.Lock()
-		m.ckpts.drop(j.key)
-		j.resumedFrom, j.done = 0, 0
-		m.mu.Unlock()
-		ctl.Resume = nil
-		res, err = core.RunMatrix(j.data, j.spec.Labels, j.spec.Opt, ctl)
+	// Dataset jobs run over the registry's shared preparation — built
+	// once per (dataset, labels, prep options) key, reused read-only by
+	// every later job on that key — so a cache-hit job goes from queue
+	// pop to its first permutation without scrubbing, ranking or
+	// precomputing anything.
+	var prepared *core.Prepared
+	var res *core.Result
+	var err error
+	if j.spec.DatasetID != "" {
+		prepared, err = m.preparedFor(j)
+	}
+	if err == nil {
+		res, err = m.execute(j, prepared, ctl)
+		if resume != nil && errors.Is(err, core.ErrCheckpointMismatch) {
+			// A stale checkpoint — e.g. one written by an older engine
+			// version whose fingerprints no longer validate — must not
+			// poison its content key forever: discard it and run fresh
+			// instead of failing every future submission of this dataset.
+			m.mu.Lock()
+			m.ckpts.drop(j.key)
+			j.resumedFrom, j.done = 0, 0
+			m.mu.Unlock()
+			ctl.Resume = nil
+			res, err = m.execute(j, prepared, ctl)
+		}
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.finishedAt = m.cfg.Clock()
 	// The inputs are no longer needed once the job is terminal; release
-	// the (potentially very large) matrix so finished jobs don't pin it.
-	j.data, j.spec.Labels = matrix.Matrix{}, nil
+	// the (potentially very large) matrix — and the dataset reference —
+	// so finished jobs don't pin them.
+	m.releaseJobLocked(j)
 	switch {
 	case err == nil:
 		j.state = Done

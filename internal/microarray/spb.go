@@ -1,0 +1,66 @@
+package microarray
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sprint/internal/matrix"
+)
+
+// This file bridges Dataset to the binary spb codec (internal/matrix):
+// the fast interchange format of the data plane.  CSV remains the
+// human-readable format; spb is what servers ingest without parsing text.
+
+// WriteSPB serialises the dataset in the binary spb format: the matrix in
+// the engine's row-major layout (zero-work decode), the class labels, and
+// the gene names.  Differential flags ride in the names' ".DE" suffix,
+// exactly as in the CSV format.
+func (d *Dataset) WriteSPB(w io.Writer) error {
+	m, err := matrix.FromRows(d.X)
+	if err != nil {
+		return fmt.Errorf("microarray: %w", err)
+	}
+	names := d.GeneNames
+	if names == nil {
+		names = make([]string, d.Rows())
+		for i := range names {
+			names[i] = fmt.Sprintf("g%06d", i+1)
+		}
+	}
+	if err := matrix.Encode(w, m, d.Labels, names, matrix.RowMajor); err != nil {
+		return fmt.Errorf("microarray: %w", err)
+	}
+	return nil
+}
+
+// ReadSPB parses a dataset written by WriteSPB (or any spb stream that
+// carries class labels).  Matrices without labels are rejected: a dataset
+// is a matrix plus its design, and an unlabeled file cannot be analysed.
+func ReadSPB(r io.Reader) (*Dataset, error) {
+	f, err := matrix.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("microarray: %w", err)
+	}
+	if f.Labels == nil {
+		return nil, fmt.Errorf("microarray: spb stream carries no class labels (a bare matrix is a dataset-registry payload, not an analysable dataset)")
+	}
+	d := &Dataset{X: f.M.RowsView(), Labels: f.Labels, GeneNames: f.Names}
+	if f.Names != nil {
+		d.Differential = make([]bool, len(f.Names))
+		for i, name := range f.Names {
+			d.Differential[i] = strings.HasSuffix(name, ".DE")
+		}
+	}
+	return d, nil
+}
+
+// Matrix flattens the dataset into the engine's contiguous row-major
+// matrix (one copy; the dataset is not modified).
+func (d *Dataset) Matrix() (matrix.Matrix, error) {
+	m, err := matrix.FromRows(d.X)
+	if err != nil {
+		return matrix.Matrix{}, fmt.Errorf("microarray: %w", err)
+	}
+	return m, nil
+}

@@ -116,6 +116,14 @@ func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
 	return microarray.ReadCSV(r)
 }
 
+// ReadDatasetSPB parses a dataset in the binary spb format written by
+// Dataset.WriteSPB (or cmd/datagen -format spb): the zero-copy columnar
+// encoding the data plane serves from.  The stream must carry class
+// labels; gene names are optional.
+func ReadDatasetSPB(r io.Reader) (*Dataset, error) {
+	return microarray.ReadSPB(r)
+}
+
 // FromColumnMajor converts a column-major flat matrix — R's native layout
 // for a genes×samples matrix — into the row-per-gene form MaxT and PMaxT
 // consume.  The conversion transposes in place (the paper's future-work
