@@ -50,6 +50,9 @@ func run(args []string, w io.Writer) error {
 	jsonOut := fs.Bool("json", false, "run the kernel micro-benchmarks and measured profile, emit JSON, and exit")
 	jsonDelta := fs.Bool("json-delta", false, "run the delta-engine and ISA-dispatch micro-benchmarks, emit JSON, and exit")
 	jsonIngest := fs.Bool("json-ingest", false, "run the dataset-plane ingest benchmarks (spb vs JSON, cold vs hot prep), emit JSON, and exit")
+	jsonServe := fs.Bool("json-serve", false, "run the serving-plane saturation sweep (admission control under 1x/2x/4x load), emit JSON, and exit")
+	serveSeconds := fs.Float64("serve-seconds", 2, "saturation sweep: offered-load duration per level, seconds")
+	serveLevels := fs.String("serve-levels", "1,2,4", "saturation sweep: comma-separated capacity multipliers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +67,13 @@ func run(args []string, w io.Writer) error {
 	}
 	if *jsonIngest {
 		return emitJSONIngest(w, *genes)
+	}
+	if *jsonServe {
+		levels, err := parseServeLevels(*serveLevels)
+		if err != nil {
+			return err
+		}
+		return emitJSONServe(w, *genes, *serveSeconds, levels)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*measure {
 		*all = true

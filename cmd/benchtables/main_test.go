@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -99,6 +100,47 @@ func TestJSONDeltaEmitsKernelSections(t *testing.T) {
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("json-delta output missing %s", want)
+		}
+	}
+}
+
+func TestJSONServeEmitsSweep(t *testing.T) {
+	var out bytes.Buffer
+	// One tiny load level keeps the real serving sweep fast in CI.
+	if err := run([]string{"-json-serve", "-genes", "60", "-serve-seconds", "0.2", "-serve-levels", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		CapacityPerS float64 `json:"capacity_jobs_per_s"`
+		Levels       []struct {
+			Multiplier float64 `json:"multiplier"`
+			Offered    int64   `json:"offered"`
+			Accepted   int64   `json:"accepted"`
+			Shed       int64   `json:"shed_429"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.CapacityPerS <= 0 {
+		t.Fatalf("capacity %g", doc.CapacityPerS)
+	}
+	if len(doc.Levels) != 1 || doc.Levels[0].Multiplier != 1 {
+		t.Fatalf("levels %+v", doc.Levels)
+	}
+	if lvl := doc.Levels[0]; lvl.Offered == 0 || lvl.Accepted+lvl.Shed != lvl.Offered {
+		t.Fatalf("offered %d != accepted %d + shed %d", lvl.Offered, lvl.Accepted, lvl.Shed)
+	}
+}
+
+func TestParseServeLevels(t *testing.T) {
+	got, err := parseServeLevels("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x"} {
+		if _, err := parseServeLevels(bad); err == nil {
+			t.Errorf("%q accepted", bad)
 		}
 	}
 }

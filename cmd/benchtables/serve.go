@@ -1,0 +1,348 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprint/internal/httpapi"
+	"sprint/internal/jobs"
+	"sprint/internal/matrix"
+	"sprint/internal/rng"
+)
+
+// The -json-serve mode emits the admission-control benchmark data CI
+// tracks as an artifact (BENCH_serve.json): an open-loop saturation sweep
+// against a real pmaxtd serving stack (HTTP handlers, middleware, fair
+// queue, worker pool) at 1x, 2x and 4x of its measured capacity.  For
+// each load level it records how much was admitted versus shed with 429,
+// the Retry-After guidance the shed requests carried, and the per-class
+// queue-wait tails — the numbers behind the claim that overload degrades
+// into load shedding with a bounded interactive p99 rather than into
+// collapse.
+
+// serveLevelJSON is one load level of the sweep.
+type serveLevelJSON struct {
+	Multiplier  float64 `json:"multiplier"`
+	OfferedPerS float64 `json:"offered_per_s"`
+	Offered     int64   `json:"offered"`
+	Accepted    int64   `json:"accepted"`
+	Shed        int64   `json:"shed_429"`
+	// Per-class admission outcome.
+	InteractiveOffered  int64 `json:"interactive_offered"`
+	InteractiveAccepted int64 `json:"interactive_accepted"`
+	BulkOffered         int64 `json:"bulk_offered"`
+	BulkAccepted        int64 `json:"bulk_accepted"`
+	// Retry-After guidance observed on 429 responses (0 when none shed).
+	RetryAfterMinS int64 `json:"retry_after_min_s"`
+	RetryAfterMaxS int64 `json:"retry_after_max_s"`
+	// Queue-wait tails per class, after the level fully drained.
+	InteractiveWaitP50Ms float64 `json:"interactive_wait_p50_ms"`
+	InteractiveWaitP99Ms float64 `json:"interactive_wait_p99_ms"`
+	BulkWaitP50Ms        float64 `json:"bulk_wait_p50_ms"`
+	BulkWaitP99Ms        float64 `json:"bulk_wait_p99_ms"`
+	DrainRatePerS        float64 `json:"drain_rate_per_s"`
+	ShedQueueFull        int64   `json:"shed_queue_full"`
+}
+
+type serveDoc struct {
+	GOOS           string           `json:"goos"`
+	GOARCH         string           `json:"goarch"`
+	CPUs           int              `json:"cpus"`
+	Workers        int              `json:"workers"`
+	QueueDepth     int              `json:"queue_depth"`
+	Genes          int              `json:"genes"`
+	Samples        int              `json:"samples"`
+	InteractiveB   int64            `json:"interactive_b"`
+	BulkB          int64            `json:"bulk_b"`
+	ServiceMeanMs  float64          `json:"service_mean_ms"`
+	CapacityPerS   float64          `json:"capacity_jobs_per_s"`
+	OfferedSeconds float64          `json:"offered_seconds"`
+	Levels         []serveLevelJSON `json:"levels"`
+}
+
+// serveConfig fixes the serving stack under test: a small worker pool and
+// queue so saturation is reachable in seconds, the fair policy under
+// scrutiny, no tenant limits (the sweep measures queue shedding, not
+// throttling).
+const (
+	serveWorkers    = 2
+	serveQueueDepth = 32
+	serveSamples    = 76
+	serveBInt       = 500  // interactive permutation count
+	serveBBulk      = 5000 // bulk permutation count
+)
+
+// emitJSONServe runs the saturation sweep and writes one JSON document.
+func emitJSONServe(w io.Writer, genes int, seconds float64, levels []float64) error {
+	doc := serveDoc{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Workers: serveWorkers, QueueDepth: serveQueueDepth,
+		Genes: genes, Samples: serveSamples,
+		InteractiveB: serveBInt, BulkB: serveBBulk,
+		OfferedSeconds: seconds,
+	}
+
+	m := matrix.New(genes, serveSamples)
+	src := rng.New(20260808)
+	for i := range m.Data {
+		m.Data[i] = 8 + 2*src.NormFloat64()
+	}
+	labels := make([]int, serveSamples)
+	for j := serveSamples / 2; j < serveSamples; j++ {
+		labels[j] = 1
+	}
+
+	// ---- calibration: sequential service time on one worker ------------
+	mean, err := calibrateService(m, labels)
+	if err != nil {
+		return err
+	}
+	doc.ServiceMeanMs = mean.Seconds() * 1e3
+	// Workers beyond the CPU count do not add throughput; clamp the
+	// estimate so "1x capacity" means what it says on small machines.
+	effWorkers := serveWorkers
+	if n := runtime.NumCPU(); n < effWorkers {
+		effWorkers = n
+	}
+	capacity := float64(effWorkers) / mean.Seconds()
+	if capacity > 2000 {
+		capacity = 2000 // keep the open loop generable on fast machines
+	}
+	doc.CapacityPerS = capacity
+
+	// ---- the sweep: fresh serving stack per load level -----------------
+	for _, mult := range levels {
+		lvl, err := runServeLevel(m, labels, mult, capacity*mult, seconds)
+		if err != nil {
+			return err
+		}
+		doc.Levels = append(doc.Levels, *lvl)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// calibrateService measures the mean end-to-end service time of the
+// interactive/bulk job mix on a single sequential worker.
+func calibrateService(m matrix.Matrix, labels []int) (time.Duration, error) {
+	srv, err := httpapi.New(httpapi.Config{Jobs: jobs.Config{
+		Workers: 1, DefaultNProcs: 1, QueueDepth: serveQueueDepth, CacheSize: -1,
+	}})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	info, _, err := srv.Manager().PutDataset(m.Clone())
+	if err != nil {
+		return 0, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const perClass = 4
+	seed := uint64(1)
+	start := time.Now()
+	for i := 0; i < perClass; i++ {
+		for _, class := range []string{"interactive", "bulk"} {
+			seed++
+			code, _, err := serveSubmit(ts.Client(), ts.URL, info.ID, labels, class, seed, true)
+			if err != nil {
+				return 0, err
+			}
+			if code != http.StatusAccepted {
+				return 0, fmt.Errorf("calibration submit got %d", code)
+			}
+		}
+	}
+	return time.Since(start) / (2 * perClass), nil
+}
+
+// runServeLevel offers an open-loop Poisson-ish arrival stream (fixed
+// interarrival) at rate jobs/s for the configured duration against a
+// fresh serving stack, waits for the backlog to drain, and reports the
+// admission outcome.
+func runServeLevel(m matrix.Matrix, labels []int, mult, rate, seconds float64) (*serveLevelJSON, error) {
+	srv, err := httpapi.New(httpapi.Config{Jobs: jobs.Config{
+		Workers: serveWorkers, DefaultNProcs: 1, QueueDepth: serveQueueDepth,
+		CacheSize: -1, QueuePolicy: "fair",
+	}})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	info, _, err := srv.Manager().PutDataset(m.Clone())
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Timeout = 30 * time.Second
+
+	lvl := &serveLevelJSON{Multiplier: mult, OfferedPerS: rate}
+	var mu sync.Mutex // guards the Retry-After min/max
+	var seed atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Open loop on an absolute schedule: arrival n is due at start +
+	// n/rate regardless of how long earlier arrivals took to launch, so
+	// sleep overshoot shows up as a burst, not as a lower offered rate.
+	start := time.Now()
+	deadline := start.Add(time.Duration(seconds * float64(time.Second)))
+	for n := int64(0); ; n++ {
+		due := start.Add(time.Duration(float64(n) / rate * float64(time.Second)))
+		if due.After(deadline) {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		class := "interactive"
+		if n%2 == 1 {
+			class = "bulk"
+		}
+		atomic.AddInt64(&lvl.Offered, 1)
+		if class == "interactive" {
+			atomic.AddInt64(&lvl.InteractiveOffered, 1)
+		} else {
+			atomic.AddInt64(&lvl.BulkOffered, 1)
+		}
+		wg.Add(1)
+		go func(class string) {
+			defer wg.Done()
+			code, retryAfter, err := serveSubmit(client, ts.URL, info.ID, labels, class, seed.Add(1), false)
+			if err != nil {
+				return // connection-level noise: count nothing
+			}
+			switch code {
+			case http.StatusAccepted:
+				atomic.AddInt64(&lvl.Accepted, 1)
+				if class == "interactive" {
+					atomic.AddInt64(&lvl.InteractiveAccepted, 1)
+				} else {
+					atomic.AddInt64(&lvl.BulkAccepted, 1)
+				}
+			case http.StatusTooManyRequests:
+				atomic.AddInt64(&lvl.Shed, 1)
+				mu.Lock()
+				if lvl.RetryAfterMinS == 0 || retryAfter < lvl.RetryAfterMinS {
+					lvl.RetryAfterMinS = retryAfter
+				}
+				if retryAfter > lvl.RetryAfterMaxS {
+					lvl.RetryAfterMaxS = retryAfter
+				}
+				mu.Unlock()
+			}
+		}(class)
+	}
+	wg.Wait()
+
+	// Drain: every admitted job must finish before the tails are read.
+	drainDeadline := time.Now().Add(60 * time.Second)
+	for {
+		st := srv.Manager().StatsSnapshot()
+		if st.Queued == 0 && st.Running == 0 {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			return nil, fmt.Errorf("level %gx did not drain", mult)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := srv.Manager().StatsSnapshot()
+	lvl.InteractiveWaitP50Ms = st.QueueWaitInteractive.P50Ms
+	lvl.InteractiveWaitP99Ms = st.QueueWaitInteractive.P99Ms
+	lvl.BulkWaitP50Ms = st.QueueWaitBulk.P50Ms
+	lvl.BulkWaitP99Ms = st.QueueWaitBulk.P99Ms
+	lvl.DrainRatePerS = st.DrainRatePerSec
+	lvl.ShedQueueFull = st.ShedQueueFull
+	return lvl, nil
+}
+
+// serveSubmit posts one dataset-id job of the given class and, when wait
+// is set, polls it to completion.  Returns the HTTP status code and the
+// Retry-After seconds when the submission was shed.
+func serveSubmit(client *http.Client, base, datasetID string, labels []int, class string, seed uint64, wait bool) (int, int64, error) {
+	b := int64(serveBInt)
+	if class == "bulk" {
+		b = serveBBulk
+	}
+	body, err := json.Marshal(map[string]any{
+		"dataset": map[string]any{"dataset_id": datasetID, "labels": labels},
+		"options": map[string]any{"b": b, "seed": seed},
+		"class":   class,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var retryAfter int64
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		retryAfter, _ = strconv.ParseInt(ra, 10, 64)
+	}
+	if resp.StatusCode != http.StatusAccepted || !wait {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, retryAfter, nil
+	}
+	var st httpapi.StatusJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return resp.StatusCode, retryAfter, err
+	}
+	for {
+		r, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return resp.StatusCode, retryAfter, err
+		}
+		var cur httpapi.StatusJSON
+		err = json.NewDecoder(r.Body).Decode(&cur)
+		r.Body.Close()
+		if err != nil {
+			return resp.StatusCode, retryAfter, err
+		}
+		switch cur.State {
+		case "done":
+			return resp.StatusCode, retryAfter, nil
+		case "failed", "cancelled":
+			return resp.StatusCode, retryAfter, fmt.Errorf("job %s finished %s: %s", st.ID, cur.State, cur.Error)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// parseServeLevels parses the -serve-levels list ("1,2,4") into capacity
+// multipliers.
+func parseServeLevels(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -serve-levels entry %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-serve-levels is empty")
+	}
+	return out, nil
+}

@@ -1,23 +1,30 @@
 // Command pmaxtd is the SPRINT permutation-testing job server: a
 // long-lived daemon that accepts analyses over a JSON HTTP API, queues
-// them FIFO, runs them on a worker pool with per-job rank counts, caches
-// results by content address, and checkpoints running jobs so that a
-// cancelled job — or a killed daemon — resumes instead of restarting.
+// them under a two-class weighted-fair discipline, runs them on a worker
+// pool with per-job rank counts, caches results by content address, and
+// checkpoints running jobs so that a cancelled job — or a killed daemon —
+// resumes instead of restarting.
 //
 // Usage:
 //
-//	pmaxtd -addr :8080 -workers 2 -queue 64 -checkpoint-dir /var/lib/pmaxtd
+//	pmaxtd -addr :8080 -workers 2 -queue 64 -checkpoint-dir /var/lib/pmaxtd \
+//	       -tenant-limits "rate=5,burst=10" -metrics-interval 60s
 //
 // Submit and poll with curl:
 //
-//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	curl -s -X POST localhost:8080/v1/jobs -H 'X-Tenant: acme' -d '{
 //	  "dataset": {"x": [[1,2,3,4],[5,4,3,2]], "labels": [0,0,1,1]},
 //	  "options": {"b": 1000, "test": "t"}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -s localhost:8080/metrics          # Prometheus text exposition
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: the HTTP listener
-// drains, running jobs checkpoint and stop, and the process exits.
+// Operational telemetry goes to stderr as JSON logs (log/slog): one line
+// per HTTP request carrying the request id, tenant, route, status and
+// duration, plus interval-flushed metrics snapshots.  The human-readable
+// lifecycle lines stay on stdout.  SIGINT/SIGTERM shut the daemon down
+// gracefully: the HTTP listener drains, running jobs checkpoint and stop,
+// a final metrics snapshot is flushed, and the process exits.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -pprof-addr serves the DefaultServeMux profiles
 	"os"
@@ -34,6 +42,8 @@ import (
 	"time"
 
 	"sprint"
+	"sprint/internal/jobs"
+	"sprint/internal/metrics"
 )
 
 func main() {
@@ -49,7 +59,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("pmaxtd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = half the CPUs)")
-	queue := fs.Int("queue", 64, "job queue depth; a full queue rejects submissions")
+	queue := fs.Int("queue", 64, "job queue depth; a full queue sheds submissions with 429")
 	nprocs := fs.Int("nprocs", 0, "default ranks per job (0 = all CPUs)")
 	every := fs.Int64("every", 1000, "default checkpoint window (permutations)")
 	cache := fs.Int("cache", 128, "result cache entries (negative disables)")
@@ -59,6 +69,12 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	maxBody := fs.Int64("max-body", 256<<20, "maximum submission body bytes")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	kernel := fs.String("kernel", "auto", "accumulation kernel: auto, generic, sse2, avx2 (results are identical on all)")
+	metricsInterval := fs.Duration("metrics-interval", 0, "flush a metrics snapshot to the log this often (0 = final snapshot only)")
+	tenantLimits := fs.String("tenant-limits", "", `per-tenant token buckets: "rate=R,burst=N" defaults plus "tenant=R:N" overrides (empty or "off" = unlimited)`)
+	queuePolicy := fs.String("queue-policy", "fair", "queue discipline: fair (interactive overtakes bulk) or fifo (arrival order)")
+	interactiveB := fs.Int64("interactive-max-b", 10000, "sampled jobs with B at most this count as interactive")
+	maxQueueWait := fs.Duration("max-queue-wait", 0, "shed submissions whose predicted queue wait exceeds this (0 = only shed on a full queue)")
+	logDst := fs.String("log", "stderr", "structured JSON log destination: stderr, stdout or a file path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +82,32 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	limits, err := jobs.ParseTenantLimits(*tenantLimits)
+	if err != nil {
+		return err
+	}
+
+	var logw io.Writer
+	var logClose func() error
+	switch *logDst {
+	case "stderr":
+		logw = os.Stderr
+	case "stdout":
+		// The human lifecycle lines also write stdout; interleaving whole
+		// lines is safe, both writers are line-buffered.
+		logw = stdout
+	default:
+		f, err := os.OpenFile(*logDst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening log file: %w", err)
+		}
+		logw, logClose = f, f.Close
+	}
+	logger := slog.New(slog.NewJSONHandler(logw, nil))
+	if logClose != nil {
+		defer logClose()
+	}
+
 	fmt.Fprintf(stdout, "pmaxtd: kernel %s\n", active)
 	if *pprofAddr != "" {
 		// The pprof handlers live on the DefaultServeMux, kept off the API
@@ -80,6 +122,13 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		}()
 	}
 
+	// One registry carries the whole plane: process/OS stats, the jobs
+	// layer (queue, stages, shed decisions, dataset plane) and the
+	// per-route HTTP middleware all report here, and GET /metrics serves
+	// it in the Prometheus text format.
+	reg := metrics.New()
+	metrics.RegisterProcessMetrics(reg)
+
 	srv, err := sprint.NewServer(sprint.ServerConfig{
 		Jobs: sprint.JobsConfig{
 			Workers:          *workers,
@@ -90,17 +139,44 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			CheckpointDir:    *ckptDir,
 			DatasetCacheSize: *dsCache,
 			DatasetDir:       *dsDir,
+			Metrics:          reg,
+			QueuePolicy:      *queuePolicy,
+			InteractiveMaxB:  *interactiveB,
+			TenantLimits:     limits,
+			MaxQueueWait:     *maxQueueWait,
 		},
 		MaxBodyBytes: *maxBody,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
 	}
 
+	// The flusher snapshots the registry on the interval (when one is
+	// set) and once more at shutdown — the final snapshot is emitted
+	// through the same sink, so no samples are lost to the exit path.
+	flusher := metrics.NewFlusher(reg, *metricsInterval, func(s *metrics.Snapshot) {
+		logger.LogAttrs(context.Background(), slog.LevelInfo, "metrics_snapshot",
+			slog.Time("at", s.At),
+			slog.Int("samples", len(s.Samples)),
+			slog.Int64("rss_bytes", s.Proc.RSSBytes),
+			slog.Int("goroutines", s.Proc.Goroutines),
+			slog.Float64("gc_pause_total_s", s.Proc.GCPauseTotalS),
+			slog.Float64("cpu_user_s", s.Proc.CPUUserS),
+			slog.Any("metrics", s.Samples),
+		)
+	})
+
 	// stdout stays single-writer (the test harness hands us a plain
 	// bytes.Buffer): all prints happen on this goroutine.
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	fmt.Fprintf(stdout, "pmaxtd: listening on %s\n", *addr)
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "listening",
+		slog.String("addr", *addr),
+		slog.String("kernel", active),
+		slog.String("queue_policy", *queuePolicy),
+		slog.Bool("rate_limited", limits.Default.Rate > 0 || len(limits.Overrides) > 0),
+	)
 	errc := make(chan error, 1)
 	go func() {
 		errc <- hs.ListenAndServe()
@@ -113,6 +189,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	select {
 	case err := <-errc:
 		srv.Close()
+		flusher.Stop()
 		return err
 	case s := <-sigc:
 		fmt.Fprintf(stdout, "pmaxtd: %v, shutting down\n", s)
@@ -124,6 +201,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	defer cancel()
 	shutdownErr := hs.Shutdown(ctx)
 	srv.Close() // cancels running jobs at their next checkpoint window
+	// Drained and stopped: flush the final snapshot so every counter the
+	// run accumulated reaches the log exactly once.
+	final := flusher.Stop()
+	fmt.Fprintf(stdout, "pmaxtd: final metrics snapshot: %d series\n", len(final.Samples))
 	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
 		return shutdownErr
 	}

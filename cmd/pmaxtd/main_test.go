@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -35,5 +37,58 @@ func TestBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-bogus"}, &out, nil); err == nil {
 		t.Fatal("bogus flag accepted")
+	}
+}
+
+// TestShutdownFlushesFinalSnapshot: the exit path must emit exactly one
+// final metrics snapshot through the structured log, after the drain.
+func TestShutdownFlushesFinalSnapshot(t *testing.T) {
+	logPath := t.TempDir() + "/pmaxtd.log"
+	var out bytes.Buffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-log", logPath, "-metrics-interval", "0"}, &out, stop)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	if !strings.Contains(out.String(), "final metrics snapshot:") {
+		t.Fatalf("stdout %q missing final snapshot line", out.String())
+	}
+	logText, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshots := 0
+	for _, line := range strings.Split(string(logText), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] != "metrics_snapshot" {
+			continue
+		}
+		snapshots++
+		// Process metrics register at boot, so even an idle daemon's
+		// final snapshot carries samples — none may be dropped on exit.
+		if n, ok := rec["samples"].(float64); !ok || n < 1 {
+			t.Fatalf("final snapshot carries %v samples", rec["samples"])
+		}
+	}
+	if snapshots != 1 {
+		t.Fatalf("metrics_snapshot logged %d times, want exactly 1 (interval=0)", snapshots)
 	}
 }

@@ -1,0 +1,50 @@
+// Command promlint validates a Prometheus text exposition (format 0.0.4)
+// read from stdin or the files named as arguments: metric-name and label
+// syntax, parseable values, no duplicate series, and well-formed
+// histograms (cumulative le buckets with a terminal +Inf equal to
+// _count).  It exits non-zero when problems are found, one problem per
+// line on stderr — the shape CI wants for scraping a booted daemon:
+//
+//	curl -fsS localhost:8080/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sprint/internal/metrics"
+)
+
+func main() {
+	problems, err := run(os.Args[1:], os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "promlint:", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition ok")
+}
+
+func run(args []string, stdin io.Reader) ([]string, error) {
+	if len(args) == 0 {
+		return metrics.Lint(stdin), nil
+	}
+	var problems []string
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range metrics.Lint(f) {
+			problems = append(problems, path+": "+p)
+		}
+		f.Close()
+	}
+	return problems, nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStdin(t *testing.T) {
+	good := "# TYPE up gauge\nup 1\n"
+	if problems, err := run(nil, strings.NewReader(good)); err != nil || len(problems) != 0 {
+		t.Fatalf("good exposition: %v, %v", problems, err)
+	}
+	bad := "up 1\nup 2\n"
+	if problems, err := run(nil, strings.NewReader(bad)); err != nil || len(problems) == 0 {
+		t.Fatalf("duplicate series accepted: %v, %v", problems, err)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.txt")
+	if err := os.WriteFile(path, []byte("9bad 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := run([]string{path}, nil)
+	if err != nil || len(problems) == 0 {
+		t.Fatalf("bad file accepted: %v, %v", problems, err)
+	}
+	if !strings.HasPrefix(problems[0], path+": ") {
+		t.Fatalf("problem not attributed to file: %q", problems[0])
+	}
+	if _, err := run([]string{filepath.Join(dir, "missing.txt")}, nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -218,6 +218,10 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 			hi = totalB
 		}
 		span := hi - lo
+		var windowStart time.Time
+		if ctl.OnWindow != nil {
+			windowStart = time.Now()
+		}
 		if nprocs == 1 {
 			maxt.ProcessBatched(prep, gen, lo, hi, counts, scratches[0], batch)
 		} else {
@@ -246,6 +250,9 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 					partials[r].B = 0
 				}
 			}
+		}
+		if ctl.OnWindow != nil {
+			ctl.OnWindow(span, time.Since(windowStart))
 		}
 		if ctl.Save != nil {
 			snap := &Checkpoint{

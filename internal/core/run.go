@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"sprint/internal/matrix"
 	"sprint/internal/maxt"
@@ -42,6 +43,12 @@ type RunControl struct {
 	// number of permutations processed so far (including resumed ones) and
 	// the planned total.
 	OnProgress func(done, total int64)
+	// OnWindow, when non-nil, receives each kernel window's permutation
+	// count and wall time right after the window's counts merge — the
+	// timing hook the serving layer feeds its per-stage histograms from.
+	// It runs on the run's supervising goroutine and must be cheap and
+	// allocation-free: it sits inside the hot loop.
+	OnWindow func(perms int64, elapsed time.Duration)
 	// Scratch, when non-nil, supplies reusable per-rank working state.  A
 	// long-lived caller (the jobs worker pool) passes one RunScratch per
 	// worker so that consecutive jobs reuse kernel scratch, batch buffers

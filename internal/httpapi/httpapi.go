@@ -10,7 +10,17 @@
 //	GET    /v1/datasets/{id}    one dataset's registry entry
 //	DELETE /v1/datasets/{id}    evict a dataset (409 while jobs pin it)
 //	GET    /v1/healthz          liveness
-//	GET    /v1/stats            queue / cache / worker counters
+//	GET    /v1/stats            queue / cache / worker counters (JSON)
+//	GET    /metrics             Prometheus text exposition of the same plane
+//
+// Every route runs under the observability middleware: an X-Request-Id is
+// accepted or minted and echoed back, each request is logged structured
+// (slog) with id, tenant, route, status and duration, and per-route
+// request counts and latency histograms feed /metrics.  Submissions are
+// attributed to the tenant named by the X-Tenant header (anonymous when
+// absent); an admission refusal — rate limit, full queue, or predicted
+// queue wait over the bound — answers 429 with a Retry-After header
+// derived from the observed queue drain rate.
 //
 // The body formats are defined by the *JSON types in this file.  Matrix
 // cells may be JSON null for missing values (NaN), and NaN/±Inf outputs
@@ -31,6 +41,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -40,6 +52,7 @@ import (
 	"sprint/internal/core"
 	"sprint/internal/jobs"
 	"sprint/internal/matrix"
+	"sprint/internal/metrics"
 )
 
 // Config configures a Server.
@@ -51,14 +64,20 @@ type Config struct {
 	// admits the paper's largest exon-array matrix (73224×76 ≈ 42.45 MB
 	// binary) with JSON overhead to spare.
 	MaxBodyBytes int64
+	// Logger receives the structured request log.  Nil discards it (tests
+	// and embedders that log elsewhere); pmaxtd passes its JSON logger.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP facade over a jobs.Manager.
 type Server struct {
-	mgr     *jobs.Manager
-	mux     *http.ServeMux
-	maxBody int64
-	started time.Time
+	mgr      *jobs.Manager
+	mux      *http.ServeMux
+	maxBody  int64
+	started  time.Time
+	reg      *metrics.Registry
+	log      *slog.Logger
+	routeMet map[string]*routeMetrics
 }
 
 // New starts the manager and builds the route table.  Call Close to stop.
@@ -66,23 +85,46 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 256 << 20
 	}
+	if cfg.Jobs.Metrics == nil {
+		cfg.Jobs.Metrics = metrics.New()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	mgr, err := jobs.NewManager(cfg.Jobs)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), maxBody: cfg.MaxBodyBytes, started: time.Now()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("PUT /v1/datasets", s.handlePutDataset)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetInfo)
-	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s := &Server{
+		mgr:      mgr,
+		mux:      http.NewServeMux(),
+		maxBody:  cfg.MaxBodyBytes,
+		started:  time.Now(),
+		reg:      cfg.Jobs.Metrics,
+		log:      cfg.Logger,
+		routeMet: make(map[string]*routeMetrics),
+	}
+	s.reg.Help("http_requests_total", "HTTP requests served, by route and status class.")
+	s.reg.Help("http_request_seconds", "HTTP request latency, by route.")
+	handle := func(method, route string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" "+route, s.instrument(route, h))
+	}
+	handle("POST", "/v1/jobs", s.handleSubmit)
+	handle("GET", "/v1/jobs/{id}", s.handleStatus)
+	handle("GET", "/v1/jobs/{id}/result", s.handleResult)
+	handle("DELETE", "/v1/jobs/{id}", s.handleCancel)
+	handle("PUT", "/v1/datasets", s.handlePutDataset)
+	handle("GET", "/v1/datasets", s.handleListDatasets)
+	handle("GET", "/v1/datasets/{id}", s.handleDatasetInfo)
+	handle("DELETE", "/v1/datasets/{id}", s.handleDeleteDataset)
+	handle("GET", "/v1/healthz", s.handleHealthz)
+	handle("GET", "/v1/stats", s.handleStats)
+	handle("GET", "/metrics", s.handleMetrics)
 	return s, nil
 }
+
+// Metrics returns the registry the server and its manager report into.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Handler returns the route table, ready for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -263,6 +305,10 @@ type SubmitRequest struct {
 	// CheckpointEvery is the checkpoint/progress window in permutations
 	// (0 = server default).
 	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
+	// Class optionally forces the fairness class ("interactive" or
+	// "bulk"); empty classifies by size.  The tenant is NOT in the body:
+	// it travels in the X-Tenant header.
+	Class string `json:"class,omitempty"`
 }
 
 // ProfileJSON reports the paper's five timed sections in seconds, the row
@@ -299,6 +345,8 @@ type StatusJSON struct {
 	ResumedFrom int64        `json:"resumed_from,omitempty"`
 	CacheHit    bool         `json:"cache_hit,omitempty"`
 	NProcs      int          `json:"nprocs"`
+	Tenant      string       `json:"tenant,omitempty"`
+	Class       string       `json:"class,omitempty"`
 	Profile     *ProfileJSON `json:"profile,omitempty"`
 	SubmittedAt string       `json:"submitted_at,omitempty"`
 	StartedAt   string       `json:"started_at,omitempty"`
@@ -316,6 +364,8 @@ func statusJSON(st jobs.Status) StatusJSON {
 		ResumedFrom: st.ResumedFrom,
 		CacheHit:    st.CacheHit,
 		NProcs:      st.NProcs,
+		Tenant:      st.Tenant,
+		Class:       st.Class,
 	}
 	if st.Total > 0 {
 		out.Progress = float64(st.Done) / float64(st.Total)
@@ -371,9 +421,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Opt:       req.Options.options(),
 		NProcs:    req.NProcs,
 		Every:     req.CheckpointEvery,
+		Tenant:    r.Header.Get("X-Tenant"),
+		Class:     req.Class,
 	})
+	var shed *jobs.OverloadError
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
+	case errors.As(err, &shed):
+		// Load shed: the Retry-After guidance comes from the observed
+		// queue drain rate (or the token bucket's refill time), so a
+		// well-behaved client that honours it usually succeeds next try.
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(shed.RetryAfter), 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":         err.Error(),
+			"reason":        shed.Reason,
+			"retry_after_s": shed.RetryAfter.Seconds(),
+		})
+	case errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrRateLimited):
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -384,8 +447,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "job_submitted",
+			slog.String("request_id", RequestID(r.Context())),
+			slog.String("job_id", st.ID),
+			slog.String("tenant", st.Tenant),
+			slog.String("class", st.Class),
+			slog.String("state", string(st.State)),
+			slog.Bool("cache_hit", st.CacheHit),
+		)
 		writeJSON(w, http.StatusAccepted, statusJSON(st))
 	}
+}
+
+// retryAfterSeconds renders a shed's wait as whole seconds for the
+// Retry-After header, rounding up so the client never retries early.
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // SPBContentType is the Content-Type of binary spb dataset uploads.

@@ -297,9 +297,12 @@ func TestQueueFullOverHTTP(t *testing.T) {
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, data, 400, 1, 100), &st); code != http.StatusAccepted {
 		t.Fatalf("fill code %d", code)
 	}
-	var e map[string]string
+	var e map[string]any
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, data, 401, 1, 100), &e); code != http.StatusTooManyRequests {
 		t.Fatalf("overflow code %d (%v)", code, e)
+	}
+	if e["reason"] != "queue_full" {
+		t.Fatalf("shed reason %v, want queue_full", e["reason"])
 	}
 	release()
 	if fin := pollTerminal(t, ts.URL, running.ID); fin.State != "done" {

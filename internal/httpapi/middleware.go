@@ -1,0 +1,136 @@
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"sprint/internal/metrics"
+)
+
+// This file is the observability middleware of the API: every route is
+// wrapped with request-id propagation, structured request logging and
+// pre-registered per-route metrics (request counts by status class and a
+// latency histogram), and the registry itself is served on GET /metrics
+// in the Prometheus text exposition format.
+
+type ctxKey int
+
+const ridKey ctxKey = 0
+
+// RequestID returns the request id the middleware assigned (or accepted
+// from the client's X-Request-Id header); "" outside a request context.
+func RequestID(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey).(string)
+	return rid
+}
+
+// newRequestID mints a 16-hex-char random id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000deranged" // crypto/rand failure: still serve the request
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// routeMetrics are one route's pre-resolved handles: a latency histogram
+// and a counter per status class.  Resolving them at New() keeps the
+// per-request path free of registry lookups and allocations.
+type routeMetrics struct {
+	latency *metrics.Histogram
+	byClass [5]*metrics.Counter // index status/100 - 1: 1xx..5xx
+}
+
+func newRouteMetrics(reg *metrics.Registry, route string) *routeMetrics {
+	rm := &routeMetrics{
+		latency: reg.Histogram("http_request_seconds", nil, "route", route),
+	}
+	classes := [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, c := range classes {
+		rm.byClass[i] = reg.Counter("http_requests_total", "route", route, "code", c)
+	}
+	return rm
+}
+
+// statusWriter records the response code and size as they pass through.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps h with the route's request-id, logging and metrics
+// envelope.  route is the label value (the pattern without the method),
+// shared by all methods on that pattern.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.routeMet[route]
+	if rm == nil {
+		rm = newRouteMetrics(s.reg, route)
+		s.routeMet[route] = rm
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey, rid))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+
+		if sw.code == 0 { // handler wrote nothing: net/http sends 200
+			sw.code = http.StatusOK
+		}
+		rm.latency.ObserveDuration(elapsed)
+		if i := sw.code/100 - 1; i >= 0 && i < len(rm.byClass) {
+			rm.byClass[i].Inc()
+		}
+		lvl := slog.LevelInfo
+		if sw.code >= 500 {
+			lvl = slog.LevelError
+		} else if sw.code >= 400 {
+			lvl = slog.LevelWarn
+		}
+		s.log.LogAttrs(r.Context(), lvl, "http_request",
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.String("tenant", r.Header.Get("X-Tenant")),
+			slog.Int("status", sw.code),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", elapsed),
+		)
+	}
+}
+
+// PrometheusContentType is the Content-Type of the /metrics exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", PrometheusContentType)
+	_ = s.reg.WritePrometheus(w)
+}

@@ -157,6 +157,8 @@ func DecodeSubmit(r io.Reader) (*SubmitRequest, error) {
 			return sd.dec.Decode(&req.NProcs)
 		case "checkpoint_every":
 			return sd.dec.Decode(&req.CheckpointEvery)
+		case "class":
+			return sd.dec.Decode(&req.Class)
 		default:
 			return fmt.Errorf("unknown field %q", key)
 		}

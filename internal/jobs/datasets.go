@@ -100,6 +100,9 @@ type dsStore struct {
 	maxPreps int // per-dataset preparation bound
 	order    *list.List
 	entries  map[string]*dsEntry
+	// noteEvict, when non-nil, observes LRU evictions (count of entries
+	// removed).  It is called with the manager lock held.
+	noteEvict func(n int)
 }
 
 func newDSStore(dir string, max, maxPreps int) (*dsStore, error) {
@@ -159,13 +162,18 @@ func (s *dsStore) evict(keep *dsEntry) {
 	if s.max <= 0 {
 		return
 	}
+	evicted := 0
 	for el := s.order.Back(); el != nil && s.order.Len() > s.max; {
 		prev := el.Prev()
 		if e := el.Value.(*dsEntry); e.refs == 0 && e != keep {
 			s.order.Remove(el)
 			delete(s.entries, e.id)
+			evicted++
 		}
 		el = prev
+	}
+	if evicted > 0 && s.noteEvict != nil {
+		s.noteEvict(evicted)
 	}
 }
 
@@ -328,6 +336,7 @@ func (m *Manager) PutDataset(x matrix.Matrix) (DatasetInfo, bool, error) {
 	m.stats.DatasetsAdded++
 	info := e.info()
 	m.mu.Unlock()
+	m.met.dsAdded.Inc()
 
 	// The disk mirror write happens outside the lock (it can be tens of
 	// megabytes).  A mirror failure degrades durability, not service:
@@ -424,8 +433,10 @@ func (m *Manager) datasetRef(id string) (*dsEntry, error) {
 	now := m.cfg.Clock()
 	if e, ok := m.datasets.entries[id]; ok {
 		e.refs++
+		m.stats.DatasetHits++
 		m.datasets.touch(e, now)
 		m.mu.Unlock()
+		m.met.dsHits.Inc()
 		return e, nil
 	}
 	m.mu.Unlock()
@@ -436,11 +447,13 @@ func (m *Manager) datasetRef(id string) (*dsEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.met.dsReloads.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrClosed
 	}
+	m.stats.DatasetReloads++
 	now = m.cfg.Clock()
 	if e, ok := m.datasets.entries[id]; ok { // lost a reload race: use theirs
 		e.refs++
@@ -489,7 +502,9 @@ func (m *Manager) preparedFor(j *job) (*core.Prepared, error) {
 	built := false
 	slot.once.Do(func() {
 		built = true
+		buildStart := time.Now()
 		slot.prepared, slot.err = core.Prepare(e.m, j.spec.Labels, j.spec.Opt)
+		m.met.stagePrep.ObserveDuration(time.Since(buildStart))
 	})
 	m.mu.Lock()
 	// Exactly one caller per slot observes built (whoever won the Once,
@@ -501,5 +516,10 @@ func (m *Manager) preparedFor(j *job) (*core.Prepared, error) {
 		m.stats.PrepHits++
 	}
 	m.mu.Unlock()
+	if built {
+		m.met.prepBuilds.Inc()
+	} else {
+		m.met.prepHits.Inc()
+	}
 	return slot.prepared, slot.err
 }

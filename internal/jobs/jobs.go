@@ -59,6 +59,16 @@ type Spec struct {
 	// Every is the checkpoint/progress window in permutations; values < 1
 	// take the manager's default.
 	Every int64
+	// Tenant names the submitting tenant for rate limiting and accounting
+	// (the X-Tenant header over HTTP).  Empty is the anonymous tenant.
+	// Tenant never enters the content key: identical analyses from
+	// different tenants share cache and checkpoints.
+	Tenant string
+	// Class optionally forces the fairness class: "interactive" or
+	// "bulk".  Empty classifies by size (B at most the manager's
+	// InteractiveMaxB, and sampled rather than complete, is interactive).
+	// Like Tenant, it never enters the content key.
+	Class string
 }
 
 // State is a job's lifecycle phase.
@@ -105,6 +115,9 @@ type Status struct {
 	CacheHit bool
 	// NProcs is the rank count the job runs with.
 	NProcs int
+	// Tenant and Class report the admission identity the job ran under.
+	Tenant string
+	Class  string
 	// Profile holds the five-section time profile once the job is Done
 	// (zero for cache hits, which time nothing).
 	Profile core.Profile

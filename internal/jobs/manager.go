@@ -10,6 +10,7 @@ import (
 
 	"sprint/internal/core"
 	"sprint/internal/matrix"
+	"sprint/internal/metrics"
 )
 
 // Config sizes a Manager.  Zero values select the documented defaults.
@@ -18,8 +19,9 @@ type Config struct {
 	// Defaults to half the CPUs (each job parallelises internally over
 	// its own NProcs ranks), minimum 1.
 	Workers int
-	// QueueDepth bounds the FIFO of jobs waiting for a worker; a full
-	// queue rejects submissions with ErrQueueFull.  Defaults to 64.
+	// QueueDepth bounds the queue of jobs waiting for a worker, both
+	// classes together; a full queue sheds submissions with ErrQueueFull
+	// (wrapped in an OverloadError carrying Retry-After).  Defaults to 64.
 	QueueDepth int
 	// DefaultNProcs is the rank count for jobs that do not choose one.
 	// Defaults to runtime.GOMAXPROCS(0): every available CPU.
@@ -55,6 +57,32 @@ type Config struct {
 	// moment precompute state) kept per dataset, one per distinct
 	// (labels, test, side, nonpara, NA) combination.  Defaults to 8.
 	MaxPrepsPerDataset int
+
+	// Metrics is the registry the manager instruments (queue depth and
+	// wait, per-stage timings, shed/throttle decisions, dataset-plane
+	// counters).  Nil gets a private registry, so instrumentation is
+	// always on; callers that serve /metrics pass their own.
+	Metrics *metrics.Registry
+	// QueuePolicy selects how workers pop queued jobs: "fair" (default —
+	// the two-class weighted-fair queue, interactive over bulk) or
+	// "fifo" (strict global arrival order, the pre-admission behaviour).
+	QueuePolicy string
+	// InteractiveMaxB classifies submissions: sampled jobs with B at or
+	// under this bound count as interactive, everything else (including
+	// complete enumerations) as bulk.  An explicit Spec.Class overrides.
+	// Defaults to 10000.
+	InteractiveMaxB int64
+	// InteractiveWeight is how many interactive pops one bulk pop is
+	// worth while both classes are backlogged.  Defaults to 4.
+	InteractiveWeight int
+	// TenantLimits configures per-tenant token buckets.  The zero value
+	// admits everything (no rate limiting).
+	TenantLimits TenantLimits
+	// MaxQueueWait, when positive, sheds submissions whose predicted
+	// queue wait (backlog over observed drain rate) exceeds it — the
+	// proactive half of load shedding.  0 sheds only on a full queue.
+	MaxQueueWait time.Duration
+
 	// Clock overrides time.Now in tests; nil uses time.Now.
 	Clock func() time.Time
 	// OnCheckpoint, when non-nil, is called after every saved checkpoint
@@ -94,6 +122,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxPrepsPerDataset == 0 {
 		c.MaxPrepsPerDataset = 8
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
+	if c.QueuePolicy == "" {
+		c.QueuePolicy = "fair"
+	}
+	if c.InteractiveMaxB < 1 {
+		c.InteractiveMaxB = 10000
+	}
+	if c.InteractiveWeight < 1 {
+		c.InteractiveWeight = 4
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -101,7 +141,8 @@ func (c Config) withDefaults() Config {
 }
 
 // job is the manager's mutable record of one submission.  All fields are
-// guarded by Manager.mu.
+// guarded by Manager.mu except class/tenant/enqueueSeq/enqueuedAt, which
+// are immutable after Submit.
 type job struct {
 	id   string
 	key  string
@@ -113,6 +154,11 @@ type job struct {
 	// worker runs over its shared preparation instead.
 	data matrix.Matrix
 	ds   *dsEntry
+
+	tenant     string
+	class      JobClass
+	enqueueSeq int64
+	enqueuedAt time.Time
 
 	state       State
 	err         error
@@ -138,6 +184,8 @@ func (j *job) status() Status {
 		ResumedFrom: j.resumedFrom,
 		CacheHit:    j.cacheHit,
 		NProcs:      j.spec.NProcs,
+		Tenant:      j.tenant,
+		Class:       j.class.String(),
 		Profile:     j.profile,
 		SubmittedAt: j.submittedAt,
 		StartedAt:   j.startedAt,
@@ -149,7 +197,16 @@ func (j *job) status() Status {
 	return s
 }
 
-// Stats is the manager-wide counter snapshot served by /v1/stats.
+// ClassLatency is a per-class latency digest inside Stats.
+type ClassLatency struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// Stats is the manager-wide counter snapshot served by /v1/stats.  The
+// pre-admission fields keep their names and meanings; the admission and
+// observability plane appends, never renames.
 type Stats struct {
 	Submitted     int64 `json:"submitted"`
 	Completed     int64 `json:"completed"`
@@ -180,6 +237,38 @@ type Stats struct {
 	// PermOrder describes the enumeration order jobs run under when they
 	// leave Options.PermOrder at its default.
 	PermOrder string `json:"perm_order"`
+
+	// ---- Admission / observability plane (PR 6) ----
+
+	// QueuePolicy names the active pop discipline ("fair" or "fifo");
+	// QueuedInteractive/QueuedBulk split Queued by class.
+	QueuePolicy       string `json:"queue_policy"`
+	QueuedInteractive int    `json:"queued_interactive"`
+	QueuedBulk        int    `json:"queued_bulk"`
+	// Shed* count admission refusals by reason; every one of them also
+	// carried a Retry-After to the client.
+	ShedQueueFull   int64 `json:"shed_queue_full"`
+	ShedQueueWait   int64 `json:"shed_queue_wait"`
+	ShedRateLimited int64 `json:"shed_rate_limited"`
+	// QueueWait* digest the queue-age histograms per class.
+	QueueWaitInteractive ClassLatency `json:"queue_wait_interactive"`
+	QueueWaitBulk        ClassLatency `json:"queue_wait_bulk"`
+	// DrainRatePerSec is the observed completion rate over the last 30s
+	// — the denominator of every Retry-After.
+	DrainRatePerSec float64 `json:"drain_rate_per_sec"`
+	// Hit rates derived from the counters above, in [0,1]; 0 when the
+	// denominator is 0.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	PrepHitRate  float64 `json:"prep_hit_rate"`
+	// Dataset-plane reference traffic: registry answers from memory,
+	// reloads from the disk mirror, LRU evictions.
+	DatasetHits      int64 `json:"dataset_hits"`
+	DatasetReloads   int64 `json:"dataset_reloads"`
+	DatasetEvictions int64 `json:"dataset_evictions"`
+	// TenantsActive counts tenants with resident admission state;
+	// Tenants lists the busiest (top 32) with admitted/throttled counts.
+	TenantsActive int          `json:"tenants_active"`
+	Tenants       []TenantStat `json:"tenants,omitempty"`
 }
 
 // Manager owns the queue, the worker pool, the result cache and the
@@ -197,7 +286,14 @@ type Manager struct {
 	datasets *dsStore
 	stats    Stats
 
-	queue     chan *job
+	queue   *fairQueue
+	tenants *tenantLimiter
+	drain   *drainMeter
+	met     *mgrMetrics
+	// onWindow feeds kernel-window wall times into the histogram; built
+	// once here so the per-job RunControl assignment allocates nothing.
+	onWindow func(perms int64, elapsed time.Duration)
+
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
@@ -207,6 +303,9 @@ type Manager struct {
 // drain and stop it.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	if cfg.QueuePolicy != "fair" && cfg.QueuePolicy != "fifo" {
+		return nil, fmt.Errorf("jobs: unknown queue policy %q (want fair or fifo)", cfg.QueuePolicy)
+	}
 	ckpts, err := newCkptStore(cfg.CheckpointDir, cfg.MaxCheckpoints)
 	if err != nil {
 		return nil, err
@@ -222,10 +321,23 @@ func NewManager(cfg Config) (*Manager, error) {
 		cache:     newResultCache(cfg.CacheSize),
 		ckpts:     ckpts,
 		datasets:  datasets,
-		queue:     make(chan *job, cfg.QueueDepth),
+		queue:     newFairQueue(cfg.QueueDepth, cfg.InteractiveWeight, cfg.QueuePolicy == "fifo"),
+		tenants:   newTenantLimiter(cfg.TenantLimits),
+		drain:     &drainMeter{},
+		met:       newMgrMetrics(cfg.Metrics),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
+	m.onWindow = func(perms int64, elapsed time.Duration) {
+		m.met.kernelWin.ObserveDuration(elapsed)
+	}
+	// Evictions happen under m.mu at several call sites; the callback
+	// keeps the counter beside the rest of the stats.
+	m.datasets.noteEvict = func(n int) {
+		m.stats.DatasetEvictions += int64(n)
+		m.met.dsEvicted.Add(int64(n))
+	}
+	m.registerGauges(cfg.Metrics)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -233,16 +345,47 @@ func NewManager(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
+// Metrics returns the registry the manager instruments.
+func (m *Manager) Metrics() *metrics.Registry { return m.cfg.Metrics }
+
+// shed records one admission refusal and builds the typed rejection the
+// HTTP layer turns into 429 + Retry-After.
+func (m *Manager) shed(reason string, sentinel error, retryAfter time.Duration, now time.Time) error {
+	if retryAfter <= 0 {
+		retryAfter = m.drain.retryAfter(m.queue.len(), now)
+	}
+	m.met.shed[reason].Inc()
+	m.mu.Lock()
+	switch reason {
+	case "queue_full":
+		m.stats.ShedQueueFull++
+	case "queue_wait":
+		m.stats.ShedQueueWait++
+	case "rate_limited":
+		m.stats.ShedRateLimited++
+	}
+	m.mu.Unlock()
+	return &OverloadError{Reason: reason, RetryAfter: retryAfter, sentinel: sentinel}
+}
+
 // Submit validates the spec, answers it from the result cache when the
-// content key is already computed, and otherwise enqueues it FIFO.  It
-// returns the initial status: Done with CacheHit set for a hit, Queued
-// otherwise.  A full queue returns ErrQueueFull without side effects.
+// content key is already computed, and otherwise runs it through the
+// admission plane (tenant token bucket, queue bound, predicted-wait
+// bound) and enqueues it in its fairness class.  It returns the initial
+// status: Done with CacheHit set for a hit, Queued otherwise.  A refusal
+// returns an *OverloadError wrapping ErrQueueFull or ErrRateLimited and
+// carrying the Retry-After guidance; cache hits are exempt from
+// admission control — they occupy no worker.
 func (m *Manager) Submit(spec Spec) (Status, error) {
 	canon, err := core.CanonicalOptions(spec.Opt)
 	if err != nil {
 		return Status{}, err
 	}
 	spec.Opt = canon
+	class, err := classFor(spec.Class, canon.B, m.cfg.InteractiveMaxB)
+	if err != nil {
+		return Status{}, err
+	}
 	if spec.NProcs < 1 {
 		spec.NProcs = m.cfg.DefaultNProcs
 	}
@@ -250,8 +393,8 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		spec.Every = m.cfg.DefaultEvery
 	}
 	// The content key is computed in place, whichever payload form was
-	// submitted: cache hits and queue-full rejections never pay the
-	// matrix copy that resolve makes.
+	// submitted: cache hits and shed submissions never pay the matrix
+	// copy that resolve makes.
 	key, err := spec.contentKey()
 	if err != nil {
 		return Status{}, err
@@ -269,6 +412,8 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 			id:          fmt.Sprintf("j%06d", m.seq),
 			key:         key,
 			spec:        Spec{Opt: spec.Opt, NProcs: spec.NProcs, Every: spec.Every},
+			tenant:      spec.Tenant,
+			class:       class,
 			state:       Done,
 			cacheHit:    true,
 			result:      res,
@@ -282,15 +427,35 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		m.stats.CacheHits++
 		m.insertLocked(j)
 		m.mu.Unlock()
+		m.met.submitted[class].Inc()
+		m.met.cacheHits.Inc()
 		return j.status(), nil
 	}
-	if len(m.queue) == cap(m.queue) {
-		// Fast-fail before paying the resolve copy; the enqueue below
-		// re-checks authoritatively.
-		m.mu.Unlock()
-		return Status{}, ErrQueueFull
-	}
 	m.mu.Unlock()
+
+	now := m.cfg.Clock()
+	// Tenant token bucket: the submission costs one token whatever
+	// happens next, so a client cannot probe the queue for free.
+	if ok, refill := m.tenants.take(spec.Tenant, now); !ok {
+		m.met.throttled.Inc()
+		return Status{}, m.shed("rate_limited", ErrRateLimited, refill, now)
+	}
+	// Fast-fail before paying the resolve copy; the enqueue below
+	// re-checks authoritatively.
+	if m.queue.full() {
+		return Status{}, m.shed("queue_full", ErrQueueFull, 0, now)
+	}
+	// Predicted-wait bound: when the backlog would take longer to drain
+	// than the configured limit, shedding now with honest guidance beats
+	// admitting a job that will time out in the queue.
+	if m.cfg.MaxQueueWait > 0 {
+		if rate := m.drain.ratePerSec(now); rate > 0 {
+			est := time.Duration(float64(m.queue.len()+1) / rate * float64(time.Second))
+			if est > m.cfg.MaxQueueWait {
+				return Status{}, m.shed("queue_wait", ErrQueueFull, est, now)
+			}
+		}
+	}
 
 	// Cache miss: attach the payload outside the lock.  Dataset
 	// submissions pin their registry entry (one reference held until the
@@ -306,10 +471,12 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 			return Status{}, err
 		}
 	} else {
+		ingestStart := time.Now()
 		data, err = spec.resolve()
 		if err != nil {
 			return Status{}, err
 		}
+		m.met.stageIngest.ObserveDuration(time.Since(ingestStart))
 		spec.X, spec.XFlat = nil, nil // data supersedes the submission payload
 	}
 
@@ -319,7 +486,7 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		m.releaseDatasetLocked(ds)
 		return Status{}, ErrClosed
 	}
-	now := m.cfg.Clock()
+	now = m.cfg.Clock()
 	m.seq++
 	j := &job{
 		id:          fmt.Sprintf("j%06d", m.seq),
@@ -327,17 +494,23 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		spec:        spec,
 		data:        data,
 		ds:          ds,
+		tenant:      spec.Tenant,
+		class:       class,
+		enqueueSeq:  m.seq,
+		enqueuedAt:  now,
 		state:       Queued,
 		total:       canon.B, // 0 for complete enumerations until planned
 		submittedAt: now,
 	}
-	select {
-	case m.queue <- j:
-	default:
+	if !m.queue.tryPush(j) {
 		m.releaseDatasetLocked(ds)
-		return Status{}, ErrQueueFull
+		m.mu.Unlock()
+		err := m.shed("queue_full", ErrQueueFull, 0, now)
+		m.mu.Lock() // restore for the deferred unlock
+		return Status{}, err
 	}
 	m.stats.Submitted++
+	m.met.submitted[class].Inc()
 	m.insertLocked(j)
 	return j.status(), nil
 }
@@ -422,6 +595,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.finishedAt = m.cfg.Clock()
 		m.releaseJobLocked(j)
 		m.stats.Cancelled++
+		m.met.cancelled.Inc()
 	case Running:
 		j.cancelRequested = true
 		if j.cancel != nil {
@@ -431,10 +605,16 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	return j.status(), nil
 }
 
-// StatsSnapshot returns the current counters.
+// StatsSnapshot returns the current counters, the admission-plane state
+// and the queue-age digests.
 func (m *Manager) StatsSnapshot() Stats {
+	qi, qb := m.queue.lens()
+	now := m.cfg.Clock()
+	drainRate := m.drain.ratePerSec(now)
+	tenantsActive := m.tenants.active()
+	tenants := m.tenants.snapshot(32)
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := m.stats
 	s.QueueCap = m.cfg.QueueDepth
 	s.Workers = m.cfg.Workers
@@ -455,6 +635,28 @@ func (m *Manager) StatsSnapshot() Stats {
 			s.Running++
 		}
 	}
+	m.mu.Unlock()
+
+	s.QueuePolicy = m.cfg.QueuePolicy
+	s.QueuedInteractive, s.QueuedBulk = qi, qb
+	s.DrainRatePerSec = drainRate
+	s.TenantsActive = tenantsActive
+	s.Tenants = tenants
+	if s.Submitted > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(s.Submitted)
+	}
+	if prepTotal := s.PrepBuilds + s.PrepHits; prepTotal > 0 {
+		s.PrepHitRate = float64(s.PrepHits) / float64(prepTotal)
+	}
+	digest := func(h *metrics.Histogram) ClassLatency {
+		return ClassLatency{
+			Count: h.Count(),
+			P50Ms: h.Quantile(0.50) * 1000,
+			P99Ms: h.Quantile(0.99) * 1000,
+		}
+	}
+	s.QueueWaitInteractive = digest(m.met.queueWait[ClassInteractive])
+	s.QueueWaitBulk = digest(m.met.queueWait[ClassBulk])
 	return s
 }
 
@@ -470,7 +672,7 @@ func (m *Manager) Close() {
 	m.closed = true
 	m.mu.Unlock()
 	m.cancelAll()
-	close(m.queue)
+	m.queue.close()
 	m.wg.Wait()
 }
 
@@ -484,15 +686,19 @@ func (m *Manager) execute(j *job, prepared *core.Prepared, ctl core.RunControl) 
 	return core.RunMatrix(j.data, j.spec.Labels, j.spec.Opt, ctl)
 }
 
-// worker pops jobs FIFO and runs them to a terminal state.  Each worker
-// owns one RunScratch for its whole lifetime: kernel scratch, permutation
-// batch buffers and partial-count vectors are reused across jobs instead
-// of reallocated, so the steady-state worker path stays allocation-light
-// (asserted by BenchmarkWorkerJobReuse).
+// worker pops jobs from the fair queue and runs them to a terminal
+// state.  Each worker owns one RunScratch for its whole lifetime: kernel
+// scratch, permutation batch buffers and partial-count vectors are
+// reused across jobs instead of reallocated, so the steady-state worker
+// path stays allocation-light (asserted by BenchmarkWorkerJobReuse).
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	scratch := &core.RunScratch{}
-	for j := range m.queue {
+	for {
+		j, ok := m.queue.pop()
+		if !ok {
+			return
+		}
 		m.run(j, scratch)
 	}
 }
@@ -501,6 +707,9 @@ func (m *Manager) worker() {
 func (m *Manager) run(j *job, scratch *core.RunScratch) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
+
+	popped := m.cfg.Clock()
+	m.met.queueWait[j.class].ObserveDuration(popped.Sub(j.enqueuedAt))
 
 	m.mu.Lock()
 	if j.state != Queued { // cancelled while waiting
@@ -513,10 +722,11 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		m.releaseJobLocked(j)
 		m.stats.Cancelled++
 		m.mu.Unlock()
+		m.met.cancelled.Inc()
 		return
 	}
 	j.state = Running
-	j.startedAt = m.cfg.Clock()
+	j.startedAt = popped
 	j.cancel = cancel
 	resume := m.ckpts.load(j.key)
 	if resume != nil {
@@ -525,13 +735,17 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		m.stats.Resumed++
 	}
 	m.mu.Unlock()
+	if resume != nil {
+		m.met.resumed.Inc()
+	}
 
 	ctl := core.RunControl{
-		Ctx:     ctx,
-		NProcs:  j.spec.NProcs,
-		Resume:  resume,
-		Every:   j.spec.Every,
-		Scratch: scratch,
+		Ctx:      ctx,
+		NProcs:   j.spec.NProcs,
+		Resume:   resume,
+		Every:    j.spec.Every,
+		Scratch:  scratch,
+		OnWindow: m.onWindow,
 		Save: func(ck *core.Checkpoint) error {
 			m.mu.Lock()
 			evicted := m.ckpts.put(j.key, ck)
@@ -541,9 +755,11 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 			for _, k := range evicted {
 				m.ckpts.removeDisk(k)
 			}
+			writeStart := time.Now()
 			if err := m.ckpts.writeDisk(j.key, ck); err != nil {
 				return err
 			}
+			m.met.ckptWrite.ObserveDuration(time.Since(writeStart))
 			if m.cfg.OnCheckpoint != nil {
 				m.cfg.OnCheckpoint(j.id, ck.Done, ck.TotalB)
 			}
@@ -582,9 +798,13 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		}
 	}
 
+	finished := m.cfg.Clock()
+	m.drain.observe(finished)
+	m.met.jobDuration[j.class].ObserveDuration(finished.Sub(popped))
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	j.finishedAt = m.cfg.Clock()
+	j.finishedAt = finished
 	// The inputs are no longer needed once the job is terminal; release
 	// the (potentially very large) matrix — and the dataset reference —
 	// so finished jobs don't pin them.
@@ -598,15 +818,18 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		m.cache.put(j.key, res)
 		m.ckpts.drop(j.key)
 		m.stats.Completed++
+		m.met.completed[j.class].Inc()
 	case j.cancelRequested || errors.Is(err, context.Canceled):
 		// Cancelled (or shut down): the checkpoint store keeps the last
 		// window so an identical resubmission resumes from it.
 		j.state = Cancelled
 		j.err = err
 		m.stats.Cancelled++
+		m.met.cancelled.Inc()
 	default:
 		j.state = Failed
 		j.err = err
 		m.stats.Failed++
+		m.met.failed.Inc()
 	}
 }

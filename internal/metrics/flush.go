@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sample is one metric value inside a Snapshot.  Histograms flatten to
+// their count, sum and the p50/p99 estimates — the operational digest;
+// the full bucket vector stays on the /metrics scrape.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value"`
+	// Histogram digest fields; zero for counters and gauges.
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// ProcStats is the process/OS block of a snapshot: resident set, heap,
+// GC, goroutines and CPU time, the Gost os_stats counterpart.
+type ProcStats struct {
+	RSSBytes       int64   `json:"rss_bytes"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	GCPauseTotalS  float64 `json:"gc_pause_total_s"`
+	NumGC          uint32  `json:"num_gc"`
+	Goroutines     int     `json:"goroutines"`
+	CPUUserS       float64 `json:"cpu_user_s"`
+	CPUSystemS     float64 `json:"cpu_system_s"`
+}
+
+// Snapshot is one interval-flushed view of the registry.
+type Snapshot struct {
+	At      time.Time `json:"at"`
+	Proc    ProcStats `json:"proc"`
+	Samples []Sample  `json:"samples"`
+}
+
+// Snapshot walks the registry and returns the current values, including
+// the process stats.  It is a cold-path operation (the flusher and the
+// stats endpoint call it); hot-path handles are untouched.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	order := make([]*metric, len(r.order))
+	copy(order, r.order)
+	r.mu.Unlock()
+
+	snap := &Snapshot{At: time.Now(), Proc: readProcStats()}
+	snap.Samples = make([]Sample, 0, len(order))
+	for _, m := range order {
+		s := Sample{Name: m.name, Labels: m.labels, Kind: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.counter.Value())
+		case kindGauge:
+			s.Value = float64(m.gauge.Value())
+		case kindGaugeFunc:
+			s.Value = m.fn()
+		case kindHistogram:
+			s.Count = m.hist.Count()
+			s.Sum = m.hist.Sum()
+			s.P50 = m.hist.Quantile(0.50)
+			s.P99 = m.hist.Quantile(0.99)
+			s.Value = s.Sum
+		}
+		snap.Samples = append(snap.Samples, s)
+	}
+	return snap
+}
+
+// readProcStats collects the process block: runtime stats portably, RSS
+// and CPU time from the OS where available (zero elsewhere).
+func readProcStats() ProcStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ps := ProcStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		GCPauseTotalS:  float64(ms.PauseTotalNs) / 1e9,
+		NumGC:          ms.NumGC,
+		Goroutines:     runtime.NumGoroutine(),
+	}
+	readOSStats(&ps)
+	return ps
+}
+
+// RegisterProcessMetrics exposes the process block as gauge families on
+// the registry, so the /metrics scrape carries them alongside the
+// service metrics.
+func RegisterProcessMetrics(r *Registry) {
+	r.Help("process_resident_memory_bytes", "Resident set size in bytes.")
+	r.GaugeFunc("process_resident_memory_bytes", func() float64 {
+		var ps ProcStats
+		readOSStats(&ps)
+		return float64(ps.RSSBytes)
+	})
+	r.Help("process_cpu_seconds_total", "Total user and system CPU time in seconds.")
+	r.GaugeFunc("process_cpu_seconds_total", func() float64 {
+		var ps ProcStats
+		readOSStats(&ps)
+		return ps.CPUUserS + ps.CPUSystemS
+	})
+	r.Help("go_goroutines", "Number of live goroutines.")
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Help("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	r.GaugeFunc("go_heap_alloc_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.Help("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.")
+	r.GaugeFunc("go_gc_pause_seconds_total", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+}
+
+// Flusher drives interval snapshots into a sink — the Gost buffered-
+// flush loop.  Stop flushes one final snapshot synchronously, so no
+// samples recorded before Stop are lost: the shutdown path calls Stop
+// and then inspects or emits the final snapshot it returns.
+type Flusher struct {
+	reg  *Registry
+	sink func(*Snapshot)
+
+	mu     sync.Mutex
+	stopC  chan struct{}
+	doneC  chan struct{}
+	closed bool
+}
+
+// NewFlusher starts a flusher emitting a snapshot to sink every
+// interval.  interval <= 0 disables the periodic loop (Stop still emits
+// the final snapshot).  sink runs on the flusher goroutine (or the Stop
+// caller, for the final one) and must not block indefinitely.
+func NewFlusher(reg *Registry, interval time.Duration, sink func(*Snapshot)) *Flusher {
+	f := &Flusher{reg: reg, sink: sink, stopC: make(chan struct{}), doneC: make(chan struct{})}
+	if interval > 0 {
+		go f.loop(interval)
+	} else {
+		close(f.doneC)
+	}
+	return f
+}
+
+func (f *Flusher) loop(interval time.Duration) {
+	defer close(f.doneC)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.sink(f.reg.Snapshot())
+		case <-f.stopC:
+			return
+		}
+	}
+}
+
+// Stop halts the periodic loop, takes one final snapshot, hands it to
+// the sink and returns it.  Safe to call more than once; later calls
+// only return a fresh snapshot without re-invoking the sink.
+func (f *Flusher) Stop() *Snapshot {
+	f.mu.Lock()
+	already := f.closed
+	f.closed = true
+	if !already {
+		close(f.stopC)
+	}
+	f.mu.Unlock()
+	<-f.doneC
+	snap := f.reg.Snapshot()
+	if !already {
+		f.sink(snap)
+	}
+	return snap
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default histogram upper bounds, in seconds:
+// 100µs to 60s, a decade-split ladder wide enough for both sub-millisecond
+// cache-hit jobs and minute-scale bulk sweeps.  The terminal +Inf bucket
+// is implicit.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram: one atomic counter per
+// bucket plus an atomic sum, so Observe is lock-free and allocation-free.
+// Bucket bounds are upper bounds in seconds, Prometheus-style cumulative
+// on export; the +Inf bucket is implicit (counts[len(bounds)]).
+type Histogram struct {
+	bounds []float64 // immutable after construction
+	counts []atomic.Int64
+	sumNs  atomic.Int64 // total observed time in nanoseconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	// Linear scan: the ladder is short (≤ ~20 bounds), fully resident and
+	// branch-predictable — cheaper than binary search at this size.
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(seconds * 1e9))
+}
+
+// ObserveDuration records one duration.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var t int64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// Sum returns the total of all observations, in seconds.
+func (h *Histogram) Sum() float64 {
+	return float64(h.sumNs.Load()) / 1e9
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank.  Values in the +Inf bucket
+// report the last finite bound — an underestimate, which is the honest
+// direction for an SLO readout.  Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // +Inf bucket: clamp to the last bound
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns the cumulative bucket counts aligned with
+// bounds plus the +Inf total, for exposition.
+func (h *Histogram) snapshotBuckets() (cum []int64, total int64) {
+	cum = make([]int64, len(h.bounds)+1)
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running
+}

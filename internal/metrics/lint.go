@@ -1,0 +1,342 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format exposition: comment and sample
+// syntax, metric/label name grammar, TYPE declarations preceding their
+// samples, no duplicate series, and histogram invariants (cumulative
+// monotone buckets, a terminal +Inf bucket equal to _count).  It returns
+// every problem found, empty when the exposition is clean.  The CI
+// scrape step and the exposition tests share this checker.
+func Lint(r io.Reader) []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := make(map[string]string)        // family -> declared type
+	seen := make(map[string]int)            // full series (name+labels) -> line
+	buckets := make(map[string][]bucketObs) // histogram series sans le -> buckets
+	counts := make(map[string]float64)      // histogram _count series -> value
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			lintComment(line, n, types, addf)
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			addf(n, "malformed sample %q", line)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(n, "invalid metric name %q", name)
+		}
+		for _, lp := range labels {
+			if !validLabelName(lp.k) {
+				addf(n, "invalid label name %q", lp.k)
+			}
+		}
+		series := name + renderParsedLabels(labels)
+		if prev, dup := seen[series]; dup {
+			addf(n, "duplicate series %s (first at line %d)", series, prev)
+		}
+		seen[series] = n
+
+		family := histogramFamily(name)
+		if t, declared := types[family]; declared {
+			if err := checkSuffix(name, family, t); err != "" {
+				addf(n, "%s", err)
+			}
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, rest, hasLE := splitLE(labels)
+			if !hasLE {
+				addf(n, "%s has no le label", name)
+				continue
+			}
+			key := strings.TrimSuffix(name, "_bucket") + renderParsedLabels(rest)
+			ub, err := parseBound(le)
+			if err != nil {
+				addf(n, "%s: bad le %q", name, le)
+				continue
+			}
+			buckets[key] = append(buckets[key], bucketObs{ub: ub, count: value, line: n})
+		case strings.HasSuffix(name, "_count"):
+			key := strings.TrimSuffix(name, "_count") + renderParsedLabels(labels)
+			counts[key] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+
+	// Histogram invariants, per series.
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		obs := buckets[k]
+		sort.Slice(obs, func(i, j int) bool { return obs[i].ub < obs[j].ub })
+		last := obs[len(obs)-1]
+		if !isInf(last.ub) {
+			problems = append(problems, fmt.Sprintf("histogram %s has no +Inf bucket", k))
+		}
+		for i := 1; i < len(obs); i++ {
+			if obs[i].count < obs[i-1].count {
+				problems = append(problems, fmt.Sprintf("histogram %s buckets not cumulative at le=%g", k, obs[i].ub))
+			}
+		}
+		if c, ok := counts[k]; ok && isInf(last.ub) && last.count != c {
+			problems = append(problems, fmt.Sprintf("histogram %s +Inf bucket %g != _count %g", k, last.count, c))
+		}
+	}
+	return problems
+}
+
+type bucketObs struct {
+	ub    float64
+	count float64
+	line  int
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+func parseBound(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// lintComment validates # HELP / # TYPE lines and records declared types.
+func lintComment(line string, n int, types map[string]string, addf func(int, string, ...any)) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return // free-form comment: allowed
+	}
+	if len(fields) < 3 {
+		addf(n, "%s without a metric name", fields[1])
+		return
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		addf(n, "%s for invalid metric name %q", fields[1], name)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) < 4 {
+			addf(n, "TYPE %s without a type", name)
+			return
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			addf(n, "TYPE %s has unknown type %q", name, fields[3])
+		}
+		if _, dup := types[name]; dup {
+			addf(n, "duplicate TYPE for %s", name)
+		}
+		types[name] = fields[3]
+	}
+}
+
+// checkSuffix verifies a sample name belongs to its declared family: a
+// histogram family may only emit _bucket/_sum/_count (or the bare name),
+// counters and gauges only the bare name.
+func checkSuffix(name, family, typ string) string {
+	if name == family {
+		return ""
+	}
+	if typ == "histogram" || typ == "summary" {
+		switch strings.TrimPrefix(name, family) {
+		case "_bucket", "_sum", "_count":
+			return ""
+		}
+	}
+	return fmt.Sprintf("sample %s does not match TYPE %s %s", name, family, typ)
+}
+
+// histogramFamily maps a sample name to the family its TYPE line would
+// declare: strips the histogram series suffixes.
+func histogramFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+type labelPair struct{ k, v string }
+
+// parseSample splits one exposition sample line into name, labels and
+// value.  Timestamps (a trailing integer) are accepted and ignored.
+func parseSample(line string) (name string, labels []labelPair, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, false
+		}
+		var lerr bool
+		labels, lerr = parseLabels(rest[i+1 : end])
+		if lerr {
+			return "", nil, 0, false
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", nil, 0, false
+		}
+		name = fields[0]
+		rest = strings.TrimSpace(fields[1])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, false
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, false
+	}
+	if len(fields) == 2 { // optional timestamp
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, false
+		}
+	}
+	return name, labels, v, true
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` respecting escapes.
+func parseLabels(s string) ([]labelPair, bool) {
+	var out []labelPair
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, true
+		}
+		k := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, true
+		}
+		i++
+		var sb strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(s[i])
+				}
+			} else {
+				sb.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return nil, true
+		}
+		i++ // closing quote
+		out = append(out, labelPair{k: k, v: sb.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, true
+			}
+			i++
+		}
+	}
+	return out, false
+}
+
+func splitLE(labels []labelPair) (le string, rest []labelPair, ok bool) {
+	for _, lp := range labels {
+		if lp.k == "le" {
+			le, ok = lp.v, true
+			continue
+		}
+		rest = append(rest, lp)
+	}
+	return le, rest, ok
+}
+
+func renderParsedLabels(labels []labelPair) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].k < labels[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, lp := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", lp.k, lp.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

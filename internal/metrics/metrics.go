@@ -1,0 +1,246 @@
+// Package metrics is pmaxtd's buffered metrics core: lock-cheap sharded
+// counters, gauges and fixed-bucket latency histograms behind a named
+// registry, snapshotted on an interval and exported in the Prometheus
+// text exposition format.
+//
+// The design follows the Gost "buffered counts" shape: the hot path only
+// ever touches pre-registered metric handles with atomic operations — no
+// map lookups, no locks, no allocations — while aggregation (snapshots,
+// percentile estimation, the /metrics scrape) walks the registry cold.
+// Counters are striped across cache-line-padded shards indexed by a
+// per-P cheap random, so a worker pool hammering one counter does not
+// serialise on a single cache line.
+//
+// Identity is (name, sorted label pairs).  Handles are get-or-create:
+// asking for the same identity twice returns the same handle, so layers
+// can share a registry without coordinating registration order.  Callers
+// on hot paths must hold their handles rather than re-resolving them.
+package metrics
+
+import (
+	"fmt"
+	randv2 "math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nShards stripes counter updates.  8 shards × 64-byte padding keeps the
+// worst case (every P on one counter) off a single cache line while
+// costing 512 bytes per counter — counters are few and long-lived.
+const nShards = 8
+
+// pad64 is one cache-line-padded int64 shard.
+type pad64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter.  Add is safe
+// for any number of concurrent callers and never allocates.
+type Counter struct {
+	shards [nShards]pad64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	// rand/v2's top-level generators are per-P and lock-free: the index
+	// costs a few nanoseconds and spreads contending writers.
+	c.shards[randv2.Uint32()&(nShards-1)].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is an instantaneous int64 value (queue depth, bytes resident).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind discriminates the exposition type of a metric family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered instance: a name, its rendered label string
+// ("" or `{k="v",...}`) and exactly one live handle.
+type metric struct {
+	name   string
+	labels string // rendered, sorted; "" when unlabelled
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Registry holds the named metrics of one process.  Registration takes a
+// lock; the returned handles are lock-free.  The zero value is NOT
+// usable — call New.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by name + rendered labels
+	order   []*metric          // registration order, for stable exposition
+	help    map[string]string  // family name -> HELP text
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		help:    make(map[string]string),
+	}
+}
+
+// Help sets the exposition HELP text of a metric family.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// renderLabels validates and renders "k1, v1, k2, v2, ..." pairs into
+// the exposition label form, sorted by key so identity is order-free.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// lookup finds or creates the metric instance for (name, labels).  It
+// panics when the identity is already registered under a different kind
+// — that is a programming error, not an operational condition.
+func (r *Registry) lookup(name string, k kind, labels []string) *metric {
+	rendered := renderLabels(labels)
+	key := name + rendered
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("metrics: %s%s registered as %s, requested as %s", name, rendered, m.kind, k))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: rendered, kind: k}
+	r.metrics[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.  labels are "key, value" pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	m := r.lookup(name, kindCounter, labels)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	m := r.lookup(name, kindGauge, labels)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a callback gauge: fn is invoked at snapshot and
+// scrape time.  fn must be safe for concurrent use and must not call
+// back into the registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	m := r.lookup(name, kindGaugeFunc, labels)
+	m.fn = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given bucket upper bounds (nil selects DefLatencyBuckets) on first
+// use.  Buckets of an existing histogram are not changed.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	m := r.lookup(name, kindHistogram, labels)
+	if m.hist == nil {
+		m.hist = newHistogram(buckets)
+	}
+	return m.hist
+}

@@ -1,0 +1,297 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrentExact hammers one counter from many goroutines and
+// requires the exact total: striping must lose nothing.
+func TestCounterConcurrentExact(t *testing.T) {
+	reg := New()
+	c := reg.Counter("hits_total")
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// TestHistogramConcurrentExact hammers a histogram and requires the exact
+// observation count and bucket sums.
+func TestHistogramConcurrentExact(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.005) // below first bound
+				h.Observe(0.5)   // third bucket
+				h.Observe(5)     // +Inf bucket
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(goroutines * per * 3)
+	if got := h.Count(); got != total {
+		t.Fatalf("count = %d, want %d", got, total)
+	}
+	cum, tot := h.snapshotBuckets()
+	if tot != total {
+		t.Fatalf("bucket total = %d, want %d", tot, total)
+	}
+	want := []int64{total / 3, total / 3, 2 * total / 3}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if q := h.Quantile(0.5); q > 0.1 {
+		t.Fatalf("p50 = %g, want <= 0.1", q)
+	}
+	if q := h.Quantile(0.99); q < 1 || q > 10 {
+		t.Fatalf("p99 = %g, want in (1, 10]", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", q)
+	}
+}
+
+// TestHotPathZeroAlloc is the acceptance guard for the steady-state job
+// path: every hot-path metric operation must allocate nothing.
+func TestHotPathZeroAlloc(t *testing.T) {
+	reg := New()
+	c := reg.Counter("c_total", "class", "x")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_seconds", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Histogram.ObserveDuration allocates %v per op", n)
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition bytes: families sorted,
+// HELP/TYPE headers, cumulative le buckets with +Inf, _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	reg := New()
+	reg.Help("requests_total", "Requests served.")
+	reg.Counter("requests_total", "route", "/a").Add(3)
+	reg.Counter("requests_total", "route", "/b").Inc()
+	reg.Gauge("depth").Set(7)
+	reg.GaugeFunc("drain_rate", func() float64 { return 2.5 })
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1}, "class", "x")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	const want = `# TYPE depth gauge
+depth 7
+# TYPE drain_rate gauge
+drain_rate 2.5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{class="x",le="0.1"} 1
+lat_seconds_bucket{class="x",le="1"} 2
+lat_seconds_bucket{class="x",le="+Inf"} 3
+lat_seconds_sum{class="x"} 5.55
+lat_seconds_count{class="x"} 3
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{route="/a"} 3
+requests_total{route="/b"} 1
+`
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+	if problems := Lint(strings.NewReader(sb.String())); len(problems) != 0 {
+		t.Fatalf("lint of own exposition: %v", problems)
+	}
+}
+
+// TestLintCatchesBadExposition proves the linter is not a rubber stamp.
+func TestLintCatchesBadExposition(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "9bad_metric 1\n",
+		"bad value":          "m 1.2.3\n",
+		"duplicate series":   "m 1\nm 2\n",
+		"unknown type":       "# TYPE m sparkline\nm 1\n",
+		"missing inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-monotone":       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"reserved label":     "m{__secret=\"x\"} 1\n",
+	}
+	for name, text := range cases {
+		if problems := Lint(strings.NewReader(text)); len(problems) == 0 {
+			t.Errorf("%s: lint accepted %q", name, text)
+		}
+	}
+}
+
+func TestLabelIdentityOrderFree(t *testing.T) {
+	reg := New()
+	a := reg.Counter("m", "x", "1", "y", "2")
+	b := reg.Counter("m", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("same labels in different order produced distinct handles")
+	}
+}
+
+// TestFlusherNoLostSamples asserts the shutdown guarantee: counts
+// recorded before Stop all appear in the final snapshot, exactly once,
+// whatever the interval was doing concurrently.
+func TestFlusherNoLostSamples(t *testing.T) {
+	reg := New()
+	c := reg.Counter("work_total")
+
+	var mu sync.Mutex
+	var flushes []*Snapshot
+	f := NewFlusher(reg, time.Millisecond, func(s *Snapshot) {
+		mu.Lock()
+		flushes = append(flushes, s)
+		mu.Unlock()
+	})
+
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	final := f.Stop()
+
+	sample := func(s *Snapshot, name string) *Sample {
+		for i := range s.Samples {
+			if s.Samples[i].Name == name {
+				return &s.Samples[i]
+			}
+		}
+		return nil
+	}
+	got := sample(final, "work_total")
+	if got == nil || got.Value != goroutines*per {
+		t.Fatalf("final snapshot work_total = %+v, want %d", got, goroutines*per)
+	}
+	mu.Lock()
+	n := len(flushes)
+	last := flushes[n-1]
+	mu.Unlock()
+	if n < 1 {
+		t.Fatal("sink never invoked")
+	}
+	if s := sample(last, "work_total"); s == nil || s.Value != goroutines*per {
+		t.Fatalf("last sunk snapshot = %+v, want the final one", s)
+	}
+	// Idempotent: a second Stop returns a snapshot but does not re-sink.
+	f.Stop()
+	mu.Lock()
+	if len(flushes) != n {
+		t.Fatalf("second Stop re-invoked the sink (%d -> %d)", n, len(flushes))
+	}
+	mu.Unlock()
+}
+
+// TestFlusherNoInterval covers the -metrics-interval 0 shape: no loop,
+// but Stop still sinks the final snapshot.
+func TestFlusherNoInterval(t *testing.T) {
+	reg := New()
+	reg.Counter("x_total").Add(5)
+	sunk := 0
+	f := NewFlusher(reg, 0, func(s *Snapshot) { sunk++ })
+	snap := f.Stop()
+	if sunk != 1 {
+		t.Fatalf("sink invoked %d times, want 1", sunk)
+	}
+	if len(snap.Samples) != 1 || snap.Samples[0].Value != 5 {
+		t.Fatalf("final snapshot %+v", snap.Samples)
+	}
+}
+
+func TestSnapshotProcStats(t *testing.T) {
+	reg := New()
+	snap := reg.Snapshot()
+	if snap.Proc.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", snap.Proc.Goroutines)
+	}
+	if snap.Proc.HeapAllocBytes == 0 {
+		t.Fatal("heap alloc = 0")
+	}
+}
+
+func TestRegisterProcessMetricsExposition(t *testing.T) {
+	reg := New()
+	RegisterProcessMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"process_cpu_seconds_total", "go_goroutines", "go_heap_alloc_bytes"} {
+		if !strings.Contains(sb.String(), "# TYPE "+fam+" gauge") {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+	if problems := Lint(strings.NewReader(sb.String())); len(problems) != 0 {
+		t.Fatalf("lint: %v", problems)
+	}
+}

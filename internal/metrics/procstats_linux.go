@@ -1,0 +1,36 @@
+//go:build linux
+
+package metrics
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// pageSize is resolved once; /proc/self/statm reports pages.
+var pageSize = int64(os.Getpagesize())
+
+// readOSStats fills the OS-sourced fields: RSS from /proc/self/statm,
+// CPU time from getrusage.  Failures leave the fields zero — process
+// stats must never take the service down.
+func readOSStats(ps *ProcStats) {
+	if b, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(b))
+		if len(fields) >= 2 {
+			if rssPages, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				ps.RSSBytes = rssPages * pageSize
+			}
+		}
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		ps.CPUUserS = tvSeconds(ru.Utime)
+		ps.CPUSystemS = tvSeconds(ru.Stime)
+	}
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

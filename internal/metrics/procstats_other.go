@@ -1,0 +1,7 @@
+//go:build !linux
+
+package metrics
+
+// readOSStats is a no-op off Linux: RSS and CPU time stay zero, the
+// runtime-sourced fields still populate.
+func readOSStats(ps *ProcStats) {}

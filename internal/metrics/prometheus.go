@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// # HELP / # TYPE header per family, histogram buckets cumulative with a
+// terminal +Inf bucket plus _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	// Group instances by family name, preserving a stable order.
+	families := make(map[string][]*metric, len(r.order))
+	names := make([]string, 0, len(r.order))
+	for _, m := range r.order {
+		if _, ok := families[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		ms := families[name]
+		if h, ok := help[name]; ok {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, ms[0].kind)
+		for _, m := range ms {
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(&sb, "%s%s %d\n", name, m.labels, m.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(&sb, "%s%s %d\n", name, m.labels, m.gauge.Value())
+			case kindGaugeFunc:
+				fmt.Fprintf(&sb, "%s%s %s\n", name, m.labels, formatFloat(m.fn()))
+			case kindHistogram:
+				writeHistogram(&sb, name, m.labels, m.hist)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram renders one histogram instance: cumulative le-labelled
+// buckets, +Inf, then _sum and _count.
+func writeHistogram(sb *strings.Builder, name, labels string, h *Histogram) {
+	cum, total := h.snapshotBuckets()
+	for i, bound := range h.bounds {
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, withLabel(labels, "le", formatFloat(bound)), cum[i])
+	}
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, withLabel(labels, "le", "+Inf"), total)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, labels, total)
+}
+
+// withLabel merges one extra label pair into an already-rendered label
+// string ("" or "{...}").
+func withLabel(rendered, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a float the exposition format accepts: shortest
+// round-trip decimal, with the special values spelled Prometheus-style.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
