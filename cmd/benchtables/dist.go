@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"sprint/internal/cluster"
+	"sprint/internal/core"
+	"sprint/internal/httpapi"
+	"sprint/internal/jobs"
+	"sprint/internal/matrix"
+	"sprint/internal/microarray"
+)
+
+// The -json-dist mode emits the distributed-scaling benchmark CI tracks
+// as an artifact (BENCH_dist.json): one paper-shaped analysis run
+// standalone, then through a coordinator fanning shards to 1, 2 and 4
+// in-process worker daemons over real HTTP — the full cluster path
+// (shard RPCs, content-addressed dataset resolution, merge ledger).
+// Every level's result is compared bitwise against the standalone run;
+// the emitted speedups are honest wall-clock ratios ON THIS HOST, so on
+// a single-core container the levels mostly measure protocol overhead,
+// while a multi-core runner shows real scaling (each worker pins one
+// rank).  EXPERIMENTS.md records both readings.
+
+// distLevelJSON is one worker-count level of the sweep.
+type distLevelJSON struct {
+	Workers          int     `json:"workers"`
+	ElapsedS         float64 `json:"elapsed_s"`
+	Speedup          float64 `json:"speedup_vs_standalone"`
+	BitwiseIdentical bool    `json:"bitwise_identical"`
+	ShardsDispatched int64   `json:"shards_dispatched"`
+	ShardRetries     int64   `json:"shard_retries"`
+	DatasetPushes    int64   `json:"dataset_pushes"`
+	LocalShards      int64   `json:"local_shards"`
+}
+
+type distDoc struct {
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	CPUs        int             `json:"cpus"`
+	Genes       int             `json:"genes"`
+	Samples     int             `json:"samples"`
+	Perms       int64           `json:"perms"`
+	StandaloneS float64         `json:"standalone_s"`
+	Levels      []distLevelJSON `json:"levels"`
+}
+
+// distWorker is one in-process worker daemon: the -role worker wiring
+// behind a real HTTP listener.
+type distWorker struct {
+	srv *httpapi.Server
+	ts  *httptest.Server
+}
+
+func (d *distWorker) close() {
+	d.ts.Close()
+	d.srv.Close()
+}
+
+func newDistWorker(x matrix.Matrix) (*distWorker, error) {
+	srv, err := httpapi.New(httpapi.Config{Jobs: jobs.Config{Workers: 1}})
+	if err != nil {
+		return nil, err
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{Source: srv.Manager(), NProcs: 1, Every: 5000})
+	srv.AttachCluster(w)
+	if _, _, err := srv.Manager().PutDataset(x); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &distWorker{srv: srv, ts: httptest.NewServer(srv.Handler())}, nil
+}
+
+// distRun submits the analysis by dataset id and waits for the result.
+func distRun(m *jobs.Manager, id string, labels []int, opt core.Options) (*core.Result, time.Duration, error) {
+	start := time.Now()
+	st, err := m.Submit(jobs.Spec{DatasetID: id, Labels: labels, Opt: opt, NProcs: 1, Every: 5000})
+	if err != nil {
+		return nil, 0, err
+	}
+	for {
+		got, err := m.Get(st.ID)
+		if err != nil {
+			return nil, 0, err
+		}
+		if got.State.Terminal() {
+			if got.State != jobs.Done {
+				return nil, 0, fmt.Errorf("job %s: %s: %s", st.ID, got.State, got.Error)
+			}
+			res, _, err := m.Result(st.ID)
+			return res, time.Since(start), err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// bitwiseSame compares everything the engine reports per gene.
+func bitwiseSame(a, b *core.Result) bool {
+	if a.B != b.B || a.Complete != b.Complete ||
+		len(a.Stat) != len(b.Stat) || len(a.RawP) != len(b.RawP) || len(a.AdjP) != len(b.AdjP) {
+		return false
+	}
+	for i := range a.Stat {
+		if math.Float64bits(a.Stat[i]) != math.Float64bits(b.Stat[i]) ||
+			math.Float64bits(a.RawP[i]) != math.Float64bits(b.RawP[i]) ||
+			math.Float64bits(a.AdjP[i]) != math.Float64bits(b.AdjP[i]) ||
+			a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func emitJSONDist(w io.Writer, genes int, perms int64) error {
+	gen := microarray.PaperDataset()
+	gen.Genes = genes
+	data, err := microarray.Generate(gen)
+	if err != nil {
+		return err
+	}
+	x, err := data.Matrix()
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	opt.B = perms
+	opt.Seed = 42
+	opt.FixedSeedSampling = "y"
+
+	// Standalone baseline: one manager, one rank, no distributor.
+	sm, err := jobs.NewManager(jobs.Config{Workers: 1})
+	if err != nil {
+		return err
+	}
+	info, _, err := sm.PutDataset(x)
+	if err != nil {
+		sm.Close()
+		return err
+	}
+	want, baseline, err := distRun(sm, info.ID, data.Labels, opt)
+	sm.Close()
+	if err != nil {
+		return err
+	}
+
+	doc := distDoc{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Genes: genes, Samples: data.Cols(), Perms: int64(want.B),
+		StandaloneS: baseline.Seconds(),
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		var workers []*distWorker
+		var addrs []string
+		for i := 0; i < n; i++ {
+			dw, err := newDistWorker(x)
+			if err != nil {
+				return err
+			}
+			workers = append(workers, dw)
+			addrs = append(addrs, dw.ts.URL)
+		}
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Workers:      addrs,
+			WorkerNProcs: 1,
+		})
+		cm, err := jobs.NewManager(jobs.Config{Workers: 1, Distributor: coord})
+		if err != nil {
+			return err
+		}
+		if _, _, err := cm.PutDataset(x); err != nil {
+			cm.Close()
+			return err
+		}
+		got, elapsed, err := distRun(cm, info.ID, data.Labels, opt)
+		cm.Close()
+		for _, dw := range workers {
+			dw.close()
+		}
+		if err != nil {
+			return err
+		}
+		same := bitwiseSame(got, want)
+		if !same {
+			return fmt.Errorf("dist sweep: %d-worker result is NOT bitwise identical to standalone", n)
+		}
+		ci := coord.Info().Coordinator
+		doc.Levels = append(doc.Levels, distLevelJSON{
+			Workers:          n,
+			ElapsedS:         elapsed.Seconds(),
+			Speedup:          baseline.Seconds() / elapsed.Seconds(),
+			BitwiseIdentical: same,
+			ShardsDispatched: ci.ShardsDispatched,
+			ShardRetries:     ci.ShardRetries,
+			DatasetPushes:    ci.DatasetPushes,
+			LocalShards:      ci.LocalShards,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

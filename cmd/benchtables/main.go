@@ -51,6 +51,8 @@ func run(args []string, w io.Writer) error {
 	jsonDelta := fs.Bool("json-delta", false, "run the delta-engine and ISA-dispatch micro-benchmarks, emit JSON, and exit")
 	jsonIngest := fs.Bool("json-ingest", false, "run the dataset-plane ingest benchmarks (spb vs JSON, cold vs hot prep), emit JSON, and exit")
 	jsonServe := fs.Bool("json-serve", false, "run the serving-plane saturation sweep (admission control under 1x/2x/4x load), emit JSON, and exit")
+	jsonDist := fs.Bool("json-dist", false, "run the distributed-scaling sweep (coordinator + 1/2/4 in-process workers, bitwise-checked), emit JSON, and exit")
+	distPerms := fs.Int64("dist-perms", 30000, "distributed sweep: permutation count")
 	serveSeconds := fs.Float64("serve-seconds", 2, "saturation sweep: offered-load duration per level, seconds")
 	serveLevels := fs.String("serve-levels", "1,2,4", "saturation sweep: comma-separated capacity multipliers")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +69,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *jsonIngest {
 		return emitJSONIngest(w, *genes)
+	}
+	if *jsonDist {
+		return emitJSONDist(w, *genes, *distPerms)
 	}
 	if *jsonServe {
 		levels, err := parseServeLevels(*serveLevels)

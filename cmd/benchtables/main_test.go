@@ -144,3 +144,28 @@ func TestParseServeLevels(t *testing.T) {
 		}
 	}
 }
+
+func TestJSONDistEmitsSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json-dist", "-genes", "60", "-dist-perms", "800"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Perms  int64 `json:"perms"`
+		Levels []struct {
+			Workers          int  `json:"workers"`
+			BitwiseIdentical bool `json:"bitwise_identical"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("json-dist output is not JSON: %v", err)
+	}
+	if doc.Perms != 800 || len(doc.Levels) != 3 {
+		t.Fatalf("perms=%d levels=%d, want 800/3", doc.Perms, len(doc.Levels))
+	}
+	for _, lv := range doc.Levels {
+		if !lv.BitwiseIdentical {
+			t.Errorf("%d-worker level not bitwise identical", lv.Workers)
+		}
+	}
+}

@@ -19,12 +19,28 @@
 //	curl -s localhost:8080/v1/jobs/j000001/result
 //	curl -s localhost:8080/metrics          # Prometheus text exposition
 //
+// Cluster mode shards the permutation space of large jobs across
+// several daemons (the paper's multi-node Step 4), with results bitwise
+// identical to a single node:
+//
+//	pmaxtd -role worker -addr :8081                       # on each worker host
+//	pmaxtd -role coordinator -addr :8080 \
+//	       -cluster-workers http://w1:8081,http://w2:8081 # front node
+//
+// Workers may also join a running coordinator dynamically with
+// -join http://coord:8080 (heartbeat registration); -advertise overrides
+// the URL the worker registers under.  Jobs are submitted to the
+// coordinator exactly as in standalone mode — preferably by dataset_id,
+// so no matrix bytes travel on the job path.
+//
 // Operational telemetry goes to stderr as JSON logs (log/slog): one line
 // per HTTP request carrying the request id, tenant, route, status and
 // duration, plus interval-flushed metrics snapshots.  The human-readable
 // lifecycle lines stay on stdout.  SIGINT/SIGTERM shut the daemon down
-// gracefully: the HTTP listener drains, running jobs checkpoint and stop,
-// a final metrics snapshot is flushed, and the process exits.
+// gracefully: a worker drains in-flight shards (finishing or shipping a
+// checkpointed prefix) and deregisters from its coordinator, the HTTP
+// listener drains, running jobs checkpoint and stop, a final metrics
+// snapshot is flushed, and the process exits.
 package main
 
 import (
@@ -34,14 +50,17 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof-addr serves the DefaultServeMux profiles
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sprint"
+	"sprint/internal/cluster"
 	"sprint/internal/jobs"
 	"sprint/internal/metrics"
 )
@@ -75,6 +94,13 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	interactiveB := fs.Int64("interactive-max-b", 10000, "sampled jobs with B at most this count as interactive")
 	maxQueueWait := fs.Duration("max-queue-wait", 0, "shed submissions whose predicted queue wait exceeds this (0 = only shed on a full queue)")
 	logDst := fs.String("log", "stderr", "structured JSON log destination: stderr, stdout or a file path")
+	role := fs.String("role", "standalone", "cluster role: standalone, coordinator or worker")
+	clusterWorkers := fs.String("cluster-workers", "", "coordinator: comma-separated worker base URLs (http://host:port)")
+	join := fs.String("join", "", "worker: coordinator base URL to register with (heartbeat membership)")
+	advertise := fs.String("advertise", "", "worker: base URL to register under (default http://<host>:<port> of -addr)")
+	distMinB := fs.Int64("dist-min-b", 1000, "coordinator: run jobs with B under this locally instead of distributing")
+	shardNProcs := fs.Int("shard-nprocs", 0, "coordinator: ranks each worker uses per shard (0 = worker default)")
+	shardsPerWorker := fs.Int("shards-per-worker", 2, "coordinator: shards carved per live worker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +111,17 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	limits, err := jobs.ParseTenantLimits(*tenantLimits)
 	if err != nil {
 		return err
+	}
+	switch *role {
+	case "standalone", "coordinator", "worker":
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, coordinator or worker)", *role)
+	}
+	if *role != "worker" && *join != "" {
+		return errors.New("-join requires -role worker")
+	}
+	if *role != "coordinator" && *clusterWorkers != "" {
+		return errors.New("-cluster-workers requires -role coordinator")
 	}
 
 	var logw io.Writer
@@ -123,11 +160,34 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 
 	// One registry carries the whole plane: process/OS stats, the jobs
-	// layer (queue, stages, shed decisions, dataset plane) and the
-	// per-route HTTP middleware all report here, and GET /metrics serves
-	// it in the Prometheus text format.
+	// layer (queue, stages, shed decisions, dataset plane), the cluster
+	// node and the per-route HTTP middleware all report here, and
+	// GET /metrics serves it in the Prometheus text format.
 	reg := metrics.New()
 	metrics.RegisterProcessMetrics(reg)
+
+	// The coordinator exists before the manager so it can be plugged in
+	// as the manager's distributor; it holds no manager reference (shard
+	// state rides each RunJob call), so the order is safe.
+	var coord *cluster.Coordinator
+	var dist jobs.Distributor
+	if *role == "coordinator" {
+		var staticWorkers []string
+		for _, w := range strings.Split(*clusterWorkers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				staticWorkers = append(staticWorkers, w)
+			}
+		}
+		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Workers:         staticWorkers,
+			ShardsPerWorker: *shardsPerWorker,
+			MinDistB:        *distMinB,
+			WorkerNProcs:    *shardNProcs,
+			Metrics:         reg,
+			Logger:          logger,
+		})
+		dist = coord
+	}
 
 	srv, err := sprint.NewServer(sprint.ServerConfig{
 		Jobs: sprint.JobsConfig{
@@ -144,12 +204,28 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			InteractiveMaxB:  *interactiveB,
 			TenantLimits:     limits,
 			MaxQueueWait:     *maxQueueWait,
+			Distributor:      dist,
 		},
 		MaxBodyBytes: *maxBody,
 		Logger:       logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	var worker *cluster.Worker
+	switch {
+	case coord != nil:
+		srv.AttachCluster(coord)
+	case *role == "worker":
+		worker = cluster.NewWorker(cluster.WorkerConfig{
+			Source:  srv.Manager(),
+			NProcs:  *nprocs,
+			Every:   *every,
+			Metrics: reg,
+			Logger:  logger,
+		})
+		srv.AttachCluster(worker)
 	}
 
 	// The flusher snapshots the registry on the interval (when one is
@@ -167,20 +243,43 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		)
 	})
 
+	// Listen before serving so a worker knows its bound port — ":0"
+	// works for ephemeral test clusters — and -advertise can default.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		flusher.Stop()
+		return err
+	}
+	boundAddr := ln.Addr().String()
+
 	// stdout stays single-writer (the test harness hands us a plain
 	// bytes.Buffer): all prints happen on this goroutine.
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "pmaxtd: listening on %s\n", *addr)
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "pmaxtd: %s listening on %s\n", *role, boundAddr)
 	logger.LogAttrs(context.Background(), slog.LevelInfo, "listening",
-		slog.String("addr", *addr),
+		slog.String("addr", boundAddr),
+		slog.String("role", *role),
 		slog.String("kernel", active),
 		slog.String("queue_policy", *queuePolicy),
 		slog.Bool("rate_limited", limits.Default.Rate > 0 || len(limits.Overrides) > 0),
 	)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- hs.ListenAndServe()
+		errc <- hs.Serve(ln)
 	}()
+
+	var joinCancel context.CancelFunc
+	advertiseURL := *advertise
+	if worker != nil && *join != "" {
+		if advertiseURL == "" {
+			advertiseURL = "http://" + advertisableAddr(boundAddr)
+		}
+		fmt.Fprintf(stdout, "pmaxtd: joining %s as %s\n", *join, advertiseURL)
+		var joinCtx context.Context
+		joinCtx, joinCancel = context.WithCancel(context.Background())
+		go worker.Join(joinCtx, *join, advertiseURL, 0)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -188,6 +287,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 
 	select {
 	case err := <-errc:
+		if joinCancel != nil {
+			joinCancel()
+		}
 		srv.Close()
 		flusher.Stop()
 		return err
@@ -197,9 +299,23 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintln(stdout, "pmaxtd: stop requested, shutting down")
 	}
 
+	// Worker drain runs before the listener shuts: in-flight shards stop
+	// at their next window boundary and their responses — complete or
+	// checkpointed prefix — still flow through the draining listener, so
+	// the coordinator never loses finished permutations.
+	if worker != nil {
+		fmt.Fprintln(stdout, "pmaxtd: draining worker shards")
+		worker.Drain()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownErr := hs.Shutdown(ctx)
+	if joinCancel != nil {
+		joinCancel()
+	}
+	if worker != nil && *join != "" {
+		worker.Deregister(*join, advertiseURL)
+	}
 	srv.Close() // cancels running jobs at their next checkpoint window
 	// Drained and stopped: flush the final snapshot so every counter the
 	// run accumulated reaches the log exactly once.
@@ -210,4 +326,18 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 	fmt.Fprintln(stdout, "pmaxtd: bye")
 	return nil
+}
+
+// advertisableAddr rewrites a bound listen address into one another
+// process can dial: wildcard hosts become the loopback address.
+func advertisableAddr(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	switch host {
+	case "", "0.0.0.0", "::", "[::]":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

@@ -1,0 +1,820 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+	"sprint/internal/matrix"
+	"sprint/internal/maxt"
+	"sprint/internal/metrics"
+)
+
+// CoordinatorConfig configures the cluster coordinator.
+type CoordinatorConfig struct {
+	// Workers lists static worker base URLs ("http://host:port");
+	// further workers may join dynamically via the membership API.
+	Workers []string
+	// Client performs shard RPCs and dataset pushes; nil uses
+	// http.DefaultClient.
+	Client *http.Client
+	// ShardsPerWorker is how many shards the range is split into per
+	// live worker — more than 1 keeps a fast worker busy while a slow
+	// one finishes, at slightly more merge traffic.  Defaults to 2.
+	ShardsPerWorker int
+	// MinDistB declines jobs whose planned B is under this bound
+	// (ErrNotDistributed → the manager runs them locally); tiny jobs
+	// are not worth a round trip.  Defaults to 0: distribute whenever a
+	// worker is live.
+	MinDistB int64
+	// MaxAttempts bounds remote dispatch attempts per shard; beyond it
+	// the shard is computed on the coordinator itself.  Defaults to 3.
+	MaxAttempts int
+	// StragglerAfter speculatively re-dispatches a shard in flight
+	// longer than this once the queue is otherwise empty; the first
+	// complete delivery wins (the merge ledger discards the loser).
+	// Defaults to 5s; 0 keeps the default, negative disables.
+	StragglerAfter time.Duration
+	// HeartbeatTTL expires joined workers that stop heartbeating.
+	// Defaults to 10s.
+	HeartbeatTTL time.Duration
+	// DownFor is how long a worker that failed a dispatch is skipped
+	// before being tried again.  Defaults to 3s.
+	DownFor time.Duration
+	// WorkerNProcs is the rank count shard requests ask workers for
+	// (0 = each worker's own default).
+	WorkerNProcs int
+	// Metrics receives the coordinator-side cluster series; nil gets a
+	// private registry.
+	Metrics *metrics.Registry
+	// Logger receives dispatch lifecycle logs; nil discards.
+	Logger *slog.Logger
+	// Clock overrides time.Now in tests.
+	Clock func() time.Time
+}
+
+// member is one worker as the coordinator tracks it.
+type member struct {
+	addr      string
+	static    bool
+	lastSeen  time.Time // joined workers: last heartbeat
+	downUntil time.Time // dispatch-failure backoff
+}
+
+// Coordinator partitions jobs into shards, dispatches them to workers
+// and merges the counts.  It implements jobs.Distributor (plugged into
+// the manager) and Node (mounted on the HTTP mux).
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	members map[string]*member
+
+	inflight   atomic.Int64
+	dispatched atomic.Int64
+	retries    atomic.Int64
+	pushes     atomic.Int64
+	jobsDist   atomic.Int64
+	jobsDecl   atomic.Int64
+	localDone  atomic.Int64
+
+	metDispatched *metrics.Counter
+	metRetries    map[string]*metrics.Counter
+	metPushes     *metrics.Counter
+	metJobsDist   *metrics.Counter
+	metJobsDecl   *metrics.Counter
+	metLocal      *metrics.Counter
+	metRPC        *metrics.Histogram
+}
+
+// Retry reasons, used as the metric label and in logs.
+const (
+	retryError     = "error"
+	retryPartial   = "partial"
+	retryStraggler = "straggler"
+)
+
+// NewCoordinator builds a coordinator over the static worker set.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.ShardsPerWorker < 1 {
+		cfg.ShardsPerWorker = 2
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.StragglerAfter == 0 {
+		cfg.StragglerAfter = 5 * time.Second
+	}
+	if cfg.HeartbeatTTL <= 0 {
+		cfg.HeartbeatTTL = 10 * time.Second
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = 3 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client, members: make(map[string]*member)}
+	for _, addr := range cfg.Workers {
+		addr = strings.TrimRight(addr, "/")
+		if addr == "" {
+			continue
+		}
+		c.members[addr] = &member{addr: addr, static: true}
+	}
+	reg := cfg.Metrics
+	reg.Help("cluster_shards_dispatched_total", "Shard RPCs dispatched to workers.")
+	reg.Help("cluster_shard_retries_total", "Shard re-dispatches, by reason (error, partial, straggler).")
+	reg.Help("cluster_dataset_pushes_total", "Datasets pushed to workers that answered 404 for a content address.")
+	reg.Help("cluster_jobs_distributed_total", "Jobs run across the cluster.")
+	reg.Help("cluster_jobs_declined_total", "Jobs declined back to the local path (no live workers or B under threshold).")
+	reg.Help("cluster_local_shards_total", "Shards computed on the coordinator after worker loss or exhausted retries.")
+	reg.Help("cluster_shard_rpc_seconds", "Wall time of one shard RPC, dispatch to decoded response.")
+	reg.Help("cluster_workers_live", "Workers currently considered live.")
+	reg.Help("cluster_shards_in_flight", "Shards currently dispatched and unresolved.")
+	c.metDispatched = reg.Counter("cluster_shards_dispatched_total")
+	c.metRetries = map[string]*metrics.Counter{
+		retryError:     reg.Counter("cluster_shard_retries_total", "reason", retryError),
+		retryPartial:   reg.Counter("cluster_shard_retries_total", "reason", retryPartial),
+		retryStraggler: reg.Counter("cluster_shard_retries_total", "reason", retryStraggler),
+	}
+	c.metPushes = reg.Counter("cluster_dataset_pushes_total")
+	c.metJobsDist = reg.Counter("cluster_jobs_distributed_total")
+	c.metJobsDecl = reg.Counter("cluster_jobs_declined_total")
+	c.metLocal = reg.Counter("cluster_local_shards_total")
+	c.metRPC = reg.Histogram("cluster_shard_rpc_seconds", metrics.DefLatencyBuckets)
+	reg.GaugeFunc("cluster_workers_live", func() float64 {
+		return float64(len(c.live(c.cfg.Clock())))
+	})
+	reg.GaugeFunc("cluster_shards_in_flight", func() float64 {
+		return float64(c.inflight.Load())
+	})
+	return c
+}
+
+// Role implements Node.
+func (c *Coordinator) Role() string { return "coordinator" }
+
+// Routes implements Node: the worker membership API.
+func (c *Coordinator) Routes() []Route {
+	return []Route{
+		{Method: "POST", Pattern: WorkersPath, Handler: c.handleJoin},
+		{Method: "DELETE", Pattern: WorkersPath, Handler: c.handleLeave},
+		{Method: "GET", Pattern: PingPath, Handler: c.handlePing},
+	}
+}
+
+// Info implements Node.
+func (c *Coordinator) Info() Info {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	members := make([]MemberInfo, 0, len(c.members))
+	live := 0
+	for _, m := range c.members {
+		alive := c.memberLive(m, now)
+		if alive {
+			live++
+		}
+		mi := MemberInfo{Addr: m.addr, Live: alive, Static: m.static}
+		if !m.static {
+			mi.LastSeen = m.lastSeen
+		}
+		members = append(members, mi)
+	}
+	c.mu.Unlock()
+	return Info{
+		Role: "coordinator",
+		Coordinator: &CoordinatorInfo{
+			Workers:          members,
+			WorkersLive:      live,
+			ShardsInFlight:   int(c.inflight.Load()),
+			ShardsDispatched: c.dispatched.Load(),
+			ShardRetries:     c.retries.Load(),
+			DatasetPushes:    c.pushes.Load(),
+			JobsDistributed:  c.jobsDist.Load(),
+			JobsDeclined:     c.jobsDecl.Load(),
+			LocalShards:      c.localDone.Load(),
+		},
+	}
+}
+
+func (c *Coordinator) handlePing(w http.ResponseWriter, r *http.Request) {
+	writeClusterJSON(w, http.StatusOK, map[string]any{"ok": true, "role": "coordinator"})
+}
+
+// handleJoin registers (or re-heartbeats) a worker.  A re-registering
+// worker clears its failure backoff: it just proved it is alive.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var body joinBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil {
+		writeClusterJSON(w, http.StatusBadRequest, errorBody{Error: "bad join request: " + err.Error()})
+		return
+	}
+	addr := strings.TrimRight(body.Addr, "/")
+	if u, err := url.Parse(addr); err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeClusterJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("join addr %q is not an http(s) base URL", body.Addr)})
+		return
+	}
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	m, ok := c.members[addr]
+	if !ok {
+		m = &member{addr: addr}
+		c.members[addr] = m
+	}
+	m.lastSeen = now
+	m.downUntil = time.Time{}
+	c.mu.Unlock()
+	if !ok {
+		c.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "cluster_worker_joined", slog.String("addr", addr))
+	}
+	writeClusterJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleLeave deregisters a draining worker.  Static members are kept
+// (they are configuration) but backed off, so dispatch stops
+// immediately and resumes only if the worker comes back.
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	addr := strings.TrimRight(r.URL.Query().Get("addr"), "/")
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	m, ok := c.members[addr]
+	if ok {
+		if m.static {
+			m.downUntil = now.Add(c.cfg.DownFor)
+		} else {
+			delete(c.members, addr)
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		c.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "cluster_worker_left", slog.String("addr", addr))
+	}
+	writeClusterJSON(w, http.StatusOK, map[string]any{"ok": ok})
+}
+
+// memberLive reports whether m is dispatchable at now.  Callers hold
+// c.mu.
+func (c *Coordinator) memberLive(m *member, now time.Time) bool {
+	if now.Before(m.downUntil) {
+		return false
+	}
+	if m.static {
+		return true
+	}
+	return now.Sub(m.lastSeen) <= c.cfg.HeartbeatTTL
+}
+
+// live snapshots the dispatchable workers.
+func (c *Coordinator) live(now time.Time) []*member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		if c.memberLive(m, now) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// markDown backs a worker off after a failed dispatch.  A joined worker
+// returns on its next heartbeat; a static one after DownFor.
+func (c *Coordinator) markDown(m *member) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	m.downUntil = now.Add(c.cfg.DownFor)
+	if !m.static {
+		// Heartbeats clear the backoff; push lastSeen back so a worker
+		// that truly died expires rather than lingering live-but-down.
+		m.lastSeen = now.Add(-c.cfg.HeartbeatTTL)
+	}
+	c.mu.Unlock()
+}
+
+// partitionRange splits [lo, hi) into at most n contiguous windows
+// following the paper's Figure-2 rank partitioning: deterministic,
+// equal spans up to remainder, in index order.
+func partitionRange(lo, hi int64, n int) [][2]int64 {
+	span := hi - lo
+	if span <= 0 {
+		return nil
+	}
+	if int64(n) > span {
+		n = int(span)
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([][2]int64, 0, n)
+	for r := 0; r < n; r++ {
+		a := lo + span*int64(r)/int64(n)
+		b := lo + span*int64(r+1)/int64(n)
+		if a < b {
+			out = append(out, [2]int64{a, b})
+		}
+	}
+	return out
+}
+
+// RunJob implements jobs.Distributor: plan, partition, dispatch, merge,
+// finalize.  The returned result is bitwise identical to a local run of
+// the same spec — the merge ledger guarantees each permutation index is
+// counted exactly once, and int64 count merging is order-independent.
+func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.Result, error) {
+	plan, err := core.PlanRun(req.Prepared, req.Opt)
+	if err != nil {
+		return nil, err
+	}
+	now := c.cfg.Clock()
+	workers := c.live(now)
+	if len(workers) == 0 || plan.TotalB < c.cfg.MinDistB {
+		c.jobsDecl.Add(1)
+		c.metJobsDecl.Inc()
+		return nil, jobs.ErrNotDistributed
+	}
+	c.jobsDist.Add(1)
+	c.metJobsDist.Inc()
+
+	merged := maxt.NewCounts(plan.Rows)
+	start := int64(0)
+	// A valid prefix checkpoint is just a pre-merged shard covering
+	// [0, Next): merge it and dispatch only the remainder.  An invalid
+	// one (engine drift, different analysis) is ignored, not fatal —
+	// the cluster recomputes from scratch.
+	if r := req.Resume; r != nil &&
+		r.Fingerprint == plan.Fingerprint && r.TotalB == plan.TotalB &&
+		r.Complete == plan.Complete && r.Next == r.Done &&
+		len(r.Raw) == plan.Rows && len(r.Adj) == plan.Rows && r.Next <= plan.TotalB {
+		copy(merged.Raw, r.Raw)
+		copy(merged.Adj, r.Adj)
+		merged.B = r.Done
+		start = r.Next
+	}
+
+	if start < plan.TotalB {
+		spans := partitionRange(start, plan.TotalB, len(workers)*c.cfg.ShardsPerWorker)
+		if err := c.runShards(ctx, req, plan, merged, spans, workers); err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.FinalizeCounts(req.Prepared, req.Opt, merged)
+	if err != nil {
+		return nil, err
+	}
+	res.NProcs = len(workers)
+	return res, nil
+}
+
+// shardRec is the coordinator's ledger entry for one window of the
+// range.  lo advances as deliveries merge; the exactly-once rule is
+// that a delivery is accepted iff its range starts at the record's
+// CURRENT lo — duplicates (double dispatch, straggler losers) and
+// stale deliveries start below it and are discarded whole.
+type shardRec struct {
+	lo, hi       int64
+	attempts     int  // failed dispatch attempts (bounds remote retries)
+	inflight     int  // outstanding dispatches (straggler dups allowed)
+	queued       bool // sitting in the dispatch queue
+	local        bool // exhausted remote attempts: coordinator computes it
+	spec         bool // speculatively re-dispatched once already
+	done         bool
+	dispatchedAt time.Time // earliest outstanding dispatch, for straggler detection
+}
+
+// jobState is the per-job dispatch state machine.
+type jobState struct {
+	c    *Coordinator
+	ctx  context.Context
+	req  jobs.DistRequest
+	plan core.Plan
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	shards    []*shardRec
+	queue     []*shardRec
+	merged    *maxt.Counts
+	remaining int
+	remotes   int // live remote dispatch loops
+	finished  bool
+	err       error
+}
+
+// runShards drives the dispatch loops until every span is merged.
+func (c *Coordinator) runShards(ctx context.Context, req jobs.DistRequest, plan core.Plan, merged *maxt.Counts, spans [][2]int64, workers []*member) error {
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &jobState{c: c, ctx: jobCtx, req: req, plan: plan, merged: merged, remaining: len(spans)}
+	st.cond = sync.NewCond(&st.mu)
+	for _, sp := range spans {
+		rec := &shardRec{lo: sp[0], hi: sp[1], queued: true}
+		st.shards = append(st.shards, rec)
+		st.queue = append(st.queue, rec)
+	}
+	st.remotes = len(workers)
+	for _, m := range workers {
+		go st.remoteLoop(m)
+	}
+	go st.localLoop()
+	stopAbort := context.AfterFunc(ctx, func() {
+		st.abort(fmt.Errorf("cluster: job aborted: %w", context.Cause(ctx)))
+	})
+	defer stopAbort()
+	if d := c.cfg.StragglerAfter; d > 0 {
+		stopTick := make(chan struct{})
+		defer close(stopTick)
+		go st.stragglerTicker(d, stopTick)
+	}
+
+	st.mu.Lock()
+	for st.remaining > 0 && st.err == nil {
+		st.cond.Wait()
+	}
+	st.finished = true
+	err := st.err
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	// cancel() (deferred) aborts any straggling RPCs and the local
+	// loop; their late deliveries are discarded by the finished flag.
+	return err
+}
+
+// abort fails the job (context cancelled); loops drain out.
+func (st *jobState) abort(err error) {
+	st.mu.Lock()
+	if st.err == nil && !st.finished {
+		st.err = err
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// next blocks until a shard is available for this loop kind and claims
+// one dispatch of it, or returns nil when the job is over.  The local
+// loop only takes shards flagged local — or anything, once no remote
+// loop survives; remote loops take everything else.
+func (st *jobState) next(localLoop bool) *shardRec {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.finished || st.err != nil || st.remaining == 0 {
+			return nil
+		}
+		if rec := st.takeLocked(localLoop); rec != nil {
+			if rec.inflight == 0 {
+				rec.dispatchedAt = st.c.cfg.Clock()
+			}
+			rec.inflight++
+			st.c.inflight.Add(1)
+			return rec
+		}
+		st.cond.Wait()
+	}
+}
+
+// takeLocked scans the queue for the first shard this loop kind may
+// dispatch, dropping finished records on the way.  Callers hold st.mu.
+func (st *jobState) takeLocked(localLoop bool) *shardRec {
+	kept := st.queue[:0]
+	var take *shardRec
+	for _, rec := range st.queue {
+		if rec.done {
+			rec.queued = false
+			continue
+		}
+		eligible := !rec.local
+		if localLoop {
+			eligible = rec.local || st.remotes == 0
+		}
+		if take == nil && eligible {
+			take = rec
+			rec.queued = false
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	st.queue = kept
+	return take
+}
+
+// release drops one outstanding dispatch without requeueing.
+func (st *jobState) release(rec *shardRec) {
+	st.mu.Lock()
+	rec.inflight--
+	st.c.inflight.Add(-1)
+	st.mu.Unlock()
+}
+
+// requeue returns a failed dispatch to the queue, flipping the shard to
+// coordinator-local once its remote attempts are exhausted.
+func (st *jobState) requeue(rec *shardRec, reason string) {
+	st.c.retries.Add(1)
+	if m, ok := st.c.metRetries[reason]; ok {
+		m.Inc()
+	}
+	st.mu.Lock()
+	rec.inflight--
+	st.c.inflight.Add(-1)
+	if !rec.done && st.err == nil && !st.finished {
+		if reason == retryError {
+			rec.attempts++
+			if rec.attempts >= st.c.cfg.MaxAttempts {
+				rec.local = true
+			}
+		}
+		if !rec.queued {
+			rec.queued = true
+			st.queue = append(st.queue, rec)
+		}
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// deliver merges one shard delivery under the exactly-once rule and
+// advances the ledger.  Counts covering [lo, next) are accepted iff lo
+// equals the record's current lo and the fingerprint matches the plan;
+// anything else — duplicate, stale range, drifted node — is discarded
+// whole.  A partial delivery (next < hi) merges its prefix and requeues
+// the remainder.
+func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
+	rows := st.plan.Rows
+	st.mu.Lock()
+	rec.inflight--
+	st.c.inflight.Add(-1)
+	if rec.inflight == 0 {
+		rec.dispatchedAt = time.Time{}
+	} else {
+		rec.dispatchedAt = st.c.cfg.Clock()
+	}
+	ok := !rec.done && st.err == nil && !st.finished &&
+		resp.Fingerprint == st.plan.Fingerprint &&
+		resp.TotalB == st.plan.TotalB &&
+		resp.Lo == rec.lo && resp.Next > rec.lo && resp.Next <= rec.hi &&
+		resp.B == resp.Next-resp.Lo &&
+		len(resp.Raw) == rows && len(resp.Adj) == rows
+	if ok {
+		st.merged.Merge(&maxt.Counts{Raw: resp.Raw, Adj: resp.Adj, B: resp.B})
+		rec.lo = resp.Next
+		if rec.lo == rec.hi {
+			rec.done = true
+			st.remaining--
+		} else if !rec.queued {
+			rec.queued = true
+			st.queue = append(st.queue, rec)
+		}
+		if st.req.OnProgress != nil {
+			st.req.OnProgress(st.merged.B, st.plan.TotalB)
+		}
+	}
+	partial := ok && !rec.done
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	if partial {
+		st.c.retries.Add(1)
+		st.c.metRetries[retryPartial].Inc()
+	}
+}
+
+// remoteLoop pulls shards and dispatches them to one worker until the
+// job finishes or the worker fails (it is then backed off and its
+// queued work drains to the surviving loops).
+func (st *jobState) remoteLoop(m *member) {
+	defer func() {
+		st.mu.Lock()
+		st.remotes--
+		st.mu.Unlock()
+		st.cond.Broadcast()
+	}()
+	pushed := false
+	for {
+		rec := st.next(false)
+		if rec == nil {
+			return
+		}
+		if !st.c.attempt(st, m, rec, &pushed) {
+			return
+		}
+	}
+}
+
+// localLoop computes shards on the coordinator itself: the survivor of
+// last resort.  It idles while remote loops are healthy and only picks
+// up shards that exhausted their remote retries — or everything, once
+// no remote loop remains.
+func (st *jobState) localLoop() {
+	scratch := &core.RunScratch{}
+	for {
+		rec := st.next(true)
+		if rec == nil {
+			return
+		}
+		st.mu.Lock()
+		lo, hi, done := rec.lo, rec.hi, rec.done
+		st.mu.Unlock()
+		if done {
+			st.release(rec)
+			continue
+		}
+		sc, err := core.RunShard(st.req.Prepared, st.req.Opt, lo, hi, core.RunControl{
+			Ctx:     st.ctx,
+			NProcs:  st.req.NProcs,
+			Every:   st.req.Every,
+			Scratch: scratch,
+		})
+		if err != nil {
+			st.release(rec)
+			st.abort(err)
+			return
+		}
+		st.c.localDone.Add(1)
+		st.c.metLocal.Inc()
+		st.deliver(rec, &ShardResponse{
+			Lo: sc.Lo, Next: sc.Next, Hi: hi,
+			TotalB: sc.Plan.TotalB, Complete: sc.Plan.Complete,
+			Fingerprint: sc.Plan.Fingerprint,
+			B:           sc.Counts.B, Raw: sc.Counts.Raw, Adj: sc.Counts.Adj,
+		})
+	}
+}
+
+// stragglerTicker watches for a drained queue with long-inflight shards
+// and speculatively re-dispatches each at most once; the merge ledger
+// makes the duplicate harmless.
+func (st *jobState) stragglerTicker(after time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(after / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		now := st.c.cfg.Clock()
+		bumped := false
+		st.mu.Lock()
+		if len(st.queue) == 0 && st.remaining > 0 && st.err == nil && !st.finished {
+			for _, rec := range st.shards {
+				if rec.done || rec.queued || rec.spec || rec.inflight == 0 {
+					continue
+				}
+				if now.Sub(rec.dispatchedAt) >= after {
+					rec.spec, rec.queued = true, true
+					st.queue = append(st.queue, rec)
+					bumped = true
+					st.c.retries.Add(1)
+					st.c.metRetries[retryStraggler].Inc()
+				}
+			}
+		}
+		st.mu.Unlock()
+		if bumped {
+			st.cond.Broadcast()
+		}
+	}
+}
+
+// attempt dispatches one claimed shard to one worker.  It returns false
+// when the worker should be abandoned for this job (transport failure,
+// refusal) — the shard is already requeued for the survivors.
+func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bool) bool {
+	st.mu.Lock()
+	lo, hi, done := rec.lo, rec.hi, rec.done
+	st.mu.Unlock()
+	if done {
+		st.release(rec)
+		return true
+	}
+	sreq := ShardRequest{
+		JobKey:      st.req.Key,
+		DatasetID:   st.req.DatasetID,
+		Labels:      st.req.Labels,
+		Options:     st.req.Opt,
+		Lo:          lo,
+		Hi:          hi,
+		TotalB:      st.plan.TotalB,
+		Fingerprint: st.plan.Fingerprint,
+		NProcs:      c.cfg.WorkerNProcs,
+	}
+	for {
+		c.dispatched.Add(1)
+		c.metDispatched.Inc()
+		rpcStart := time.Now()
+		resp, status, reason, err := c.postShard(st.ctx, m.addr, &sreq)
+		c.metRPC.ObserveDuration(time.Since(rpcStart))
+		switch {
+		case err != nil:
+			c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_shard_failed",
+				slog.String("worker", m.addr), slog.Int64("lo", lo), slog.Int64("hi", hi),
+				slog.String("error", err.Error()))
+			c.markDown(m)
+			st.requeue(rec, retryError)
+			return false
+		case status == http.StatusNotFound && reason == reasonUnknownDataset && !*pushed:
+			// First 404 from this worker: push the .spb once, then
+			// retry the same shard on it.  This is the only path that
+			// ever moves matrix bytes.
+			*pushed = true
+			if perr := c.pushDataset(st.ctx, m.addr, st.req.Matrix); perr != nil {
+				c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_dataset_push_failed",
+					slog.String("worker", m.addr), slog.String("error", perr.Error()))
+				c.markDown(m)
+				st.requeue(rec, retryError)
+				return false
+			}
+			c.pushes.Add(1)
+			c.metPushes.Inc()
+			continue
+		case status == http.StatusOK:
+			st.deliver(rec, resp)
+			return true
+		default:
+			// Refused: draining (503), fingerprint drift (409), or a
+			// deterministic 4xx.  This worker is no use for this job;
+			// requeue for the survivors.
+			c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_shard_refused",
+				slog.String("worker", m.addr), slog.Int("status", status), slog.String("reason", reason))
+			c.markDown(m)
+			st.requeue(rec, retryError)
+			return false
+		}
+	}
+}
+
+// postShard performs one shard RPC.  A non-200 answer is returned as
+// (nil, status, reason, nil); transport-level problems as err.
+func (c *Coordinator) postShard(ctx context.Context, addr string, sreq *ShardRequest) (*ShardResponse, int, string, error) {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, "POST", addr+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(io.LimitReader(hresp.Body, 1<<16)).Decode(&eb)
+		return nil, hresp.StatusCode, eb.Reason, nil
+	}
+	var resp ShardResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, 0, "", fmt.Errorf("decoding shard response: %w", err)
+	}
+	return &resp, http.StatusOK, "", nil
+}
+
+// pushDataset uploads the matrix to a worker's public dataset API as
+// .spb bytes; the content address is recomputed there, so the worker
+// serves the id the shard requests name.
+func (c *Coordinator) pushDataset(ctx context.Context, addr string, m matrix.Matrix) error {
+	if m.IsEmpty() {
+		return fmt.Errorf("no coordinator-resident matrix to push")
+	}
+	var buf bytes.Buffer
+	if err := matrix.Encode(&buf, m, nil, nil, matrix.RowMajor); err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, "PUT", addr+datasetsPath, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", spbContentType)
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK && hresp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<12))
+		return fmt.Errorf("dataset push: %s: %s", hresp.Status, strings.TrimSpace(string(b)))
+	}
+	return nil
+}

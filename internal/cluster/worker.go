@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+	"sprint/internal/metrics"
+)
+
+// PrepSource resolves a content-addressed dataset id to a shared
+// preparation, pinning the dataset until the release function is
+// called.  *jobs.Manager implements it: shards reuse the same registry,
+// disk mirror and per-dataset prep cache as local jobs.
+type PrepSource interface {
+	PreparedDataset(id string, labels []int, opt core.Options) (*core.Prepared, func(), error)
+}
+
+// WorkerConfig configures a worker node's shard service.
+type WorkerConfig struct {
+	// Source resolves dataset ids to shared preparations; normally the
+	// daemon's *jobs.Manager.
+	Source PrepSource
+	// NProcs is the default rank count per shard (0 = all CPUs); a
+	// shard request carrying its own NProcs wins.
+	NProcs int
+	// Every is the window length of the shard compute loop, in
+	// permutations — the drain granularity: a draining worker stops at
+	// the next window boundary and ships the prefix.  Defaults to 1000.
+	Every int64
+	// MaxConcurrent bounds concurrently computing shards (further
+	// requests queue on the semaphore).  Defaults to 2.
+	MaxConcurrent int
+	// Metrics receives the worker-side cluster series; nil gets a
+	// private registry.
+	Metrics *metrics.Registry
+	// Logger receives shard lifecycle logs; nil discards.
+	Logger *slog.Logger
+}
+
+// Worker serves shard compute requests on a daemon.  It is mounted on
+// the daemon's instrumented mux via Routes and drained via Drain before
+// shutdown.
+type Worker struct {
+	cfg WorkerConfig
+
+	sem       chan struct{}
+	draining  atomic.Bool
+	drainCtx  context.Context
+	drainStop context.CancelFunc
+
+	scratch sync.Pool // *core.RunScratch, reused across shards
+
+	mu          sync.Mutex
+	coordinator string // joined coordinator base URL, for Info
+	active      int
+
+	served  atomic.Int64
+	partial atomic.Int64
+	refused atomic.Int64
+
+	metServed  *metrics.Counter
+	metPartial *metrics.Counter
+	metRefused map[string]*metrics.Counter
+	metCompute *metrics.Histogram
+
+	hb struct {
+		sync.Mutex
+		stop context.CancelFunc
+		done chan struct{}
+	}
+}
+
+// NewWorker builds a worker shard service over src.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Every < 1 {
+		cfg.Every = 1000
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		drainCtx:  ctx,
+		drainStop: cancel,
+	}
+	w.scratch.New = func() any { return &core.RunScratch{} }
+	reg := cfg.Metrics
+	reg.Help("cluster_worker_shards_served_total", "Shard requests answered with complete counts.")
+	reg.Help("cluster_worker_shards_partial_total", "Shard requests answered with a drained partial prefix.")
+	reg.Help("cluster_worker_shards_refused_total", "Shard requests refused, by reason.")
+	reg.Help("cluster_worker_shard_compute_seconds", "Wall time computing one shard's counts.")
+	w.metServed = reg.Counter("cluster_worker_shards_served_total")
+	w.metPartial = reg.Counter("cluster_worker_shards_partial_total")
+	w.metRefused = map[string]*metrics.Counter{
+		reasonDraining:       reg.Counter("cluster_worker_shards_refused_total", "reason", reasonDraining),
+		reasonUnknownDataset: reg.Counter("cluster_worker_shards_refused_total", "reason", reasonUnknownDataset),
+		reasonFingerprint:    reg.Counter("cluster_worker_shards_refused_total", "reason", reasonFingerprint),
+	}
+	w.metCompute = reg.Histogram("cluster_worker_shard_compute_seconds", metrics.DefLatencyBuckets)
+	return w
+}
+
+// Role implements Node.
+func (w *Worker) Role() string { return "worker" }
+
+// Routes implements Node: the shard compute endpoint and a liveness
+// ping.
+func (w *Worker) Routes() []Route {
+	return []Route{
+		{Method: "POST", Pattern: ShardPath, Handler: w.handleShard},
+		{Method: "GET", Pattern: PingPath, Handler: w.handlePing},
+	}
+}
+
+// Info implements Node.
+func (w *Worker) Info() Info {
+	w.mu.Lock()
+	coord, active := w.coordinator, w.active
+	w.mu.Unlock()
+	return Info{
+		Role: "worker",
+		Worker: &WorkerNodeInfo{
+			Coordinator:   coord,
+			Draining:      w.draining.Load(),
+			ShardsActive:  active,
+			ShardsServed:  w.served.Load(),
+			ShardsPartial: w.partial.Load(),
+			ShardsRefused: w.refused.Load(),
+		},
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// Drain stops accepting new shards and cancels in-flight shard
+// contexts; each in-flight shard stops at its next window boundary and
+// its handler responds with the partial prefix, which the coordinator
+// merges and re-dispatches around.  The HTTP server's own Shutdown then
+// waits for those responses to flush.  Drain is idempotent.
+func (w *Worker) Drain() {
+	if w.draining.CompareAndSwap(false, true) {
+		w.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "cluster_worker_draining")
+		w.drainStop()
+		w.stopHeartbeat()
+	}
+}
+
+func (w *Worker) handlePing(rw http.ResponseWriter, r *http.Request) {
+	writeClusterJSON(rw, http.StatusOK, map[string]any{"ok": !w.draining.Load(), "role": "worker"})
+}
+
+func (w *Worker) refuse(rw http.ResponseWriter, status int, reason, msg string) {
+	w.refused.Add(1)
+	if c, ok := w.metRefused[reason]; ok {
+		c.Inc()
+	}
+	writeClusterJSON(rw, status, errorBody{Error: msg, Reason: reason})
+}
+
+// handleShard computes one shard: resolve the shared preparation by
+// dataset id, verify the plan fingerprint against the coordinator's,
+// run the [lo, hi) range, and return the counts.  The compute context
+// is the request context (coordinator gone → stop) joined with the
+// drain context (SIGTERM → stop at the window boundary and ship the
+// prefix).
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		w.refuse(rw, http.StatusServiceUnavailable, reasonDraining, "worker draining")
+		return
+	}
+	var req ShardRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: "bad shard request: " + err.Error()})
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	case <-w.drainCtx.Done():
+		w.refuse(rw, http.StatusServiceUnavailable, reasonDraining, "worker draining")
+		return
+	}
+	defer func() { <-w.sem }()
+
+	prep, release, err := w.cfg.Source.PreparedDataset(req.DatasetID, req.Labels, req.Options)
+	if err != nil {
+		if errors.Is(err, jobs.ErrUnknownDataset) {
+			w.refuse(rw, http.StatusNotFound, reasonUnknownDataset, "unknown dataset "+req.DatasetID)
+			return
+		}
+		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	defer release()
+
+	plan, err := core.PlanRun(prep, req.Options)
+	if err != nil {
+		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// The fingerprint covers engine version, options, enumeration
+	// order, labels and a data sample: if this node would enumerate a
+	// different sequence than the coordinator planned, computing would
+	// merge wrong counts — refuse instead.
+	if req.Fingerprint != 0 && req.Fingerprint != plan.Fingerprint {
+		w.refuse(rw, http.StatusConflict, reasonFingerprint,
+			fmt.Sprintf("plan fingerprint %016x != coordinator %016x", plan.Fingerprint, req.Fingerprint))
+		return
+	}
+	if req.TotalB != 0 && req.TotalB != plan.TotalB {
+		w.refuse(rw, http.StatusConflict, reasonFingerprint,
+			fmt.Sprintf("plan B %d != coordinator %d", plan.TotalB, req.TotalB))
+		return
+	}
+
+	ctx, cancel := mergeDone(r.Context(), w.drainCtx)
+	defer cancel()
+	nprocs := req.NProcs
+	if nprocs < 1 {
+		nprocs = w.cfg.NProcs
+	}
+	scratch := w.scratch.Get().(*core.RunScratch)
+	defer w.scratch.Put(scratch)
+	w.mu.Lock()
+	w.active++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.active--
+		w.mu.Unlock()
+	}()
+
+	start := time.Now()
+	sc, runErr := core.RunShard(prep, req.Options, req.Lo, req.Hi, core.RunControl{
+		Ctx:     ctx,
+		NProcs:  nprocs,
+		Every:   w.cfg.Every,
+		Scratch: scratch,
+	})
+	elapsed := time.Since(start)
+	w.metCompute.ObserveDuration(elapsed)
+	if runErr != nil && (sc == nil || sc.Next <= req.Lo) {
+		// Nothing useful computed.  A drain-cancelled shard is refused
+		// so the coordinator redispatches it whole; anything else is a
+		// plain error.
+		if w.draining.Load() {
+			w.refuse(rw, http.StatusServiceUnavailable, reasonDraining, "worker draining")
+			return
+		}
+		writeClusterJSON(rw, http.StatusInternalServerError, errorBody{Error: runErr.Error()})
+		return
+	}
+	resp := ShardResponse{
+		Lo:          sc.Lo,
+		Next:        sc.Next,
+		Hi:          req.Hi,
+		TotalB:      sc.Plan.TotalB,
+		Complete:    sc.Plan.Complete,
+		Fingerprint: sc.Plan.Fingerprint,
+		Partial:     sc.Next < req.Hi,
+		B:           sc.Counts.B,
+		Raw:         sc.Counts.Raw,
+		Adj:         sc.Counts.Adj,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+	}
+	if resp.Partial {
+		w.partial.Add(1)
+		w.metPartial.Inc()
+	} else {
+		w.served.Add(1)
+		w.metServed.Inc()
+	}
+	w.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "cluster_shard_served",
+		slog.String("dataset", req.DatasetID),
+		slog.Int64("lo", sc.Lo), slog.Int64("next", sc.Next), slog.Int64("hi", req.Hi),
+		slog.Bool("partial", resp.Partial),
+		slog.Duration("elapsed", elapsed),
+	)
+	writeClusterJSON(rw, http.StatusOK, resp)
+}
+
+// Join registers the worker with a coordinator and heartbeats until
+// Drain (or ctx cancellation); advertise is this daemon's base URL as
+// the coordinator should dial it.  Registration failures are retried on
+// the heartbeat interval — a worker that boots before its coordinator
+// joins as soon as the coordinator is up.
+func (w *Worker) Join(ctx context.Context, coordinator, advertise string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 3 * time.Second
+	}
+	w.mu.Lock()
+	w.coordinator = coordinator
+	w.mu.Unlock()
+	hctx, cancel := context.WithCancel(ctx)
+	w.hb.Lock()
+	w.hb.stop = cancel
+	done := make(chan struct{})
+	w.hb.done = done
+	w.hb.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			w.register(hctx, coordinator, advertise)
+			select {
+			case <-hctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func (w *Worker) register(ctx context.Context, coordinator, advertise string) {
+	body, _ := json.Marshal(joinBody{Addr: advertise})
+	req, err := http.NewRequestWithContext(ctx, "POST", coordinator+WorkersPath, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		w.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "cluster_join_failed",
+			slog.String("coordinator", coordinator), slog.String("error", err.Error()))
+		return
+	}
+	resp.Body.Close()
+}
+
+func (w *Worker) stopHeartbeat() {
+	w.hb.Lock()
+	stop, done := w.hb.stop, w.hb.done
+	w.hb.stop, w.hb.done = nil, nil
+	w.hb.Unlock()
+	if stop != nil {
+		stop()
+		<-done
+	}
+}
+
+// Deregister removes the worker from the coordinator's membership — the
+// drain path's final courtesy, so the coordinator stops dispatching to
+// a departing node immediately instead of after the heartbeat TTL.
+func (w *Worker) Deregister(coordinator, advertise string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "DELETE", coordinator+WorkersPath+"?addr="+url.QueryEscape(advertise), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// mergeDone derives a context from a that also cancels when b does.
+func mergeDone(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -3,13 +3,11 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"sprint/internal/matrix"
 	"sprint/internal/maxt"
-	"sprint/internal/perm"
 	"sprint/internal/stat"
 )
 
@@ -127,48 +125,29 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 			return nil, fmt.Errorf("core: run not started: %w", err)
 		}
 	}
-	cfg, err := parseOptions(opt)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.compatible(cfg); err != nil {
-		return nil, err
-	}
 	var prof Profile
 
 	start := time.Now()
-	prep, design := p.prep, p.design
-	useComplete, totalB, err := planPermutations(cfg, design)
+	cfg, plan, err := p.planFor(opt)
 	if err != nil {
 		return nil, err
 	}
-	door := useComplete && cfg.doorOrder(design)
-	fp := fingerprint(cfg, p.clean, p.labels, door)
+	prep, totalB := p.prep, plan.TotalB
 
 	nprocs := ctl.NProcs
 	if nprocs < 1 {
 		nprocs = runtime.GOMAXPROCS(0)
-	}
-	batch := cfg.effectiveBatch()
-	every := ctl.Every
-	if every < 1 {
-		every = totalB
-	} else if every < totalB {
-		// Align the window (and therefore every checkpoint boundary) to a
-		// whole number of kernel batches, so no window ends on a ragged
-		// tail batch.  Checkpoint semantics are unchanged: a checkpoint
-		// taken at ANY boundary — including one saved by an earlier,
-		// unaligned engine — remains a valid resume point, because counts
-		// are a pure prefix sum over the permutation sequence.
-		eb := int64(batch)
-		every = (every + eb - 1) / eb * eb
 	}
 
 	counts := maxt.NewCounts(prep.Rows())
 	first := int64(0)
 	if ctl.Resume != nil {
 		r := ctl.Resume
-		if r.Fingerprint != fp || r.TotalB != totalB || r.Complete != useComplete {
+		if r.Fingerprint != plan.Fingerprint || r.TotalB != totalB || r.Complete != plan.Complete {
+			return nil, ErrCheckpointMismatch
+		}
+		// A full-run checkpoint is a pure prefix: counts cover [0, Next).
+		if r.Next != r.Done {
 			return nil, ErrCheckpointMismatch
 		}
 		if len(r.Raw) != prep.Rows() || len(r.Adj) != prep.Rows() {
@@ -180,97 +159,17 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 		first = r.Next
 	}
 
-	var gen perm.Generator
-	switch {
-	case useComplete:
-		gen, err = cfg.completeGen(design)
-		if err != nil {
-			return nil, err
-		}
-	case cfg.fixedSeed:
-		gen = perm.NewRandom(design, cfg.seed, totalB)
-	default:
-		// One materialisation covering every remaining permutation; the
-		// window workers index into their sub-chunks of it.
-		gen = perm.NewStored(design, cfg.seed, totalB, first, totalB)
+	// One generator covering every remaining permutation; the window
+	// ranks index into their sub-chunks of it.
+	gen, err := p.generatorFor(cfg, plan, first, totalB)
+	if err != nil {
+		return nil, err
 	}
 	prof.CreateData = time.Since(start)
 
-	// Per-rank reusable state: generators are concurrency-safe, so ranks
-	// share gen but own their scratch and partial counts.  The state lives
-	// in a RunScratch so a long-lived worker can carry it across jobs.
-	rs := ctl.Scratch
-	if rs == nil {
-		rs = &RunScratch{}
-	}
-	rs.ensure(prep, nprocs)
-	scratches, partials := rs.scratches, rs.partials
-
 	kernelStart := time.Now()
-	for lo := first; lo < totalB; lo += every {
-		if ctl.Ctx != nil {
-			if err := ctl.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: run stopped at permutation %d of %d: %w", lo, totalB, err)
-			}
-		}
-		hi := lo + every
-		if hi > totalB {
-			hi = totalB
-		}
-		span := hi - lo
-		var windowStart time.Time
-		if ctl.OnWindow != nil {
-			windowStart = time.Now()
-		}
-		if nprocs == 1 {
-			maxt.ProcessBatched(prep, gen, lo, hi, counts, scratches[0], batch)
-		} else {
-			var wg sync.WaitGroup
-			for r := 0; r < nprocs; r++ {
-				// Rank boundaries inside the window align to batch
-				// multiples (relative to the window start), so only the
-				// window's last rank can see a ragged tail batch.
-				clo := lo + alignBoundary(span*int64(r)/int64(nprocs), span, batch)
-				chi := lo + alignBoundary(span*int64(r+1)/int64(nprocs), span, batch)
-				if clo == chi {
-					continue
-				}
-				wg.Add(1)
-				go func(r int, clo, chi int64) {
-					defer wg.Done()
-					maxt.ProcessBatched(prep, gen, clo, chi, partials[r], scratches[r], batch)
-				}(r, clo, chi)
-			}
-			wg.Wait()
-			for r := 0; r < nprocs; r++ {
-				if partials[r].B > 0 {
-					counts.Merge(partials[r])
-					clear(partials[r].Raw)
-					clear(partials[r].Adj)
-					partials[r].B = 0
-				}
-			}
-		}
-		if ctl.OnWindow != nil {
-			ctl.OnWindow(span, time.Since(windowStart))
-		}
-		if ctl.Save != nil {
-			snap := &Checkpoint{
-				Fingerprint: fp,
-				TotalB:      totalB,
-				Complete:    useComplete,
-				Next:        hi,
-				Raw:         append([]int64(nil), counts.Raw...),
-				Adj:         append([]int64(nil), counts.Adj...),
-				Done:        counts.B,
-			}
-			if err := ctl.Save(snap); err != nil {
-				return nil, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
-			}
-		}
-		if ctl.OnProgress != nil {
-			ctl.OnProgress(counts.B, totalB)
-		}
+	if _, err := processRange(p, cfg, plan, gen, counts, first, totalB, ctl); err != nil {
+		return nil, err
 	}
 	prof.MainKernel = time.Since(kernelStart)
 
@@ -287,7 +186,7 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 		AdjP:      final.AdjP,
 		Order:     final.Order,
 		B:         final.B,
-		Complete:  useComplete,
+		Complete:  plan.Complete,
 		NProcs:    nprocs,
 		Profile:   prof,
 		KernelMax: prof.MainKernel,

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sprint/internal/maxt"
+	"sprint/internal/perm"
+)
+
+// This file is the distribution surface of the engine: the paper's Step
+// 4a/4b split — partition the permutation range [0, B) across ranks,
+// compute local exceedance counts, merge — lifted from goroutine ranks
+// inside one process (RunPrepared) to shards computed on separate nodes.
+// The contract that makes that lift bitwise-safe is narrow and worth
+// stating once:
+//
+//   - Every generator enumerates ONE deterministic permutation sequence
+//     fixed by (options, design); any [lo, hi) slice of it can be
+//     produced on any node (Random indexes in O(1), Complete and
+//     RevolvingDoor unrank, Stored materialises exactly the chunk).
+//   - Exceedance counts are int64 sums over disjoint index ranges, so
+//     merging shard counts is commutative and associative: ANY partition
+//     merged in ANY order yields the same vectors, provided each index
+//     is counted exactly once.
+//   - Finalize is a pure function of (Prep, merged counts).
+//
+// Plan captures the shared identity every node must agree on; RunShard
+// computes one range; FinalizeCounts turns fully merged counts into the
+// Result.  RunPrepared is now the single-node composition of the same
+// pieces.
+
+// Plan is the resolved permutation plan of an analysis: everything a
+// set of nodes must agree on before splitting the range.  Two nodes
+// with equal fingerprints enumerate the same permutation sequence over
+// the same prepared data, so their shard counts may be merged.
+type Plan struct {
+	// TotalB is the planned permutation count, observed labelling
+	// included; shards partition [0, TotalB).
+	TotalB int64
+	// Complete records the generator choice and Door the resolved
+	// enumeration order of complete two-sample runs.
+	Complete bool
+	Door     bool
+	// Rows is the per-shard count vector length.
+	Rows int
+	// Fingerprint ties shard results to the analysis identity, exactly
+	// as it ties checkpoints: engine version, validated options,
+	// enumeration order, labels and a data sample.
+	Fingerprint uint64
+}
+
+// PlanRun resolves opt against the preparation without running anything.
+func PlanRun(p *Prepared, opt Options) (Plan, error) {
+	_, plan, err := p.planFor(opt)
+	return plan, err
+}
+
+// planFor validates opt, checks prep compatibility and resolves the
+// permutation plan.
+func (p *Prepared) planFor(opt Options) (config, Plan, error) {
+	cfg, err := parseOptions(opt)
+	if err != nil {
+		return cfg, Plan{}, err
+	}
+	if err := p.compatible(cfg); err != nil {
+		return cfg, Plan{}, err
+	}
+	useComplete, totalB, err := planPermutations(cfg, p.design)
+	if err != nil {
+		return cfg, Plan{}, err
+	}
+	door := useComplete && cfg.doorOrder(p.design)
+	return cfg, Plan{
+		TotalB:      totalB,
+		Complete:    useComplete,
+		Door:        door,
+		Rows:        p.prep.Rows(),
+		Fingerprint: fingerprint(cfg, p.clean, p.labels, door),
+	}, nil
+}
+
+// generatorFor builds the permutation generator serving indices
+// [lo, hi) of the plan's sequence.  Complete and fixed-seed generators
+// index the whole sequence in O(1) per draw; the stored generator
+// materialises exactly the requested chunk (paying one pass of discards
+// over [1, lo), the paper's "cycle the stream forward" cost).
+func (p *Prepared) generatorFor(cfg config, plan Plan, lo, hi int64) (perm.Generator, error) {
+	switch {
+	case plan.Complete:
+		return cfg.completeGen(p.design)
+	case cfg.fixedSeed:
+		return perm.NewRandom(p.design, cfg.seed, plan.TotalB), nil
+	default:
+		return perm.NewStored(p.design, cfg.seed, plan.TotalB, lo, hi), nil
+	}
+}
+
+// processRange drives the windowed multi-rank kernel loop over
+// permutation indices [first, limit), merging exceedance counts into
+// counts.  It returns the first unprocessed index: limit on success, the
+// boundary of the last completed window when ctl.Ctx cancels — counts
+// then hold a valid partial covering everything below that boundary,
+// which is what lets a draining worker hand its progress back instead
+// of discarding it.
+func processRange(p *Prepared, cfg config, plan Plan, gen perm.Generator, counts *maxt.Counts, first, limit int64, ctl RunControl) (int64, error) {
+	prep := p.prep
+	nprocs := ctl.NProcs
+	if nprocs < 1 {
+		nprocs = runtime.GOMAXPROCS(0)
+	}
+	batch := cfg.effectiveBatch()
+	every := ctl.Every
+	if every < 1 {
+		every = limit - first
+		if every < 1 {
+			every = 1
+		}
+	} else {
+		// Align the window (and therefore every checkpoint boundary) to a
+		// whole number of kernel batches, so no window ends on a ragged
+		// tail batch.  Checkpoint semantics are unchanged: a checkpoint
+		// taken at ANY boundary — including one saved by an earlier,
+		// unaligned engine — remains a valid resume point, because counts
+		// are a pure prefix sum over the permutation sequence.
+		eb := int64(batch)
+		every = (every + eb - 1) / eb * eb
+	}
+
+	rs := ctl.Scratch
+	if rs == nil {
+		rs = &RunScratch{}
+	}
+	rs.ensure(prep, nprocs)
+	scratches, partials := rs.scratches, rs.partials
+
+	for lo := first; lo < limit; lo += every {
+		if ctl.Ctx != nil {
+			if err := ctl.Ctx.Err(); err != nil {
+				return lo, fmt.Errorf("core: run stopped at permutation %d of %d: %w", lo, plan.TotalB, err)
+			}
+		}
+		hi := lo + every
+		if hi > limit {
+			hi = limit
+		}
+		span := hi - lo
+		var windowStart time.Time
+		if ctl.OnWindow != nil {
+			windowStart = time.Now()
+		}
+		if nprocs == 1 {
+			maxt.ProcessBatched(prep, gen, lo, hi, counts, scratches[0], batch)
+		} else {
+			var wg sync.WaitGroup
+			for r := 0; r < nprocs; r++ {
+				// Rank boundaries inside the window align to batch
+				// multiples (relative to the window start), so only the
+				// window's last rank can see a ragged tail batch.
+				clo := lo + alignBoundary(span*int64(r)/int64(nprocs), span, batch)
+				chi := lo + alignBoundary(span*int64(r+1)/int64(nprocs), span, batch)
+				if clo == chi {
+					continue
+				}
+				wg.Add(1)
+				go func(r int, clo, chi int64) {
+					defer wg.Done()
+					maxt.ProcessBatched(prep, gen, clo, chi, partials[r], scratches[r], batch)
+				}(r, clo, chi)
+			}
+			wg.Wait()
+			for r := 0; r < nprocs; r++ {
+				if partials[r].B > 0 {
+					counts.Merge(partials[r])
+					clear(partials[r].Raw)
+					clear(partials[r].Adj)
+					partials[r].B = 0
+				}
+			}
+		}
+		if ctl.OnWindow != nil {
+			ctl.OnWindow(span, time.Since(windowStart))
+		}
+		if ctl.Save != nil {
+			snap := &Checkpoint{
+				Fingerprint: plan.Fingerprint,
+				TotalB:      plan.TotalB,
+				Complete:    plan.Complete,
+				Next:        hi,
+				Raw:         append([]int64(nil), counts.Raw...),
+				Adj:         append([]int64(nil), counts.Adj...),
+				Done:        counts.B,
+			}
+			if err := ctl.Save(snap); err != nil {
+				return hi, fmt.Errorf("core: checkpoint save at permutation %d: %w", hi, err)
+			}
+		}
+		if ctl.OnProgress != nil {
+			ctl.OnProgress(counts.B, plan.TotalB)
+		}
+	}
+	return limit, nil
+}
+
+// ShardCounts is the partial result of one shard: exceedance counts
+// over the contiguous global index range [Lo, Next) of the plan's
+// permutation sequence.  Next < Hi of the requested range marks a
+// partial shard (the node drained or was cancelled mid-range); the
+// unprocessed remainder [Next, Hi) must be computed elsewhere.
+type ShardCounts struct {
+	Plan     Plan
+	Lo, Next int64
+	Counts   *maxt.Counts
+}
+
+// RunShard computes exceedance counts for the global permutation index
+// range [lo, hi) of the plan opt resolves to over p.  It is the worker
+// half of the distributed Step 4b: bit-for-bit the counts a single-node
+// run accumulates over the same indices, for every test, kernel and
+// enumeration order, because the generator slice and the kernel are the
+// single-node ones.
+//
+// ctl.Resume may carry a shard checkpoint previously saved through
+// ctl.Save during a run of the SAME range: it is accepted when the
+// fingerprint, plan and range agree (Next-Done == lo places its counts
+// at this shard's origin) and rejected with ErrCheckpointMismatch
+// otherwise.  On context cancellation RunShard returns the error AND a
+// ShardCounts whose Next marks the last completed window boundary —
+// counts below it are valid and mergeable, so a draining worker ships
+// them instead of wasting the work.
+func RunShard(p *Prepared, opt Options, lo, hi int64, ctl RunControl) (*ShardCounts, error) {
+	cfg, plan, err := p.planFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > plan.TotalB || lo >= hi {
+		return nil, fmt.Errorf("core: shard range [%d, %d) outside plan [0, %d)", lo, hi, plan.TotalB)
+	}
+	counts := maxt.NewCounts(plan.Rows)
+	start := lo
+	if ctl.Resume != nil {
+		r := ctl.Resume
+		if r.Fingerprint != plan.Fingerprint || r.TotalB != plan.TotalB || r.Complete != plan.Complete {
+			return nil, ErrCheckpointMismatch
+		}
+		// A shard checkpoint's counts cover [Next-Done, Next); they only
+		// belong to this shard when that range starts at lo and ends
+		// inside [lo, hi].
+		if r.Next-r.Done != lo || r.Next < lo || r.Next > hi {
+			return nil, ErrCheckpointMismatch
+		}
+		if len(r.Raw) != plan.Rows || len(r.Adj) != plan.Rows {
+			return nil, ErrCheckpointMismatch
+		}
+		copy(counts.Raw, r.Raw)
+		copy(counts.Adj, r.Adj)
+		counts.B = r.Done
+		start = r.Next
+	}
+	sc := &ShardCounts{Plan: plan, Lo: lo, Next: start, Counts: counts}
+	if start == hi {
+		return sc, nil
+	}
+	gen, err := p.generatorFor(cfg, plan, start, hi)
+	if err != nil {
+		return nil, err
+	}
+	next, runErr := processRange(p, cfg, plan, gen, counts, start, hi, ctl)
+	sc.Next = next
+	return sc, runErr
+}
+
+// FinalizeCounts converts fully merged exceedance counts into the final
+// Result: the deterministic Step 5 a coordinator applies after merging
+// every shard.  counts must cover the whole plan (counts.B == TotalB);
+// the Result is then bitwise identical to a single-node run, no matter
+// how the range was partitioned or in which order shards merged.
+func FinalizeCounts(p *Prepared, opt Options, counts *maxt.Counts) (*Result, error) {
+	_, plan, err := p.planFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	if counts.B != plan.TotalB {
+		return nil, fmt.Errorf("core: merged permutation count %d, want %d", counts.B, plan.TotalB)
+	}
+	if len(counts.Raw) != plan.Rows || len(counts.Adj) != plan.Rows {
+		return nil, fmt.Errorf("core: merged count vectors have %d rows, want %d", len(counts.Raw), plan.Rows)
+	}
+	start := time.Now()
+	final := maxt.Finalize(p.prep, counts)
+	return &Result{
+		Stat:     final.Stat,
+		RawP:     final.RawP,
+		AdjP:     final.AdjP,
+		Order:    final.Order,
+		B:        final.B,
+		Complete: plan.Complete,
+		Profile:  Profile{ComputePValues: time.Since(start)},
+	}, nil
+}
+
+// PartitionShards splits [0, totalB) into n contiguous, deterministic
+// windows following the paper's Figure-2 rank partitioning (Chunk):
+// equal spans up to remainder, observed labelling in the first window.
+// Empty windows (n > totalB) are dropped.
+func PartitionShards(totalB int64, n int) [][2]int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][2]int64, 0, n)
+	for r := 0; r < n; r++ {
+		lo, hi := Chunk(totalB, n, r)
+		if lo < hi {
+			out = append(out, [2]int64{lo, hi})
+		}
+	}
+	return out
+}

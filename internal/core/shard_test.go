@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"sprint/internal/matrix"
+	"sprint/internal/maxt"
+)
+
+// fromRowsT adapts the [][]float64 test fixtures to the matrix layout
+// Prepare takes.
+func fromRowsT(t *testing.T, x [][]float64) matrix.Matrix {
+	t.Helper()
+	m, err := matrix.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// shardCases is the distribution test matrix: all six statistics, both
+// generators, sampled and complete enumeration, default and door order —
+// every path a cluster shard can take.
+func shardCases() []struct {
+	name string
+	lab  []int
+	opt  Options
+} {
+	lab := twoClass(6, 6)
+	flab := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	plab := []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	blab := []int{0, 1, 2, 1, 2, 0, 2, 0, 1, 0, 1, 2}
+	return []struct {
+		name string
+		lab  []int
+		opt  Options
+	}{
+		{"welch/otf", lab, Options{Test: "t", Side: "abs", FixedSeedSampling: "y", B: 200, Seed: 1}},
+		{"welch/stored", lab, Options{Test: "t", Side: "upper", FixedSeedSampling: "n", B: 200, Seed: 2}},
+		{"equalvar/stored", lab, Options{Test: "t.equalvar", Side: "abs", FixedSeedSampling: "n", B: 150, Seed: 4}},
+		{"wilcoxon/otf", lab, Options{Test: "wilcoxon", Side: "abs", FixedSeedSampling: "y", B: 150, Seed: 5}},
+		{"wilcoxon/complete/lex", lab, Options{Test: "wilcoxon", Side: "abs", B: 0, PermOrder: "lex"}},
+		{"wilcoxon/complete/door", lab, Options{Test: "wilcoxon", Side: "abs", B: 0, PermOrder: "door"}},
+		{"f/otf", flab, Options{Test: "f", Side: "abs", FixedSeedSampling: "y", B: 150, Seed: 6}},
+		{"pairt/complete", plab, Options{Test: "pairt", Side: "abs", B: 0, Seed: 7}},
+		{"blockf/otf", blab, Options{Test: "blockf", Side: "abs", FixedSeedSampling: "y", B: 100, Seed: 9}},
+	}
+}
+
+// unevenSpans carves [0, total) into deliberately unequal windows —
+// the shape of a heterogeneous cluster's partition.
+func unevenSpans(total int64) [][2]int64 {
+	cuts := []int64{0, total / 7, total / 3, total/3 + 1, 2 * total / 3, total}
+	var spans [][2]int64
+	for i := 0; i+1 < len(cuts); i++ {
+		if cuts[i] < cuts[i+1] {
+			spans = append(spans, [2]int64{cuts[i], cuts[i+1]})
+		}
+	}
+	return spans
+}
+
+// TestShardMergeAssociativity is the cluster's correctness foundation:
+// computing disjoint permutation windows with RunShard and merging the
+// exceedance counts — in ANY arrival order — finalizes bitwise identical
+// to the single-node run, for every statistic, generator and enumeration
+// order.
+func TestShardMergeAssociativity(t *testing.T) {
+	x := synthMatrix(30, 12, 5, 2024)
+	for _, tc := range shardCases() {
+		p, err := Prepare(fromRowsT(t, x), tc.lab, tc.opt)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", tc.name, err)
+		}
+		want, err := RunPrepared(p, tc.opt, RunControl{NProcs: 2, Every: 64})
+		if err != nil {
+			t.Fatalf("%s: full run: %v", tc.name, err)
+		}
+		plan, err := PlanRun(p, tc.opt)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", tc.name, err)
+		}
+		if plan.TotalB != int64(want.B) {
+			t.Fatalf("%s: plan B %d, result B %d", tc.name, plan.TotalB, want.B)
+		}
+		spans := unevenSpans(plan.TotalB)
+		parts := make([]*ShardCounts, len(spans))
+		for i, sp := range spans {
+			sc, err := RunShard(p, tc.opt, sp[0], sp[1], RunControl{NProcs: 1, Every: 33})
+			if err != nil {
+				t.Fatalf("%s shard %v: %v", tc.name, sp, err)
+			}
+			if sc.Lo != sp[0] || sc.Next != sp[1] {
+				t.Fatalf("%s shard %v: covered [%d,%d)", tc.name, sp, sc.Lo, sc.Next)
+			}
+			if sc.Plan.Fingerprint != plan.Fingerprint {
+				t.Fatalf("%s shard %v: fingerprint drift", tc.name, sp)
+			}
+			parts[i] = sc
+		}
+		// Merge under several arrival orders: index order, reversed, and
+		// a shuffle — associativity means all finalize identically.
+		if len(parts) != 5 {
+			t.Fatalf("%s: %d spans, want 5", tc.name, len(parts))
+		}
+		orders := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 4, 0, 3, 1}}
+		for _, order := range orders {
+			merged := maxt.NewCounts(plan.Rows)
+			for _, i := range order {
+				merged.Merge(parts[i].Counts)
+			}
+			got, err := FinalizeCounts(p, tc.opt, merged)
+			if err != nil {
+				t.Fatalf("%s: finalize: %v", tc.name, err)
+			}
+			sameResultBits(t, tc.name, got, want)
+		}
+	}
+}
+
+// TestRunShardResumeAndCancel pins the shard checkpoint contract: a
+// cancelled shard hands back its prefix counts plus a checkpoint whose
+// (Next, Done) place it inside the shard window, and resuming from that
+// checkpoint completes the window with no permutation recounted.
+func TestRunShardResumeAndCancel(t *testing.T) {
+	x := synthMatrix(20, 12, 3, 77)
+	lab := twoClass(6, 6)
+	opt := Options{Test: "t", Side: "abs", FixedSeedSampling: "y", B: 400, Seed: 11}
+	p, err := Prepare(fromRowsT(t, x), lab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo, hi = 100, 300
+
+	whole, err := RunShard(p, opt, lo, hi, RunControl{NProcs: 1, Every: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel after the first window; keep the last checkpoint.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ckpt *Checkpoint
+	part, err := RunShard(p, opt, lo, hi, RunControl{
+		Ctx: ctx, NProcs: 1, Every: 50,
+		Save: func(c *Checkpoint) error { ckpt = c; cancel(); return nil },
+	})
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if part == nil || part.Next <= lo || part.Next >= hi {
+		t.Fatalf("partial shard should stop inside the window, got %+v", part)
+	}
+	if ckpt == nil || ckpt.Next != part.Next || ckpt.Next-ckpt.Done != lo {
+		t.Fatalf("checkpoint (Next=%d Done=%d) does not mark shard [%d,%d) prefix",
+			ckpt.Next, ckpt.Done, lo, hi)
+	}
+
+	rest, err := RunShard(p, opt, lo, hi, RunControl{NProcs: 1, Every: 50, Resume: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Next != hi || rest.Counts.B != hi-lo {
+		t.Fatalf("resumed shard covered B=%d next=%d, want B=%d next=%d",
+			rest.Counts.B, rest.Next, hi-lo, hi)
+	}
+	if rest.Counts.B != whole.Counts.B {
+		t.Fatalf("resumed B %d != whole B %d", rest.Counts.B, whole.Counts.B)
+	}
+	for i := range whole.Counts.Raw {
+		if rest.Counts.Raw[i] != whole.Counts.Raw[i] || rest.Counts.Adj[i] != whole.Counts.Adj[i] {
+			t.Fatalf("row %d: resumed counts (%d,%d) != whole (%d,%d)", i,
+				rest.Counts.Raw[i], rest.Counts.Adj[i], whole.Counts.Raw[i], whole.Counts.Adj[i])
+		}
+	}
+
+	// A checkpoint from a different window must be rejected.
+	if _, err := RunShard(p, opt, lo+1, hi, RunControl{NProcs: 1, Resume: ckpt}); err == nil {
+		t.Fatal("foreign-window checkpoint accepted")
+	}
+}
+
+// TestRunShardBounds pins the window validation.
+func TestRunShardBounds(t *testing.T) {
+	x := synthMatrix(5, 12, 0, 3)
+	lab := twoClass(6, 6)
+	opt := Options{Test: "t", B: 50, Seed: 1}
+	p, err := Prepare(fromRowsT(t, x), lab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][2]int64{{-1, 10}, {10, 10}, {20, 10}, {0, 51}} {
+		if _, err := RunShard(p, opt, w[0], w[1], RunControl{}); err == nil {
+			t.Errorf("window %v accepted", w)
+		}
+	}
+}

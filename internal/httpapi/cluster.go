@@ -1,0 +1,91 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"sprint/internal/cluster"
+	"sprint/internal/jobs"
+)
+
+// This file mounts a cluster node (coordinator or worker) on the
+// daemon's instrumented mux and extends /v1/stats and /v1/healthz with
+// the node's role and membership.  Both extensions are strictly
+// additive: every pre-cluster field keeps its name and meaning (pinned
+// by TestStatsFieldNamesPinned), and a standalone daemon reports
+// role "standalone" with no cluster object at all.
+
+// AttachCluster mounts the node's internal API routes (shard compute,
+// membership, ping) under the same request-id/logging/latency
+// middleware as the public routes, and makes /v1/stats and /v1/healthz
+// report the node's role and cluster state.  Call it after New and
+// before serving.
+func (s *Server) AttachCluster(n cluster.Node) {
+	s.cluster = n
+	for _, rt := range n.Routes() {
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, s.instrument(rt.Pattern, rt.Handler))
+	}
+}
+
+// statsJSON is the /v1/stats document: the manager's counters plus the
+// additive cluster fields.
+type statsJSON struct {
+	jobs.Stats
+	// Role is "standalone", "coordinator" or "worker".
+	Role string `json:"role"`
+	// Cluster carries the node's membership and shard traffic; absent
+	// on a standalone daemon.
+	Cluster *cluster.Info `json:"cluster,omitempty"`
+}
+
+func (s *Server) statsDoc() statsJSON {
+	doc := statsJSON{Stats: s.mgr.StatsSnapshot(), Role: "standalone"}
+	if s.cluster != nil {
+		info := s.cluster.Info()
+		doc.Role = info.Role
+		doc.Cluster = &info
+	}
+	return doc
+}
+
+// healthzDoc builds the /v1/healthz document: the original status and
+// uptime keys, plus role and — on cluster nodes — a membership summary.
+func (s *Server) healthzDoc() map[string]any {
+	doc := map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+		"role":     "standalone",
+	}
+	if s.cluster == nil {
+		return doc
+	}
+	info := s.cluster.Info()
+	doc["role"] = info.Role
+	switch {
+	case info.Coordinator != nil:
+		workers := make([]map[string]any, 0, len(info.Coordinator.Workers))
+		for _, m := range info.Coordinator.Workers {
+			workers = append(workers, map[string]any{"addr": m.Addr, "live": m.Live, "static": m.Static})
+		}
+		doc["cluster"] = map[string]any{
+			"workers":          workers,
+			"workers_live":     info.Coordinator.WorkersLive,
+			"shards_in_flight": info.Coordinator.ShardsInFlight,
+		}
+	case info.Worker != nil:
+		cl := map[string]any{
+			"draining":      info.Worker.Draining,
+			"shards_active": info.Worker.ShardsActive,
+		}
+		if info.Worker.Coordinator != "" {
+			cl["coordinator"] = info.Worker.Coordinator
+		}
+		doc["cluster"] = cl
+		if info.Worker.Draining {
+			doc["status"] = "draining"
+		}
+	}
+	return doc
+}
+
+var _ = http.StatusOK // keep net/http imported alongside the mux use above

@@ -49,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"sprint/internal/cluster"
 	"sprint/internal/core"
 	"sprint/internal/jobs"
 	"sprint/internal/matrix"
@@ -78,6 +79,7 @@ type Server struct {
 	reg      *metrics.Registry
 	log      *slog.Logger
 	routeMet map[string]*routeMetrics
+	cluster  cluster.Node
 }
 
 // New starts the manager and builds the route table.  Call Close to stop.
@@ -658,14 +660,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"uptime_s": time.Since(s.started).Seconds(),
-	})
+	writeJSON(w, http.StatusOK, s.healthzDoc())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.StatsSnapshot())
+	writeJSON(w, http.StatusOK, s.statsDoc())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

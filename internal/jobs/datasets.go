@@ -490,36 +490,9 @@ func (m *Manager) releaseDatasetLocked(e *dsEntry) {
 func (m *Manager) preparedFor(j *job) (*core.Prepared, error) {
 	m.mu.Lock()
 	e := j.ds
+	m.mu.Unlock()
 	if e == nil {
-		m.mu.Unlock()
 		return nil, ErrUnknownDataset
 	}
-	now := m.cfg.Clock()
-	slot, _ := m.datasets.prepSlotFor(e, j.spec.Opt, j.spec.Labels, now)
-	m.datasets.touch(e, now)
-	m.mu.Unlock()
-
-	built := false
-	slot.once.Do(func() {
-		built = true
-		buildStart := time.Now()
-		slot.prepared, slot.err = core.Prepare(e.m, j.spec.Labels, j.spec.Opt)
-		m.met.stagePrep.ObserveDuration(time.Since(buildStart))
-	})
-	m.mu.Lock()
-	// Exactly one caller per slot observes built (whoever won the Once,
-	// which under a race need not be the slot's creator); everyone else
-	// reused a preparation they did not pay for.
-	if built {
-		m.stats.PrepBuilds++
-	} else {
-		m.stats.PrepHits++
-	}
-	m.mu.Unlock()
-	if built {
-		m.met.prepBuilds.Inc()
-	} else {
-		m.met.prepHits.Inc()
-	}
-	return slot.prepared, slot.err
+	return m.prepFromEntry(e, j.spec.Labels, j.spec.Opt)
 }

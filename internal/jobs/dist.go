@@ -1,0 +1,170 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/matrix"
+)
+
+// This file is the jobs layer's two-sided surface for cluster mode,
+// kept dependency-free of internal/cluster (cluster imports jobs, never
+// the reverse):
+//
+//   - Coordinator side: a Manager configured with a Distributor hands
+//     popped jobs to it instead of running them on the local kernel.
+//     The distributor may decline (ErrNotDistributed) — no live
+//     workers, B too small to be worth shipping — and the job falls
+//     back to the bit-identical local path.
+//   - Worker side: PreparedDataset resolves a shard request's
+//     content-addressed dataset id to the registry's shared
+//     preparation, pinning the entry for the duration of the shard so
+//     LRU eviction cannot race a running shard.  One Prepare per
+//     (dataset, labels, prep options) serves every shard, exactly as it
+//     serves every local job.
+
+// DistRequest carries everything a distributor needs to run one job's
+// permutation plan across the cluster.
+type DistRequest struct {
+	// Key is the job's content key (cache/checkpoint identity).
+	Key string
+	// DatasetID is the content address workers pull the dataset by.  It
+	// is always set: matrix submissions are digested at dispatch time,
+	// so no matrix bytes ride the shard path either way.
+	DatasetID string
+	// Matrix holds the coordinator-resident cells, used only to push
+	// the dataset to a worker that answers 404 for DatasetID.
+	Matrix matrix.Matrix
+	// Labels and Opt (canonical) define the analysis.
+	Labels []int
+	Opt    core.Options
+	// Prepared is the coordinator's shared preparation: the distributor
+	// plans, fingerprints and finalizes against it, and computes local
+	// fallback shards over it.
+	Prepared *core.Prepared
+	// Resume, when non-nil, is the job's saved prefix checkpoint; a
+	// distributor whose plan fingerprint matches merges it as an
+	// already-computed shard covering [0, Resume.Next).
+	Resume *core.Checkpoint
+	// NProcs and Every are the submitter's rank count and window, for
+	// coordinator-local fallback shards.
+	NProcs int
+	Every  int64
+	// OnProgress observes merged permutation counts as shards land.
+	OnProgress func(done, total int64)
+}
+
+// Distributor runs one job's permutation plan across worker nodes and
+// returns the finalized result, bitwise identical to a local run.  A
+// distributor that declines the job returns ErrNotDistributed and the
+// manager runs it locally.
+type Distributor interface {
+	RunJob(ctx context.Context, req DistRequest) (*core.Result, error)
+}
+
+// ErrNotDistributed is returned by a Distributor that declines a job:
+// the manager falls back to the local execution path.
+var ErrNotDistributed = errors.New("jobs: job not distributed")
+
+// runDistributed builds the dispatch request for one popped job and
+// hands it to the configured distributor.
+func (m *Manager) runDistributed(ctx context.Context, j *job, prepared *core.Prepared, resume *core.Checkpoint) (*core.Result, error) {
+	req := DistRequest{
+		Key:    j.key,
+		Labels: j.spec.Labels,
+		Opt:    j.spec.Opt,
+		Resume: resume,
+		NProcs: j.spec.NProcs,
+		Every:  j.spec.Every,
+		OnProgress: func(done, total int64) {
+			m.mu.Lock()
+			j.done, j.total = done, total
+			m.mu.Unlock()
+		},
+	}
+	if j.spec.DatasetID != "" {
+		// j.ds is pinned from submission to the terminal state, so the
+		// entry's matrix is immutable and safe to alias here.
+		req.DatasetID = j.spec.DatasetID
+		req.Matrix = j.ds.m
+		req.Prepared = prepared
+	} else {
+		// Matrix submissions enter the content-addressed plane at
+		// dispatch: digest once, prepare once, and workers pull (or are
+		// pushed) the same bytes any dataset job would use.
+		req.DatasetID = DatasetDigest(j.data)
+		req.Matrix = j.data
+		p, err := core.Prepare(j.data, j.spec.Labels, j.spec.Opt)
+		if err != nil {
+			return nil, err
+		}
+		req.Prepared = p
+	}
+	return m.cfg.Distributor.RunJob(ctx, req)
+}
+
+// PreparedDataset is the worker-side shard surface: it resolves a
+// content-addressed dataset id to the registry's shared preparation for
+// (labels, opt), building it on first use exactly like a local dataset
+// job would.  The returned release function drops the reference that
+// pins the dataset entry for the caller; it must be called once the
+// shard is done with the preparation.
+func (m *Manager) PreparedDataset(id string, labels []int, opt core.Options) (*core.Prepared, func(), error) {
+	canon, err := core.CanonicalOptions(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := m.datasetRef(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	release := func() {
+		m.mu.Lock()
+		m.releaseDatasetLocked(e)
+		m.mu.Unlock()
+	}
+	p, err := m.prepFromEntry(e, labels, canon)
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	return p, release, nil
+}
+
+// prepFromEntry returns the entry's shared preparation for (labels,
+// opt), building it on first use.  Concurrent first users of one key
+// block on a single build; everyone else reuses the cached value.  opt
+// must be canonical and the caller must hold a reference on e.
+func (m *Manager) prepFromEntry(e *dsEntry, labels []int, opt core.Options) (*core.Prepared, error) {
+	m.mu.Lock()
+	now := m.cfg.Clock()
+	slot, _ := m.datasets.prepSlotFor(e, opt, labels, now)
+	m.datasets.touch(e, now)
+	m.mu.Unlock()
+
+	built := false
+	slot.once.Do(func() {
+		built = true
+		buildStart := time.Now()
+		slot.prepared, slot.err = core.Prepare(e.m, labels, opt)
+		m.met.stagePrep.ObserveDuration(time.Since(buildStart))
+	})
+	m.mu.Lock()
+	// Exactly one caller per slot observes built (whoever won the Once,
+	// which under a race need not be the slot's creator); everyone else
+	// reused a preparation they did not pay for.
+	if built {
+		m.stats.PrepBuilds++
+	} else {
+		m.stats.PrepHits++
+	}
+	m.mu.Unlock()
+	if built {
+		m.met.prepBuilds.Inc()
+	} else {
+		m.met.prepHits.Inc()
+	}
+	return slot.prepared, slot.err
+}

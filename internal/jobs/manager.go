@@ -83,6 +83,14 @@ type Config struct {
 	// proactive half of load shedding.  0 sheds only on a full queue.
 	MaxQueueWait time.Duration
 
+	// Distributor, when non-nil, makes this manager a cluster
+	// coordinator: popped jobs are handed to it (with the shared
+	// preparation and the dataset's content address) instead of the
+	// local kernel.  A distributor that declines a job with
+	// ErrNotDistributed — no live workers, B under its threshold —
+	// falls the job back to the bit-identical local path.
+	Distributor Distributor
+
 	// Clock overrides time.Now in tests; nil uses time.Now.
 	Clock func() time.Time
 	// OnCheckpoint, when non-nil, is called after every saved checkpoint
@@ -779,10 +787,22 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 	var prepared *core.Prepared
 	var res *core.Result
 	var err error
+	distributed := false
 	if j.spec.DatasetID != "" {
 		prepared, err = m.preparedFor(j)
 	}
-	if err == nil {
+	// A coordinator hands the job to its distributor first; a declined
+	// job (ErrNotDistributed) falls through to the local path below,
+	// which computes the identical bits on this node alone.
+	if err == nil && m.cfg.Distributor != nil {
+		res, err = m.runDistributed(ctx, j, prepared, resume)
+		if errors.Is(err, ErrNotDistributed) {
+			res, err = nil, nil
+		} else {
+			distributed = true
+		}
+	}
+	if err == nil && !distributed {
 		res, err = m.execute(j, prepared, ctl)
 		if resume != nil && errors.Is(err, core.ErrCheckpointMismatch) {
 			// A stale checkpoint — e.g. one written by an older engine
