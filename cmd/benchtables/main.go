@@ -52,7 +52,9 @@ func run(args []string, w io.Writer) error {
 	jsonIngest := fs.Bool("json-ingest", false, "run the dataset-plane ingest benchmarks (spb vs JSON, cold vs hot prep), emit JSON, and exit")
 	jsonServe := fs.Bool("json-serve", false, "run the serving-plane saturation sweep (admission control under 1x/2x/4x load), emit JSON, and exit")
 	jsonDist := fs.Bool("json-dist", false, "run the distributed-scaling sweep (coordinator + 1/2/4 in-process workers, bitwise-checked), emit JSON, and exit")
+	jsonRecover := fs.Bool("json-recover", false, "run the crash-recovery sweep (journal replay latency vs queue depth, bitwise-checked), emit JSON, and exit")
 	distPerms := fs.Int64("dist-perms", 30000, "distributed sweep: permutation count")
+	recoverPerms := fs.Int64("recover-perms", 100000, "recovery sweep: permutation count per interrupted job")
 	serveSeconds := fs.Float64("serve-seconds", 2, "saturation sweep: offered-load duration per level, seconds")
 	serveLevels := fs.String("serve-levels", "1,2,4", "saturation sweep: comma-separated capacity multipliers")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +74,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *jsonDist {
 		return emitJSONDist(w, *genes, *distPerms)
+	}
+	if *jsonRecover {
+		return emitJSONRecover(w, *genes, *recoverPerms)
 	}
 	if *jsonServe {
 		levels, err := parseServeLevels(*serveLevels)

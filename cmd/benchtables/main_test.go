@@ -169,3 +169,39 @@ func TestJSONDistEmitsSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestJSONRecoverEmitsSweep(t *testing.T) {
+	var out bytes.Buffer
+	// Moderate perms keep each interrupted job alive past the first
+	// checkpoint window but finish the sweep quickly in CI.
+	if err := run([]string{"-json-recover", "-genes", "100", "-recover-perms", "100000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Perms  int64 `json:"perms"`
+		Levels []struct {
+			Jobs             int     `json:"jobs"`
+			JournalBytes     int64   `json:"journal_bytes"`
+			RecoveryS        float64 `json:"recovery_s"`
+			JobsReplayed     int64   `json:"jobs_replayed"`
+			BitwiseIdentical bool    `json:"bitwise_identical"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("json-recover output is not JSON: %v", err)
+	}
+	if doc.Perms != 100000 || len(doc.Levels) != 3 {
+		t.Fatalf("perms=%d levels=%d, want 100000/3", doc.Perms, len(doc.Levels))
+	}
+	for _, lv := range doc.Levels {
+		if !lv.BitwiseIdentical {
+			t.Errorf("%d-job level not bitwise identical", lv.Jobs)
+		}
+		if lv.JournalBytes == 0 {
+			t.Errorf("%d-job level recorded an empty journal", lv.Jobs)
+		}
+		if lv.JobsReplayed < int64(lv.Jobs) {
+			t.Errorf("%d-job level replayed only %d jobs", lv.Jobs, lv.JobsReplayed)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+	"sprint/internal/microarray"
+)
+
+// The -json-recover mode emits the crash-recovery benchmark CI tracks
+// as an artifact (BENCH_recover.json): a manager with an interrupted
+// workload (one running job plus a queue of pending ones) is shut down
+// and a fresh manager reopens the same journal tree.  Each level
+// records the journal replay cost — restart to recovery complete,
+// restart to the first replayed result, restart to a fully drained
+// queue — against the journal's size in jobs and bytes, plus a bitwise
+// check of one replayed result against an uninterrupted reference run.
+
+// recoverLevelJSON is one queue-depth level of the sweep.
+type recoverLevelJSON struct {
+	Jobs             int     `json:"jobs"`
+	JournalBytes     int64   `json:"journal_bytes"`
+	RecoveryS        float64 `json:"recovery_s"`
+	FirstResultS     float64 `json:"first_result_s"`
+	AllDoneS         float64 `json:"all_done_s"`
+	JobsReplayed     int64   `json:"jobs_replayed"`
+	ReplayedPerS     float64 `json:"jobs_replayed_per_s"`
+	BitwiseIdentical bool    `json:"bitwise_identical"`
+}
+
+type recoverDoc struct {
+	GOOS    string             `json:"goos"`
+	GOARCH  string             `json:"goarch"`
+	CPUs    int                `json:"cpus"`
+	Genes   int                `json:"genes"`
+	Samples int                `json:"samples"`
+	Perms   int64              `json:"perms"`
+	Levels  []recoverLevelJSON `json:"levels"`
+}
+
+// recoverWait polls until job id is terminal on m, failing after 60s.
+func recoverWait(m *jobs.Manager, id string) (jobs.Status, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := m.Get(id); err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return jobs.Status{}, fmt.Errorf("job %s did not finish within 60s", id)
+}
+
+func emitJSONRecover(w io.Writer, genes int, perms int64) error {
+	data, err := microarray.Generate(microarray.GenOptions{
+		Genes: genes, Samples: 20, Classes: 2,
+		DiffFraction: 0.2, EffectSize: 2.0, Seed: 11,
+	})
+	if err != nil {
+		return err
+	}
+	spec := func(seed uint64) jobs.Spec {
+		opt := core.DefaultOptions()
+		opt.B = perms
+		opt.Seed = seed
+		return jobs.Spec{X: data.X, Labels: data.Labels, Opt: opt, NProcs: 1, Every: 1000}
+	}
+
+	// Uninterrupted reference for the bitwise check (seed 1, the job
+	// every level interrupts mid-flight).
+	rm, err := jobs.NewManager(jobs.Config{Workers: 1})
+	if err != nil {
+		return err
+	}
+	rst, err := rm.Submit(spec(1))
+	if err != nil {
+		rm.Close()
+		return err
+	}
+	if _, err := recoverWait(rm, rst.ID); err != nil {
+		rm.Close()
+		return err
+	}
+	want, _, err := rm.Result(rst.ID)
+	rm.Close()
+	if err != nil {
+		return err
+	}
+
+	doc := recoverDoc{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Genes: genes, Samples: len(data.Labels), Perms: perms,
+	}
+
+	for _, n := range []int{1, 4, 8} {
+		dir, err := os.MkdirTemp("", "benchrecover")
+		if err != nil {
+			return err
+		}
+		cfg := jobs.Config{
+			Workers:       1,
+			JournalDir:    dir,
+			CheckpointDir: filepath.Join(dir, "checkpoints"),
+			DatasetDir:    filepath.Join(dir, "datasets"),
+		}
+
+		// Phase 1: build the interrupted workload — the first job runs
+		// into its permutation loop, the rest stay queued.
+		m1, err := jobs.NewManager(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			st, err := m1.Submit(spec(uint64(i + 1)))
+			if err != nil {
+				m1.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+			ids[i] = st.ID
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			st, err := m1.Get(ids[0])
+			if err != nil {
+				m1.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+			if st.State == jobs.Running && st.Done > 0 {
+				break
+			}
+			if st.State.Terminal() {
+				m1.Close()
+				os.RemoveAll(dir)
+				return fmt.Errorf("recover sweep: job finished before the interruption; raise -recover-perms")
+			}
+			if time.Now().After(deadline) {
+				m1.Close()
+				os.RemoveAll(dir)
+				return fmt.Errorf("recover sweep: first job never started")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		m1.Close() // shutdown cancel writes no terminal record: all n jobs replay
+
+		var journalBytes int64
+		if fi, err := os.Stat(filepath.Join(dir, "journal.log")); err == nil {
+			journalBytes = fi.Size()
+		}
+
+		// Phase 2: reopen and time the recovery milestones.
+		restart := time.Now()
+		m2, err := jobs.NewManager(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		for m2.Recovering() {
+			time.Sleep(time.Millisecond)
+		}
+		recoveryS := time.Since(restart).Seconds()
+
+		first, err := recoverWait(m2, ids[0])
+		if err != nil {
+			m2.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		firstS := time.Since(restart).Seconds()
+		if first.State != jobs.Done {
+			m2.Close()
+			os.RemoveAll(dir)
+			return fmt.Errorf("recover sweep: replayed job %s: %s: %s", ids[0], first.State, first.Error)
+		}
+		for _, id := range ids[1:] {
+			if st, err := recoverWait(m2, id); err != nil || st.State != jobs.Done {
+				m2.Close()
+				os.RemoveAll(dir)
+				return fmt.Errorf("recover sweep: replayed job %s did not finish cleanly (%v)", id, err)
+			}
+		}
+		allS := time.Since(restart).Seconds()
+
+		got, _, err := m2.Result(ids[0])
+		if err != nil {
+			m2.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		same := len(got.AdjP) == len(want.AdjP)
+		for i := 0; same && i < len(got.AdjP); i++ {
+			same = math.Float64bits(got.AdjP[i]) == math.Float64bits(want.AdjP[i]) &&
+				math.Float64bits(got.RawP[i]) == math.Float64bits(want.RawP[i])
+		}
+		if !same {
+			m2.Close()
+			os.RemoveAll(dir)
+			return fmt.Errorf("recover sweep: %d-job replayed result is NOT bitwise identical to the uninterrupted run", n)
+		}
+		replayed := m2.StatsSnapshot().JournalReplayed
+		m2.Close()
+		os.RemoveAll(dir)
+
+		level := recoverLevelJSON{
+			Jobs: n, JournalBytes: journalBytes,
+			RecoveryS: recoveryS, FirstResultS: firstS, AllDoneS: allS,
+			JobsReplayed: replayed, BitwiseIdentical: same,
+		}
+		if recoveryS > 0 {
+			level.ReplayedPerS = float64(replayed) / recoveryS
+		}
+		doc.Levels = append(doc.Levels, level)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

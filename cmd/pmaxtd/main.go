@@ -55,12 +55,14 @@ import (
 	_ "net/http/pprof" // -pprof-addr serves the DefaultServeMux profiles
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"sprint"
 	"sprint/internal/cluster"
+	"sprint/internal/faultinject"
 	"sprint/internal/jobs"
 	"sprint/internal/metrics"
 )
@@ -83,6 +85,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	every := fs.Int64("every", 1000, "default checkpoint window (permutations)")
 	cache := fs.Int("cache", 128, "result cache entries (negative disables)")
 	ckptDir := fs.String("checkpoint-dir", "", "persist checkpoints here to survive restarts (empty = memory only)")
+	journalDir := fs.String("journal-dir", "", "write-ahead job journal directory; on restart queued and running jobs replay to byte-identical results (empty = no journal). Defaults -checkpoint-dir and -dataset-dir to subdirectories when those are unset")
 	dsCache := fs.Int("dataset-cache", 0, "in-memory dataset registry entries (0 = default 32, negative disables)")
 	dsDir := fs.String("dataset-dir", "", "mirror registered datasets here as .spb files so they survive restarts (empty = memory only)")
 	maxBody := fs.Int64("max-body", 256<<20, "maximum submission body bytes")
@@ -101,7 +104,24 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	distMinB := fs.Int64("dist-min-b", 1000, "coordinator: run jobs with B under this locally instead of distributing")
 	shardNProcs := fs.Int("shard-nprocs", 0, "coordinator: ranks each worker uses per shard (0 = worker default)")
 	shardsPerWorker := fs.Int("shards-per-worker", 2, "coordinator: shards carved per live worker")
+	faults := fs.String("faults", os.Getenv("SPRINT_FAULTS"),
+		"deterministic fault-injection spec for crash testing, e.g. \"seed=7;ckpt.write:torn:n=2\" (default $SPRINT_FAULTS; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// A journal without its companion stores could replay a job whose
+	// checkpoint or dataset evaporated with the process; default both
+	// into the journal tree so one flag buys full crash safety.
+	if *journalDir != "" {
+		if *ckptDir == "" {
+			*ckptDir = filepath.Join(*journalDir, "checkpoints")
+		}
+		if *dsDir == "" {
+			*dsDir = filepath.Join(*journalDir, "datasets")
+		}
+	}
+	faultsInj, err := faultinject.Setup(*faults)
+	if err != nil {
 		return err
 	}
 	active, err := sprint.SetKernel(*kernel)
@@ -146,6 +166,15 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 
 	fmt.Fprintf(stdout, "pmaxtd: kernel %s\n", active)
+	// The fault plane is strictly for crash/chaos testing: the injected
+	// schedule is deterministic per seed, and the cluster client below is
+	// wrapped so transport faults fire too.  Say so loudly — a daemon
+	// accidentally started with $SPRINT_FAULTS set should be obvious.
+	var faultClient *http.Client
+	if faultsInj != nil {
+		fmt.Fprintf(stdout, "pmaxtd: FAULT INJECTION ACTIVE: %s\n", *faults)
+		faultClient = &http.Client{Transport: &faultinject.Transport{}}
+	}
 	if *pprofAddr != "" {
 		// The pprof handlers live on the DefaultServeMux, kept off the API
 		// listener so profiling can stay on a private interface.  Only the
@@ -180,6 +209,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		}
 		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
 			Workers:         staticWorkers,
+			Client:          faultClient,
 			ShardsPerWorker: *shardsPerWorker,
 			MinDistB:        *distMinB,
 			WorkerNProcs:    *shardNProcs,
@@ -197,6 +227,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			DefaultEvery:     *every,
 			CacheSize:        *cache,
 			CheckpointDir:    *ckptDir,
+			JournalDir:       *journalDir,
 			DatasetCacheSize: *dsCache,
 			DatasetDir:       *dsDir,
 			Metrics:          reg,
@@ -220,6 +251,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	case *role == "worker":
 		worker = cluster.NewWorker(cluster.WorkerConfig{
 			Source:  srv.Manager(),
+			Client:  faultClient,
 			NProcs:  *nprocs,
 			Every:   *every,
 			Metrics: reg,

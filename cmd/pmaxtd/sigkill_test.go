@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+	"sprint/internal/matrix"
+	"sprint/internal/microarray"
+)
+
+// TestHelperPmaxtd is not a test: it is the child-process entry point
+// for the SIGKILL test below, re-executing this test binary as a real
+// pmaxtd daemon so the parent can kill -9 it mid-job.
+func TestHelperPmaxtd(t *testing.T) {
+	if os.Getenv("PMAXTD_HELPER") != "1" {
+		t.Skip("helper process entry point, not a test")
+	}
+	var args []string
+	if err := json.Unmarshal([]byte(os.Getenv("PMAXTD_ARGS")), &args); err != nil {
+		fmt.Fprintln(os.Stderr, "helper: bad PMAXTD_ARGS:", err)
+		os.Exit(2)
+	}
+	if err := run(args, os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startDaemon launches a pmaxtd child process and returns it with the
+// base URL parsed from its "listening on" line.
+func startDaemon(t *testing.T, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	argJSON, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperPmaxtd$", "-test.v=false")
+	cmd.Env = append(os.Environ(), "PMAXTD_HELPER=1", "PMAXTD_ARGS="+string(argJSON))
+	var stderr bytes.Buffer // daemon JSON logs, dumped only on failure
+	cmd.Stderr = &stderr
+	t.Cleanup(func() {
+		if t.Failed() && stderr.Len() > 0 {
+			t.Logf("daemon stderr:\n%s", stderr.String())
+		}
+	})
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addrc <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never printed its listening line")
+		return nil, ""
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestSIGKILLRestartBitwiseIdentity is the crash-safety acceptance test
+// at the process level: a real pmaxtd daemon is killed with SIGKILL
+// (no drain, no checkpoint flush, no journal close) in the middle of a
+// job, restarted over the same -journal-dir, and must finish the SAME
+// job id with results bitwise identical to an uninterrupted in-process
+// run of the same analysis.
+func TestSIGKILLRestartBitwiseIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	data, err := microarray.Generate(microarray.GenOptions{
+		Genes: 100, Samples: 20, Classes: 2,
+		DiffFraction: 0.2, EffectSize: 2.0, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const permB, seed, every = 100000, 5, 1000
+
+	// Uninterrupted reference, computed in-process.
+	ref := func() *core.Result {
+		m, err := jobs.NewManager(jobs.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		x, err := matrix.FromRows(data.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, _, err := m.PutDataset(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := core.DefaultOptions()
+		opt.B = permB
+		opt.Seed = seed
+		st, err := m.Submit(jobs.Spec{DatasetID: info.ID, Labels: data.Labels, Opt: opt, NProcs: 1, Every: every})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			got, err := m.Get(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State.Terminal() {
+				if got.State != jobs.Done {
+					t.Fatalf("reference job: %s: %s", got.State, got.Error)
+				}
+				res, _, err := m.Result(st.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("reference job did not finish")
+		return nil
+	}()
+
+	journalDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1",
+		"-journal-dir", journalDir, "-metrics-interval", "0"}
+	cmd1, base1 := startDaemon(t, args)
+
+	// Submit over HTTP with the matrix inline, exactly as a client would.
+	body, err := json.Marshal(map[string]any{
+		"dataset":          map[string]any{"x": data.X, "labels": data.Labels},
+		"options":          map[string]any{"b": permB, "seed": seed},
+		"nprocs":           1,
+		"checkpoint_every": every,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base1+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK || sub.ID == "" {
+		t.Fatalf("submit: code %d id %q", resp.StatusCode, sub.ID)
+	}
+
+	// Wait for real progress (a passed checkpoint window), then kill -9.
+	type status struct {
+		State       string  `json:"state"`
+		Done        int64   `json:"done"`
+		ResumedFrom int64   `json:"resumed_from"`
+		Error       string  `json:"error"`
+		AdjP        []int64 `json:"-"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st status
+		getJSON(t, base1+"/v1/jobs/"+sub.ID, &st)
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job finished (%s) before the crash; bump B", st.State)
+		}
+		if st.State == "running" && st.Done > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never made progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd1.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Restart over the same journal tree; wait until recovery completes
+	// (readyz flips to 200) and the SAME job id reaches done.
+	_, base2 := startDaemon(t, args)
+	deadline = time.Now().Add(60 * time.Second)
+	for getJSON(t, base2+"/v1/readyz", nil) != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready after restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var st status
+	for {
+		getJSON(t, base2+"/v1/jobs/"+sub.ID, &st)
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("replayed job %s: %s: %s", sub.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed job %s did not finish (state %s)", sub.ID, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.ResumedFrom == 0 {
+		t.Error("job restarted from scratch; expected a checkpoint resume")
+	}
+
+	var res struct {
+		Stat []float64 `json:"stat"`
+		RawP []float64 `json:"raw_p"`
+		AdjP []float64 `json:"adj_p"`
+	}
+	if code := getJSON(t, base2+"/v1/jobs/"+sub.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: code %d", code)
+	}
+	for name, pair := range map[string][2][]float64{
+		"Stat": {res.Stat, ref.Stat}, "RawP": {res.RawP, ref.RawP}, "AdjP": {res.AdjP, ref.AdjP},
+	} {
+		got, want := pair[0], pair[1]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s[%d]: %v != %v (bitwise) after SIGKILL restart", name, i, got[i], want[i])
+			}
+		}
+	}
+}

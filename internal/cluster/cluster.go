@@ -37,6 +37,8 @@
 package cluster
 
 import (
+	"encoding/binary"
+	"hash/crc64"
 	"net/http"
 	"time"
 
@@ -135,7 +137,13 @@ type ShardRequest struct {
 
 // ShardResponse carries a shard's counts back.  Counts cover [Lo, Next);
 // Partial marks a drained worker's prefix hand-off (Next < Hi), whose
-// remainder [Next, Hi) the coordinator re-dispatches.
+// remainder [Next, Hi) the coordinator re-dispatches.  CRC64 is the
+// end-to-end integrity checksum over the count-bearing fields (see CRC):
+// the worker stamps it after computing, the coordinator re-derives it
+// after decoding, and a mismatch — a bit flipped anywhere between the
+// worker's kernel and the coordinator's merge — rejects the delivery
+// whole and re-dispatches the shard.  Zero means "no checksum" so
+// pre-CRC nodes interoperate during a rolling upgrade.
 type ShardResponse struct {
 	Lo          int64   `json:"lo"`
 	Next        int64   `json:"next"`
@@ -148,6 +156,41 @@ type ShardResponse struct {
 	Raw         []int64 `json:"raw"`
 	Adj         []int64 `json:"adj"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	CRC64       uint64  `json:"crc64,omitempty"`
+}
+
+// shardCRCTable is the CRC64 polynomial shared with the checkpoint and
+// journal frames (ECMA).
+var shardCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// CRC derives the response's integrity checksum: CRC64-ECMA over the
+// little-endian encoding of every field that feeds the merge — the
+// range, the plan identity and the count vectors (length-prefixed, so
+// boundary shifts between Raw and Adj cannot cancel out).  ElapsedMS is
+// excluded: it is telemetry, and a float would round-trip JSON less
+// predictably than the integers.
+func (r *ShardResponse) CRC() uint64 {
+	h := crc64.New(shardCRCTable)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(r.Lo))
+	put(uint64(r.Next))
+	put(uint64(r.Hi))
+	put(uint64(r.TotalB))
+	put(uint64(r.B))
+	put(r.Fingerprint)
+	put(uint64(len(r.Raw)))
+	for _, v := range r.Raw {
+		put(uint64(v))
+	}
+	put(uint64(len(r.Adj)))
+	for _, v := range r.Adj {
+		put(uint64(v))
+	}
+	return h.Sum64()
 }
 
 // errorBody is the JSON error payload of the internal API, with a

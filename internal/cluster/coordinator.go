@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -52,6 +53,15 @@ type CoordinatorConfig struct {
 	// DownFor is how long a worker that failed a dispatch is skipped
 	// before being tried again.  Defaults to 3s.
 	DownFor time.Duration
+	// DispatchTimeout bounds one shard RPC end to end, so a worker that
+	// accepts a connection and then hangs (half-open TCP, wedged kernel)
+	// surfaces as a retryable error instead of stalling the job forever.
+	// It must comfortably exceed the slowest expected shard compute.
+	// Defaults to 15m; negative disables.
+	DispatchTimeout time.Duration
+	// PushTimeout bounds one dataset push.  Defaults to 2m; negative
+	// disables.
+	PushTimeout time.Duration
 	// WorkerNProcs is the rank count shard requests ask workers for
 	// (0 = each worker's own default).
 	WorkerNProcs int
@@ -90,13 +100,16 @@ type Coordinator struct {
 	jobsDecl   atomic.Int64
 	localDone  atomic.Int64
 
-	metDispatched *metrics.Counter
-	metRetries    map[string]*metrics.Counter
-	metPushes     *metrics.Counter
-	metJobsDist   *metrics.Counter
-	metJobsDecl   *metrics.Counter
-	metLocal      *metrics.Counter
-	metRPC        *metrics.Histogram
+	metDispatched   *metrics.Counter
+	metRetries      map[string]*metrics.Counter
+	metPushes       *metrics.Counter
+	metJobsDist     *metrics.Counter
+	metJobsDecl     *metrics.Counter
+	metLocal        *metrics.Counter
+	metRPC          *metrics.Histogram
+	metTimeouts     map[string]*metrics.Counter // by call
+	metShardCorrupt *metrics.Counter
+	metPushEcho     *metrics.Counter
 }
 
 // Retry reasons, used as the metric label and in logs.
@@ -104,6 +117,7 @@ const (
 	retryError     = "error"
 	retryPartial   = "partial"
 	retryStraggler = "straggler"
+	retryCorrupt   = "corrupt"
 )
 
 // NewCoordinator builds a coordinator over the static worker set.
@@ -125,6 +139,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	}
 	if cfg.DownFor <= 0 {
 		cfg.DownFor = 3 * time.Second
+	}
+	if cfg.DispatchTimeout == 0 {
+		cfg.DispatchTimeout = 15 * time.Minute
+	}
+	if cfg.PushTimeout == 0 {
+		cfg.PushTimeout = 2 * time.Minute
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
@@ -153,12 +173,22 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	reg.Help("cluster_shard_rpc_seconds", "Wall time of one shard RPC, dispatch to decoded response.")
 	reg.Help("cluster_workers_live", "Workers currently considered live.")
 	reg.Help("cluster_shards_in_flight", "Shards currently dispatched and unresolved.")
+	reg.Help("cluster_rpc_timeout_total", "Cluster RPCs that hit their deadline, by call.")
+	reg.Help("integrity_shard_corrupt_total", "Shard deliveries rejected for a CRC mismatch and re-dispatched.")
+	reg.Help("integrity_push_digest_mismatch_total", "Dataset pushes whose echoed content id disagreed with the local digest.")
 	c.metDispatched = reg.Counter("cluster_shards_dispatched_total")
 	c.metRetries = map[string]*metrics.Counter{
 		retryError:     reg.Counter("cluster_shard_retries_total", "reason", retryError),
 		retryPartial:   reg.Counter("cluster_shard_retries_total", "reason", retryPartial),
 		retryStraggler: reg.Counter("cluster_shard_retries_total", "reason", retryStraggler),
+		retryCorrupt:   reg.Counter("cluster_shard_retries_total", "reason", retryCorrupt),
 	}
+	c.metTimeouts = map[string]*metrics.Counter{
+		"shard": reg.Counter("cluster_rpc_timeout_total", "call", "shard"),
+		"push":  reg.Counter("cluster_rpc_timeout_total", "call", "push"),
+	}
+	c.metShardCorrupt = reg.Counter("integrity_shard_corrupt_total")
+	c.metPushEcho = reg.Counter("integrity_push_digest_mismatch_total")
 	c.metPushes = reg.Counter("cluster_dataset_pushes_total")
 	c.metJobsDist = reg.Counter("cluster_jobs_distributed_total")
 	c.metJobsDecl = reg.Counter("cluster_jobs_declined_total")
@@ -736,7 +766,7 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 			// retry the same shard on it.  This is the only path that
 			// ever moves matrix bytes.
 			*pushed = true
-			if perr := c.pushDataset(st.ctx, m.addr, st.req.Matrix); perr != nil {
+			if perr := c.pushDataset(st.ctx, m.addr, st.req.DatasetID, st.req.Matrix); perr != nil {
 				c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_dataset_push_failed",
 					slog.String("worker", m.addr), slog.String("error", perr.Error()))
 				c.markDown(m)
@@ -747,6 +777,19 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 			c.metPushes.Inc()
 			continue
 		case status == http.StatusOK:
+			// Corruption is detected HERE, not in deliver(): deliver
+			// silently discards a bad body without requeueing (that is
+			// its duplicate-suppression contract), which would leave the
+			// shard waiting on a straggler tick that never comes.  A
+			// rejected delivery re-dispatches immediately instead.
+			if resp.CRC64 != 0 && resp.CRC64 != resp.CRC() {
+				c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_shard_corrupt",
+					slog.String("worker", m.addr), slog.Int64("lo", lo), slog.Int64("hi", hi))
+				c.metShardCorrupt.Inc()
+				c.markDown(m)
+				st.requeue(rec, retryCorrupt)
+				return false
+			}
 			st.deliver(rec, resp)
 			return true
 		default:
@@ -762,13 +805,34 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 	}
 }
 
-// postShard performs one shard RPC.  A non-200 answer is returned as
-// (nil, status, reason, nil); transport-level problems as err.
+// callCtx derives the per-RPC deadline context and pairs it with the
+// timeout accounting: if the call dies of THIS deadline (not the job's
+// own cancellation), the named cluster_rpc_timeout_total series ticks.
+func (c *Coordinator) callCtx(ctx context.Context, call string, d time.Duration) (context.Context, context.CancelFunc, func(error)) {
+	if d <= 0 {
+		return ctx, func() {}, func(error) {}
+	}
+	tctx, cancel := context.WithTimeout(ctx, d)
+	note := func(err error) {
+		if err != nil && errors.Is(tctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			if m, ok := c.metTimeouts[call]; ok {
+				m.Inc()
+			}
+		}
+	}
+	return tctx, cancel, note
+}
+
+// postShard performs one shard RPC under DispatchTimeout.  A non-200
+// answer is returned as (nil, status, reason, nil); transport-level
+// problems (including the deadline) as err.
 func (c *Coordinator) postShard(ctx context.Context, addr string, sreq *ShardRequest) (*ShardResponse, int, string, error) {
 	body, err := json.Marshal(sreq)
 	if err != nil {
 		return nil, 0, "", err
 	}
+	ctx, cancel, noteTimeout := c.callCtx(ctx, "shard", c.cfg.DispatchTimeout)
+	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, "POST", addr+ShardPath, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, "", err
@@ -776,6 +840,7 @@ func (c *Coordinator) postShard(ctx context.Context, addr string, sreq *ShardReq
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := c.client.Do(hreq)
 	if err != nil {
+		noteTimeout(err)
 		return nil, 0, "", err
 	}
 	defer hresp.Body.Close()
@@ -786,15 +851,20 @@ func (c *Coordinator) postShard(ctx context.Context, addr string, sreq *ShardReq
 	}
 	var resp ShardResponse
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		noteTimeout(err)
 		return nil, 0, "", fmt.Errorf("decoding shard response: %w", err)
 	}
 	return &resp, http.StatusOK, "", nil
 }
 
 // pushDataset uploads the matrix to a worker's public dataset API as
-// .spb bytes; the content address is recomputed there, so the worker
-// serves the id the shard requests name.
-func (c *Coordinator) pushDataset(ctx context.Context, addr string, m matrix.Matrix) error {
+// .spb bytes, under PushTimeout.  The worker recomputes the content
+// address from the received bytes and echoes it in the response; the
+// coordinator requires the echo to equal the id its shard requests will
+// name (want) — a disagreement means the payload was damaged in flight
+// or the nodes hash differently, and every shard sent there would 404
+// or, worse, compute on the wrong matrix.
+func (c *Coordinator) pushDataset(ctx context.Context, addr, want string, m matrix.Matrix) error {
 	if m.IsEmpty() {
 		return fmt.Errorf("no coordinator-resident matrix to push")
 	}
@@ -802,6 +872,8 @@ func (c *Coordinator) pushDataset(ctx context.Context, addr string, m matrix.Mat
 	if err := matrix.Encode(&buf, m, nil, nil, matrix.RowMajor); err != nil {
 		return err
 	}
+	ctx, cancel, noteTimeout := c.callCtx(ctx, "push", c.cfg.PushTimeout)
+	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, "PUT", addr+datasetsPath, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return err
@@ -809,12 +881,24 @@ func (c *Coordinator) pushDataset(ctx context.Context, addr string, m matrix.Mat
 	hreq.Header.Set("Content-Type", spbContentType)
 	hresp, err := c.client.Do(hreq)
 	if err != nil {
+		noteTimeout(err)
 		return err
 	}
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK && hresp.StatusCode != http.StatusCreated {
 		b, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<12))
 		return fmt.Errorf("dataset push: %s: %s", hresp.Status, strings.TrimSpace(string(b)))
+	}
+	var echo struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 1<<16)).Decode(&echo); err != nil {
+		noteTimeout(err)
+		return fmt.Errorf("dataset push: decoding response: %w", err)
+	}
+	if want != "" && echo.ID != want {
+		c.metPushEcho.Inc()
+		return fmt.Errorf("dataset push: worker registered %q, want %q", echo.ID, want)
 	}
 	return nil
 }

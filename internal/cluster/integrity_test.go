@@ -1,0 +1,231 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sprint/internal/cluster"
+	"sprint/internal/core"
+	"sprint/internal/faultinject"
+	"sprint/internal/metrics"
+)
+
+// TestShardResponseCRC pins the checksum contract: the CRC covers every
+// result-bearing field, and only those — timing metadata must not
+// invalidate a response relayed through a cache or proxy.
+func TestShardResponseCRC(t *testing.T) {
+	base := cluster.ShardResponse{
+		Lo: 10, Next: 20, Hi: 30, TotalB: 100, B: 10,
+		Fingerprint: 0xabcdef, Raw: []int64{1, 2, 3}, Adj: []int64{3, 2, 1},
+		ElapsedMS: 5,
+	}
+	want := base.CRC()
+	if want == 0 {
+		t.Fatal("CRC of a populated response is zero (zero means legacy/no checksum)")
+	}
+	if got := base.CRC(); got != want {
+		t.Fatalf("CRC not stable: %x then %x", want, got)
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(r *cluster.ShardResponse)
+	}{
+		{"Lo", func(r *cluster.ShardResponse) { r.Lo++ }},
+		{"Next", func(r *cluster.ShardResponse) { r.Next++ }},
+		{"Hi", func(r *cluster.ShardResponse) { r.Hi++ }},
+		{"TotalB", func(r *cluster.ShardResponse) { r.TotalB++ }},
+		{"B", func(r *cluster.ShardResponse) { r.B++ }},
+		{"Fingerprint", func(r *cluster.ShardResponse) { r.Fingerprint++ }},
+		{"Raw value", func(r *cluster.ShardResponse) { r.Raw[1]++ }},
+		{"Adj value", func(r *cluster.ShardResponse) { r.Adj[0]++ }},
+		{"Raw truncated", func(r *cluster.ShardResponse) { r.Raw = r.Raw[:2] }},
+		{"Adj extended", func(r *cluster.ShardResponse) { r.Adj = append(r.Adj, 0) }},
+	}
+	for _, m := range mutations {
+		r := base
+		r.Raw = append([]int64(nil), base.Raw...)
+		r.Adj = append([]int64(nil), base.Adj...)
+		m.mut(&r)
+		if r.CRC() == want {
+			t.Errorf("%s: CRC unchanged after mutation", m.name)
+		}
+	}
+
+	// Timing is metadata, not a result: excluded by design.
+	r := base
+	r.ElapsedMS = 99999
+	if r.CRC() != want {
+		t.Error("ElapsedMS changed the CRC; it must be excluded")
+	}
+}
+
+// corruptOnce wraps a worker handler and flips one Raw count in the
+// FIRST shard response while leaving the response's CRC64 stale — the
+// wire-level silent corruption the coordinator's end-to-end check
+// exists to catch.  Deterministic, unlike a random byte flip: the JSON
+// stays valid, so only the CRC check can reject it.
+func corruptOnce(done *atomic.Bool) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !strings.HasSuffix(r.URL.Path, "/cluster/v1/shards") || done.Load() {
+				next.ServeHTTP(w, r)
+				return
+			}
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			var resp cluster.ShardResponse
+			if rec.Code == http.StatusOK && json.Unmarshal(body, &resp) == nil && len(resp.Raw) > 0 && done.CompareAndSwap(false, true) {
+				resp.Raw[0] += 7 // silent damage; CRC64 left describing the true counts
+				body, _ = json.Marshal(&resp)
+			}
+			for k, vs := range rec.Header() {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.Header().Set("Content-Length", "")
+			w.WriteHeader(rec.Code)
+			w.Write(body)
+		})
+	}
+}
+
+// TestClusterCorruptShardRedispatch is the end-to-end integrity check:
+// a worker whose first shard response carries silently damaged counts
+// (valid JSON, stale CRC) must be caught by the coordinator, the shard
+// re-dispatched, and the final result bitwise identical to a clean run.
+func TestClusterCorruptShardRedispatch(t *testing.T) {
+	x := synthX(25, 12, 31)
+	lab := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	opt := core.Options{Test: "t", Side: "abs", FixedSeedSampling: "y", B: 400, Seed: 5}
+	want := standalone(t, x, lab, opt)
+
+	var corrupted atomic.Bool
+	w1 := newWorkerNode(t, corruptOnce(&corrupted))
+	w2 := newWorkerNode(t, nil)
+	for _, n := range []*workerNode{w1, w2} {
+		if _, _, err := n.srv.Manager().PutDataset(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := metrics.New()
+	coord, cm := coordManager(t, cluster.CoordinatorConfig{
+		Workers: []string{w1.ts.URL, w2.ts.URL},
+		Metrics: reg,
+	})
+
+	got := runOn(t, cm, x, lab, opt)
+	sameRes(t, "corrupt-shard", got, want)
+
+	if !corrupted.Load() {
+		t.Fatal("test harness never injected the corrupt response")
+	}
+	if n := reg.Counter("integrity_shard_corrupt_total").Value(); n == 0 {
+		t.Error("corrupt shard not counted by integrity_shard_corrupt_total")
+	}
+	if n := reg.Counter("cluster_shard_retries_total", "reason", "corrupt").Value(); n == 0 {
+		t.Error("corrupt shard not re-dispatched (no corrupt-reason retry)")
+	}
+	if coord.Info().Coordinator.ShardRetries == 0 {
+		t.Error("ShardRetries not incremented")
+	}
+}
+
+// TestClusterFaultInjectTransportCorrupt drives the same invariant
+// through the faultinject transport (a random byte flip in the response
+// body): whether the mangled body dies in the JSON decoder or at the
+// CRC check, no damaged count may reach the result.
+func TestClusterFaultInjectTransportCorrupt(t *testing.T) {
+	x := synthX(25, 12, 32)
+	lab := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	opt := core.Options{Test: "t", Side: "abs", FixedSeedSampling: "y", B: 400, Seed: 6}
+	want := standalone(t, x, lab, opt)
+
+	w1 := newWorkerNode(t, nil)
+	w2 := newWorkerNode(t, nil)
+	for _, n := range []*workerNode{w1, w2} {
+		if _, _, err := n.srv.Manager().PutDataset(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj, err := faultinject.Parse("seed=3;rpc.shard.resp:corrupt:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Install(inj)
+	defer faultinject.Disable()
+
+	reg := metrics.New()
+	coord, cm := coordManager(t, cluster.CoordinatorConfig{
+		Workers: []string{w1.ts.URL, w2.ts.URL},
+		Metrics: reg,
+		Client:  &http.Client{Transport: &faultinject.Transport{}},
+	})
+
+	got := runOn(t, cm, x, lab, opt)
+	sameRes(t, "faultinject-corrupt", got, want)
+	if st := inj.Stats(); st["rpc.shard.resp:corrupt"] != 1 {
+		t.Fatalf("injector stats %v, want one rpc.shard.resp corrupt fire", st)
+	}
+	if coord.Info().Coordinator.ShardRetries == 0 {
+		t.Error("corrupted response did not cause a re-dispatch")
+	}
+}
+
+// TestClusterPushDigestEcho pins the dataset-push integrity check: a
+// worker that echoes the WRONG content id for a pushed dataset is
+// rejected (counted in integrity_push_digest_mismatch_total) and the
+// job still converges through the remaining paths.
+func TestClusterPushDigestEcho(t *testing.T) {
+	x := synthX(25, 12, 33)
+	lab := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	opt := core.Options{Test: "t", Side: "abs", FixedSeedSampling: "y", B: 400, Seed: 7}
+	want := standalone(t, x, lab, opt)
+
+	// lyingEcho rewrites the id in every dataset-upload response.
+	lyingEcho := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !strings.HasSuffix(r.URL.Path, "/v1/datasets") || r.Method != http.MethodPut {
+				next.ServeHTTP(w, r)
+				return
+			}
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			var doc map[string]any
+			body := rec.Body.Bytes()
+			if json.Unmarshal(body, &doc) == nil {
+				doc["id"] = "sha256:0000000000000000000000000000000000000000000000000000000000000000"
+				body, _ = json.Marshal(doc)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rec.Code)
+			w.Write(body)
+		})
+	}
+
+	// w1 starts empty and lies about what it registered; w2 is preloaded
+	// and honest, so the job has a clean path to converge through.
+	w1 := newWorkerNode(t, lyingEcho)
+	w2 := newWorkerNode(t, nil)
+	if _, _, err := w2.srv.Manager().PutDataset(x); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.New()
+	_, cm := coordManager(t, cluster.CoordinatorConfig{
+		Workers: []string{w1.ts.URL, w2.ts.URL},
+		Metrics: reg,
+	})
+
+	got := runOn(t, cm, x, lab, opt)
+	sameRes(t, "push-echo", got, want)
+	if n := reg.Counter("integrity_push_digest_mismatch_total").Value(); n == 0 {
+		t.Error("lying push echo not counted")
+	}
+}

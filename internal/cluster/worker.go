@@ -32,6 +32,14 @@ type WorkerConfig struct {
 	// Source resolves dataset ids to shared preparations; normally the
 	// daemon's *jobs.Manager.
 	Source PrepSource
+	// Client performs the join/deregister control RPCs; nil uses a
+	// private client with JoinTimeout.  Control calls must never hang:
+	// a heartbeat stuck on a half-open coordinator connection would
+	// stall the whole heartbeat loop and expire the membership.
+	Client *http.Client
+	// JoinTimeout bounds one registration or deregistration RPC.
+	// Defaults to 5s.
+	JoinTimeout time.Duration
 	// NProcs is the default rank count per shard (0 = all CPUs); a
 	// shard request carrying its own NProcs wins.
 	NProcs int
@@ -53,7 +61,8 @@ type WorkerConfig struct {
 // the daemon's instrumented mux via Routes and drained via Drain before
 // shutdown.
 type Worker struct {
-	cfg WorkerConfig
+	cfg    WorkerConfig
+	client *http.Client
 
 	sem       chan struct{}
 	draining  atomic.Bool
@@ -70,10 +79,11 @@ type Worker struct {
 	partial atomic.Int64
 	refused atomic.Int64
 
-	metServed  *metrics.Counter
-	metPartial *metrics.Counter
-	metRefused map[string]*metrics.Counter
-	metCompute *metrics.Histogram
+	metServed   *metrics.Counter
+	metPartial  *metrics.Counter
+	metRefused  map[string]*metrics.Counter
+	metCompute  *metrics.Histogram
+	metJoinTime *metrics.Counter
 
 	hb struct {
 		sync.Mutex
@@ -96,9 +106,16 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 5 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.JoinTimeout}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	w := &Worker{
 		cfg:       cfg,
+		client:    cfg.Client,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		drainCtx:  ctx,
 		drainStop: cancel,
@@ -109,6 +126,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	reg.Help("cluster_worker_shards_partial_total", "Shard requests answered with a drained partial prefix.")
 	reg.Help("cluster_worker_shards_refused_total", "Shard requests refused, by reason.")
 	reg.Help("cluster_worker_shard_compute_seconds", "Wall time computing one shard's counts.")
+	reg.Help("cluster_rpc_timeout_total", "Cluster RPCs that hit their deadline, by call.")
+	w.metJoinTime = reg.Counter("cluster_rpc_timeout_total", "call", "join")
 	w.metServed = reg.Counter("cluster_worker_shards_served_total")
 	w.metPartial = reg.Counter("cluster_worker_shards_partial_total")
 	w.metRefused = map[string]*metrics.Counter{
@@ -285,6 +304,7 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		Adj:         sc.Counts.Adj,
 		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 	}
+	resp.CRC64 = resp.CRC()
 	if resp.Partial {
 		w.partial.Add(1)
 		w.metPartial.Inc()
@@ -336,13 +356,18 @@ func (w *Worker) Join(ctx context.Context, coordinator, advertise string, interv
 
 func (w *Worker) register(ctx context.Context, coordinator, advertise string) {
 	body, _ := json.Marshal(joinBody{Addr: advertise})
-	req, err := http.NewRequestWithContext(ctx, "POST", coordinator+WorkersPath, bytes.NewReader(body))
+	rctx, cancel := context.WithTimeout(ctx, w.cfg.JoinTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, "POST", coordinator+WorkersPath, bytes.NewReader(body))
 	if err != nil {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := w.client.Do(req)
 	if err != nil {
+		if errors.Is(rctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			w.metJoinTime.Inc()
+		}
 		w.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "cluster_join_failed",
 			slog.String("coordinator", coordinator), slog.String("error", err.Error()))
 		return
@@ -371,7 +396,7 @@ func (w *Worker) Deregister(coordinator, advertise string) {
 	if err != nil {
 		return
 	}
-	if resp, err := http.DefaultClient.Do(req); err == nil {
+	if resp, err := w.client.Do(req); err == nil {
 		resp.Body.Close()
 	}
 }

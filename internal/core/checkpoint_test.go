@@ -130,3 +130,61 @@ func TestDecodeCheckpointGarbage(t *testing.T) {
 		t.Error("garbage checkpoint decoded")
 	}
 }
+
+// TestFramedRoundtrip pins the integrity-frame encoding: EncodeFramed →
+// DecodeCheckpointBytes is lossless, and every single-byte flip anywhere
+// in the frame is reported as ErrCheckpointCorrupt — never decoded.
+func TestFramedRoundtrip(t *testing.T) {
+	ck := &Checkpoint{
+		Fingerprint: 0xdeadbeefcafef00d,
+		TotalB:      1000, Complete: true, Next: 400, Done: 400,
+		Raw: []int64{1, 2, 3, 4}, Adj: []int64{4, 3, 2, 1},
+	}
+	data, err := ck.EncodeFramed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpointBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != ck.Fingerprint || got.Next != ck.Next || got.Done != ck.Done ||
+		len(got.Raw) != 4 || got.Raw[2] != 3 || got.Adj[0] != 4 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x01
+		if _, err := DecodeCheckpointBytes(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("flip@%d: err=%v, want ErrCheckpointCorrupt", off, err)
+		}
+	}
+	// Every truncation is corrupt too (torn write at the final path).
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeCheckpointBytes(data[:cut]); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("cut@%d: err=%v, want ErrCheckpointCorrupt", cut, err)
+		}
+	}
+}
+
+// TestFramedLegacyFallback: bytes written before the frame existed (bare
+// gob, no magic) must still decode, so an upgrade resumes old disk state.
+func TestFramedLegacyFallback(t *testing.T) {
+	ck := &Checkpoint{TotalB: 77, Next: 33, Raw: []int64{9}, Adj: []int64{8}}
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpointBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if got.TotalB != 77 || got.Next != 33 || got.Raw[0] != 9 {
+		t.Fatalf("legacy roundtrip mismatch: %+v", got)
+	}
+	// A truncated legacy stream is corrupt, not a zero-value checkpoint.
+	if _, err := DecodeCheckpointBytes(buf.Bytes()[:buf.Len()/2]); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("truncated legacy: err=%v, want ErrCheckpointCorrupt", err)
+	}
+}

@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseGrammar(t *testing.T) {
+	inj, err := Parse("seed=7;ckpt.write:corrupt:n=2;rpc.*:error:p=0.3,count=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj == nil || len(inj.rules) != 2 {
+		t.Fatalf("injector %+v", inj)
+	}
+	if inj.seed != 7 {
+		t.Fatalf("seed %d, want 7", inj.seed)
+	}
+	r := inj.rules[1]
+	if !r.star || r.site != "rpc." || r.p != 0.3 || r.count != 5 {
+		t.Fatalf("rule %+v", r)
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if inj, err := Parse(""); inj != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", inj, err)
+	}
+	if inj, err := Parse("seed=3"); inj != nil || err != nil {
+		t.Fatalf("rule-less spec: %v %v", inj, err)
+	}
+	for _, bad := range []string{
+		"ckpt.write",             // no mode
+		"ckpt.write:explode",     // unknown mode
+		"ckpt.write:error:n=0",   // n out of range
+		"ckpt.write:error:p=1.5", // p out of range
+		"ckpt.write:error:zz=1",  // unknown parameter
+		"seed=x;a:error",         // bad seed
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+}
+
+func TestNthOpAndCount(t *testing.T) {
+	inj, err := Parse("ckpt.write:error:n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(inj)
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := Before("ckpt.write", "")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("op %d: err=%v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: error %v does not wrap ErrInjected", i, err)
+		}
+	}
+}
+
+func TestProbabilisticScheduleIsDeterministic(t *testing.T) {
+	schedule := func() []bool {
+		inj, err := Parse("seed=42;rpc.shard:error:p=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Install(inj)
+		defer Disable()
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Before("rpc.shard", "") != nil)
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestMutateWriteTornAndCorrupt(t *testing.T) {
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	inj, _ := Parse("f:torn")
+	Install(inj)
+	out, fault := MutateWrite("f", data)
+	if fault != WriteTorn || len(out) != 50 {
+		t.Fatalf("torn: fault=%v len=%d", fault, len(out))
+	}
+
+	inj, _ = Parse("f:corrupt")
+	Install(inj)
+	out, fault = MutateWrite("f", data)
+	Disable()
+	if fault != WriteCorrupt || len(out) != len(data) {
+		t.Fatalf("corrupt: fault=%v len=%d", fault, len(out))
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bytes, want 1", diff)
+	}
+	if data[66] != 66 {
+		t.Fatal("MutateWrite modified the input slice")
+	}
+}
+
+// TestHooksDoNotConsumeEachOthersRules pins the mode filter: one durable
+// write runs Before and then MutateWrite, and a torn rule's n=1 trigger
+// must fire in MutateWrite — not be burned by Before, which cannot act
+// on it.
+func TestHooksDoNotConsumeEachOthersRules(t *testing.T) {
+	inj, err := Parse("f:torn:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(inj)
+	defer Disable()
+	if err := Before("f", ""); err != nil {
+		t.Fatalf("Before fired a torn rule: %v", err)
+	}
+	if _, fault := MutateWrite("f", []byte("abcdef")); fault != WriteTorn {
+		t.Fatalf("torn rule did not reach MutateWrite (fault %v)", fault)
+	}
+}
+
+// TestDisabledHooksZeroAlloc is the acceptance guard for the disabled
+// fast path: with no injector installed every hook must be a nil check,
+// free of allocation, so production binaries pay nothing for the fault
+// plane.
+func TestDisabledHooksZeroAlloc(t *testing.T) {
+	Disable()
+	buf := []byte("payload")
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = Before("ckpt.write", "x")
+		_, _ = MutateWrite("ckpt.write", buf)
+		_ = MutateRead("ckpt.read", buf)
+	}); n != 0 {
+		t.Fatalf("disabled hooks allocate %.1f per op, want 0", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	inj, err := Parse("a:error;b:delay:ms=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(inj)
+	defer Disable()
+	Before("a", "")
+	Before("a", "")
+	Before("b", "")
+	st := inj.Stats()
+	if st["a:error"] != 2 || st["b:delay"] != 1 {
+		t.Fatalf("stats %v", st)
+	}
+}

@@ -49,12 +49,21 @@ func (s *Server) statsDoc() statsJSON {
 }
 
 // healthzDoc builds the /v1/healthz document: the original status and
-// uptime keys, plus role and — on cluster nodes — a membership summary.
+// uptime keys, plus role, the additive "ready" flag, and — on cluster
+// nodes — a membership summary.  While the manager replays its journal
+// status reads "recovering" (and ready is false): the process is alive
+// and serving, but jobs admitted before the crash are still being
+// re-admitted, so load balancers should hold traffic (see /v1/readyz).
 func (s *Server) healthzDoc() map[string]any {
+	ready, _ := s.readiness()
 	doc := map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.started).Seconds(),
 		"role":     "standalone",
+		"ready":    ready,
+	}
+	if s.mgr.Recovering() {
+		doc["status"] = "recovering"
 	}
 	if s.cluster == nil {
 		return doc
@@ -88,4 +97,37 @@ func (s *Server) healthzDoc() map[string]any {
 	return doc
 }
 
-var _ = http.StatusOK // keep net/http imported alongside the mux use above
+// readiness reports whether the daemon should receive traffic, with a
+// machine-readable reason when it should not.  Liveness and readiness
+// are distinct signals: a recovering or draining daemon is perfectly
+// alive (restarting it would only lose more work) but should not be
+// handed new load until replay finishes or the drain completes.
+func (s *Server) readiness() (bool, string) {
+	if s.mgr.Recovering() {
+		return false, "recovering"
+	}
+	if s.cluster != nil {
+		if info := s.cluster.Info(); info.Worker != nil && info.Worker.Draining {
+			return false, "draining"
+		}
+	}
+	return true, ""
+}
+
+// handleLivez is the liveness probe: 200 whenever the process can run a
+// handler.  Restart-worthy conditions only — recovery and drain are NOT
+// liveness failures.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while the manager replays
+// its journal after a crash (or a cluster worker drains), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.readiness()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": reason, "ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": true})
+}

@@ -9,7 +9,9 @@
 //	GET    /v1/datasets         list registered datasets
 //	GET    /v1/datasets/{id}    one dataset's registry entry
 //	DELETE /v1/datasets/{id}    evict a dataset (409 while jobs pin it)
-//	GET    /v1/healthz          liveness
+//	GET    /v1/healthz          combined health document (status + ready)
+//	GET    /v1/livez            liveness: 200 whenever the process serves
+//	GET    /v1/readyz           readiness: 503 while recovering/draining
 //	GET    /v1/stats            queue / cache / worker counters (JSON)
 //	GET    /metrics             Prometheus text exposition of the same plane
 //
@@ -120,6 +122,8 @@ func New(cfg Config) (*Server, error) {
 	handle("GET", "/v1/datasets/{id}", s.handleDatasetInfo)
 	handle("DELETE", "/v1/datasets/{id}", s.handleDeleteDataset)
 	handle("GET", "/v1/healthz", s.handleHealthz)
+	handle("GET", "/v1/livez", s.handleLivez)
+	handle("GET", "/v1/readyz", s.handleReadyz)
 	handle("GET", "/v1/stats", s.handleStats)
 	handle("GET", "/metrics", s.handleMetrics)
 	return s, nil

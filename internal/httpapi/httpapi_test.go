@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"sprint/internal/cluster"
 	"sprint/internal/core"
 	"sprint/internal/jobs"
 	"sprint/internal/microarray"
@@ -307,5 +308,47 @@ func TestQueueFullOverHTTP(t *testing.T) {
 	release()
 	if fin := pollTerminal(t, ts.URL, running.ID); fin.State != "done" {
 		t.Fatalf("first job %+v after release", fin)
+	}
+}
+
+// TestLivenessReadinessSplit pins the health split: /v1/livez is a bare
+// process check that never 503s for operational states, /v1/readyz
+// reports traffic-worthiness (draining and journal recovery are
+// not-ready), and /v1/healthz keeps its historical fields while gaining
+// the additive "ready" flag.
+func TestLivenessReadinessSplit(t *testing.T) {
+	srv, ts := newTestServer(t, jobs.Config{})
+
+	var live map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/livez", nil, &live); code != http.StatusOK || live["status"] != "ok" {
+		t.Fatalf("livez code %d body %v", code, live)
+	}
+	var ready map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/readyz", nil, &ready); code != http.StatusOK || ready["ready"] != true {
+		t.Fatalf("readyz code %d body %v", code, ready)
+	}
+	var health map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz code %d", code)
+	}
+	// Historical fields stay pinned; "ready" is additive.
+	if health["status"] != "ok" || health["ready"] != true {
+		t.Fatalf("healthz body %v", health)
+	}
+	for _, field := range []string{"uptime_s", "role"} {
+		if _, ok := health[field]; !ok {
+			t.Errorf("healthz lost historical field %q", field)
+		}
+	}
+
+	// A draining worker is alive but must stop receiving traffic.
+	w := cluster.NewWorker(cluster.WorkerConfig{Source: srv.Manager()})
+	srv.AttachCluster(w)
+	w.Drain()
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/livez", nil, &live); code != http.StatusOK {
+		t.Fatalf("livez during drain: code %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/readyz", nil, &ready); code != http.StatusServiceUnavailable || ready["status"] != "draining" || ready["ready"] != false {
+		t.Fatalf("readyz during drain: code %d body %v", code, ready)
 	}
 }

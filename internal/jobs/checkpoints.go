@@ -2,11 +2,13 @@ package jobs
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"sprint/internal/core"
+	"sprint/internal/durable"
 )
 
 // ckptStore keeps the latest checkpoint per content key, in memory and —
@@ -30,6 +32,9 @@ type ckptStore struct {
 	max     int
 	order   *list.List // front = most recently updated
 	entries map[string]*list.Element
+	// noteCorrupt, when non-nil, observes every quarantined checkpoint
+	// file (integrity metric).  Called with the manager lock held.
+	noteCorrupt func(key string)
 }
 
 type ckptEntry struct {
@@ -70,39 +75,50 @@ func (s *ckptStore) put(key string, ck *core.Checkpoint) (evicted []string) {
 	return evicted
 }
 
-// writeDisk mirrors ck to disk (no-op without a dir).  The write goes
-// through a temp file + rename so a crash never leaves a torn checkpoint.
-// Call without holding the manager lock.
+// writeDisk mirrors ck to disk (no-op without a dir).  The bytes carry
+// a CRC64 integrity frame and land via the durable temp-file + fsync +
+// atomic-rename path, so a crash at any instruction leaves either the
+// old checkpoint or the new one, never a torn body.  The previous
+// generation is rotated to "<key>.ckpt.prev" first: if the NEW file is
+// later found corrupt (bit rot, injected fault), load falls back to the
+// older prefix instead of restarting from zero.  Call without holding
+// the manager lock.
 func (s *ckptStore) writeDisk(key string, ck *core.Checkpoint) error {
 	if s.dir == "" {
 		return nil
 	}
-	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	data, err := ck.EncodeFramed()
 	if err != nil {
 		return err
 	}
-	if err := ck.Encode(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
+	p := s.path(key)
+	if _, err := os.Stat(p); err == nil {
+		// Rotation is not atomic with the write, but every intermediate
+		// state is safe: worst case the .prev generation is one window
+		// staler than it could have been.
+		_ = os.Rename(p, p+".prev")
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), s.path(key))
+	return durable.WriteFileAtomic(p, data, "ckpt.write")
 }
 
-// removeDisk deletes key's checkpoint file, if any.
+// removeDisk deletes key's checkpoint files (all generations), if any.
 func (s *ckptStore) removeDisk(key string) {
 	if s.dir != "" {
-		os.Remove(s.path(key))
+		p := s.path(key)
+		os.Remove(p)
+		os.Remove(p + ".prev")
+		os.Remove(p + ".corrupt")
 	}
 }
 
 // load returns the latest checkpoint for key, falling back to disk (e.g.
-// after a daemon restart).  A missing or unreadable checkpoint is simply
-// absent: the job restarts from scratch, never fails.
+// after a daemon restart).  The integrity frame is verified on every
+// disk read: a corrupt current generation is quarantined (renamed to
+// "<key>.ckpt.corrupt", surfaced via noteCorrupt) and the ".prev"
+// generation — the previous window's prefix — is tried next.  When
+// every generation is missing or corrupt the checkpoint is simply
+// absent: the job restarts from B=0, it never fails and never resumes
+// from damaged counts.
 func (s *ckptStore) load(key string) *core.Checkpoint {
 	if el, ok := s.entries[key]; ok {
 		s.order.MoveToFront(el)
@@ -111,17 +127,35 @@ func (s *ckptStore) load(key string) *core.Checkpoint {
 	if s.dir == "" {
 		return nil
 	}
-	f, err := os.Open(s.path(key))
-	if err != nil {
-		return nil
+	ck := s.loadGeneration(key, s.path(key))
+	if ck == nil {
+		ck = s.loadGeneration(key, s.path(key)+".prev")
 	}
-	defer f.Close()
-	ck, err := core.DecodeCheckpoint(f)
-	if err != nil {
+	if ck == nil {
 		return nil
 	}
 	for _, k := range s.put(key, ck) {
 		s.removeDisk(k)
+	}
+	return ck
+}
+
+// loadGeneration reads and verifies one checkpoint file, quarantining
+// it on corruption.
+func (s *ckptStore) loadGeneration(key, path string) *core.Checkpoint {
+	data, err := durable.ReadFile(path, "ckpt.read")
+	if err != nil {
+		return nil
+	}
+	ck, err := core.DecodeCheckpointBytes(data)
+	if err != nil {
+		if errors.Is(err, core.ErrCheckpointCorrupt) {
+			_ = durable.Quarantine(path)
+			if s.noteCorrupt != nil {
+				s.noteCorrupt(key)
+			}
+		}
+		return nil
 	}
 	return ck
 }

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"bytes"
 	"container/list"
 	"fmt"
 	"math"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"sprint/internal/core"
+	"sprint/internal/durable"
 	"sprint/internal/matrix"
 )
 
@@ -103,6 +105,9 @@ type dsStore struct {
 	// noteEvict, when non-nil, observes LRU evictions (count of entries
 	// removed).  It is called with the manager lock held.
 	noteEvict func(n int)
+	// noteCorrupt, when non-nil, observes quarantined disk mirrors
+	// (integrity metric).  Called WITHOUT the manager lock.
+	noteCorrupt func(id string)
 }
 
 func newDSStore(dir string, max, maxPreps int) (*dsStore, error) {
@@ -183,9 +188,11 @@ func (s *dsStore) remove(e *dsEntry) {
 	delete(s.entries, e.id)
 }
 
-// writeDisk mirrors the matrix to "<id>.spb" (no-op without a dir),
-// temp-file + rename so a crash never leaves a torn dataset.  Call
-// without holding the manager lock.
+// writeDisk mirrors the matrix to "<id>.spb" (no-op without a dir)
+// through the durable atomic-write path: temp file, fsync, rename,
+// directory fsync — a crash never leaves a torn dataset, and the
+// rename itself survives power loss.  Call without holding the manager
+// lock.
 func (s *dsStore) writeDisk(id string, m matrix.Matrix) error {
 	if s.dir == "" {
 		return nil
@@ -193,41 +200,43 @@ func (s *dsStore) writeDisk(id string, m matrix.Matrix) error {
 	if fi, err := os.Stat(s.path(id)); err == nil && fi.Mode().IsRegular() {
 		return nil // already mirrored (content-addressed: bytes identical)
 	}
-	tmp, err := os.CreateTemp(s.dir, id+".tmp*")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := matrix.Encode(&buf, m, nil, nil, matrix.RowMajor); err != nil {
 		return err
 	}
-	if err := matrix.Encode(tmp, m, nil, nil, matrix.RowMajor); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), s.path(id))
+	return durable.WriteFileAtomic(s.path(id), buf.Bytes(), "dataset.write")
 }
 
 // readDisk loads a mirrored dataset and verifies its content address.
-// Call without holding the manager lock.
+// A mirror whose bytes fail to decode or whose digest no longer matches
+// its name is quarantined (renamed to "<id>.spb.corrupt") and reported
+// as ErrUnknownDataset — the repair paths already exist: a coordinator
+// re-pushes on 404, a client re-uploads the same bytes.  Call without
+// holding the manager lock.
 func (s *dsStore) readDisk(id string) (matrix.Matrix, error) {
 	if s.dir == "" || !validDatasetID(id) {
 		return matrix.Matrix{}, ErrUnknownDataset
 	}
-	f, err := os.Open(s.path(id))
+	data, err := durable.ReadFile(s.path(id), "dataset.read")
 	if err != nil {
 		return matrix.Matrix{}, ErrUnknownDataset
 	}
-	defer f.Close()
-	sf, err := matrix.Decode(f)
+	quarantine := func() {
+		_ = durable.Quarantine(s.path(id))
+		if s.noteCorrupt != nil {
+			s.noteCorrupt(id)
+		}
+	}
+	sf, err := matrix.Decode(bytes.NewReader(data))
 	if err != nil {
-		return matrix.Matrix{}, fmt.Errorf("jobs: dataset mirror %s: %w", id, err)
+		quarantine()
+		return matrix.Matrix{}, ErrUnknownDataset
 	}
 	// The file name claims the content; verify it, so a corrupted or
 	// hand-renamed mirror can never serve the wrong cells under this id.
 	if got := DatasetDigest(sf.M); got != id {
-		return matrix.Matrix{}, fmt.Errorf("jobs: dataset mirror %s holds digest %s", id, got)
+		quarantine()
+		return matrix.Matrix{}, ErrUnknownDataset
 	}
 	return sf.M, nil
 }

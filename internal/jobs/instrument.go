@@ -23,12 +23,21 @@ type mgrMetrics struct {
 	dsReloads  *metrics.Counter
 	dsEvicted  *metrics.Counter
 
-	queueWait   [numClasses]*metrics.Histogram
-	jobDuration [numClasses]*metrics.Histogram
-	stageIngest *metrics.Histogram
-	stagePrep   *metrics.Histogram
-	kernelWin   *metrics.Histogram
-	ckptWrite   *metrics.Histogram
+	// Durability / integrity plane.
+	ckptCorrupt      *metrics.Counter
+	dsCorrupt        *metrics.Counter
+	journalCorrupt   *metrics.Counter
+	journalRecords   *metrics.Counter
+	journalReplayed  *metrics.Counter
+	journalAppendErr *metrics.Counter
+
+	queueWait      [numClasses]*metrics.Histogram
+	jobDuration    [numClasses]*metrics.Histogram
+	stageIngest    *metrics.Histogram
+	stagePrep      *metrics.Histogram
+	kernelWin      *metrics.Histogram
+	ckptWrite      *metrics.Histogram
+	journalAppendD *metrics.Histogram
 }
 
 // newMgrMetrics registers the jobs-layer families on reg and resolves
@@ -54,28 +63,42 @@ func newMgrMetrics(reg *metrics.Registry) *mgrMetrics {
 	reg.Help("stage_prep_seconds", "Dataset preparation build time (cache misses only).")
 	reg.Help("kernel_window_seconds", "Wall time of one kernel permutation window.")
 	reg.Help("checkpoint_write_seconds", "Checkpoint store+mirror write latency.")
+	reg.Help("integrity_checkpoint_corrupt_total", "Checkpoint files that failed their CRC frame and were quarantined.")
+	reg.Help("integrity_dataset_corrupt_total", "Dataset mirrors that failed their content digest and were quarantined.")
+	reg.Help("integrity_journal_corrupt_total", "Journal frames dropped for a bad length, CRC or payload.")
+	reg.Help("journal_records_total", "Records durably appended to the job journal.")
+	reg.Help("journal_replayed_jobs_total", "Jobs re-admitted from the journal after a restart.")
+	reg.Help("journal_append_errors_total", "Journal appends or durability mirrors that failed (service continued).")
+	reg.Help("journal_append_seconds", "Latency of one fsync'd journal append.")
 
 	m := &mgrMetrics{
-		failed:     reg.Counter("jobs_failed_total"),
-		cancelled:  reg.Counter("jobs_cancelled_total"),
-		cacheHits:  reg.Counter("jobs_cache_hits_total"),
-		resumed:    reg.Counter("jobs_resumed_total"),
-		throttled:  reg.Counter("jobs_throttled_total"),
-		prepBuilds: reg.Counter("prep_builds_total"),
-		prepHits:   reg.Counter("prep_hits_total"),
-		dsAdded:    reg.Counter("datasets_added_total"),
-		dsHits:     reg.Counter("dataset_hits_total"),
-		dsReloads:  reg.Counter("dataset_reloads_total"),
-		dsEvicted:  reg.Counter("dataset_evictions_total"),
+		failed:           reg.Counter("jobs_failed_total"),
+		cancelled:        reg.Counter("jobs_cancelled_total"),
+		cacheHits:        reg.Counter("jobs_cache_hits_total"),
+		resumed:          reg.Counter("jobs_resumed_total"),
+		throttled:        reg.Counter("jobs_throttled_total"),
+		prepBuilds:       reg.Counter("prep_builds_total"),
+		prepHits:         reg.Counter("prep_hits_total"),
+		dsAdded:          reg.Counter("datasets_added_total"),
+		dsHits:           reg.Counter("dataset_hits_total"),
+		dsReloads:        reg.Counter("dataset_reloads_total"),
+		dsEvicted:        reg.Counter("dataset_evictions_total"),
+		ckptCorrupt:      reg.Counter("integrity_checkpoint_corrupt_total"),
+		dsCorrupt:        reg.Counter("integrity_dataset_corrupt_total"),
+		journalCorrupt:   reg.Counter("integrity_journal_corrupt_total"),
+		journalRecords:   reg.Counter("journal_records_total"),
+		journalReplayed:  reg.Counter("journal_replayed_jobs_total"),
+		journalAppendErr: reg.Counter("journal_append_errors_total"),
 		shed: map[string]*metrics.Counter{
 			"queue_full":   reg.Counter("jobs_shed_total", "reason", "queue_full"),
 			"queue_wait":   reg.Counter("jobs_shed_total", "reason", "queue_wait"),
 			"rate_limited": reg.Counter("jobs_shed_total", "reason", "rate_limited"),
 		},
-		stageIngest: reg.Histogram("stage_ingest_seconds", nil),
-		stagePrep:   reg.Histogram("stage_prep_seconds", nil),
-		kernelWin:   reg.Histogram("kernel_window_seconds", nil),
-		ckptWrite:   reg.Histogram("checkpoint_write_seconds", nil),
+		stageIngest:    reg.Histogram("stage_ingest_seconds", nil),
+		stagePrep:      reg.Histogram("stage_prep_seconds", nil),
+		kernelWin:      reg.Histogram("kernel_window_seconds", nil),
+		ckptWrite:      reg.Histogram("checkpoint_write_seconds", nil),
+		journalAppendD: reg.Histogram("journal_append_seconds", nil),
 	}
 	for c := JobClass(0); c < numClasses; c++ {
 		m.submitted[c] = reg.Counter("jobs_submitted_total", "class", c.String())

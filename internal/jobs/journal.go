@@ -1,0 +1,390 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sprint/internal/core"
+	"sprint/internal/durable"
+	"sprint/internal/faultinject"
+)
+
+// This file is the manager's write-ahead job journal: an append-only,
+// fsync'd log of job lifecycle records, so that a crashed or kill -9'd
+// daemon restarts knowing exactly which jobs were in flight.  On
+// restart the journal is replayed, every non-terminal job is re-built
+// from its submit record (dataset by content address from the disk
+// mirror) and re-admitted with its ORIGINAL id; running jobs then
+// resume from their newest valid checkpoint, so the recovered result is
+// bitwise identical to an uninterrupted run.
+//
+// Record framing: u32 little-endian payload length, u64 little-endian
+// CRC64 (ECMA) of the payload, then the JSON payload.  Appends are
+// fsync'd before the submission is acknowledged.  Replay stops at the
+// first frame that fails its length or CRC check — a torn tail from a
+// crash mid-append loses at most the final record, never the log — and
+// the file is truncated back to the valid prefix so later appends stay
+// readable.
+//
+// Record semantics (idempotent by job id; the LAST record wins):
+//
+//	submit  the job exists; payload rebuilds its Spec (dataset digest,
+//	        labels, canonical options, nprocs/every, tenant, class)
+//	start   a worker picked it up (progress hint only: resume identity
+//	        is the content key, not the lifecycle phase)
+//	ckpt    a checkpoint covering [0, next) was durably written
+//	done / fail / cancel
+//	        terminal — the job is never replayed
+//
+// Deliberately NOT journaled: cache hits (no work to redo) and
+// shutdown-driven cancellations (a SIGTERM'd daemon's queued and
+// running jobs are exactly the ones a restart must revive, so they
+// keep their pending journal state).
+//
+// Compaction: when the live file exceeds compactEvery frames it is
+// rewritten — one submit (plus latest ckpt hint) per pending job — via
+// an atomic rename, bounding the log by the number of live jobs rather
+// than the daemon's lifetime.
+
+// journalRecord is one journal frame's payload.
+type journalRecord struct {
+	T  string `json:"t"`
+	ID string `json:"id"`
+	// Key pins the content identity the replay recomputation must match;
+	// a mismatch marks the record corrupt rather than running the wrong
+	// analysis under a recycled id.
+	Key string `json:"key,omitempty"`
+	// Submit payload: the durable form of the Spec.  The matrix itself
+	// never enters the journal — Dataset is the content address of its
+	// .spb mirror.
+	Dataset string        `json:"dataset,omitempty"`
+	Labels  []int         `json:"labels,omitempty"`
+	Opt     *core.Options `json:"opt,omitempty"`
+	NProcs  int           `json:"nprocs,omitempty"`
+	Every   int64         `json:"every,omitempty"`
+	Tenant  string        `json:"tenant,omitempty"`
+	Class   string        `json:"class,omitempty"`
+	// Next is the checkpoint progress hint carried by ckpt records.
+	Next int64 `json:"next,omitempty"`
+}
+
+// journalEntry is the live, compaction-driving view of one job id.
+type journalEntry struct {
+	submit   *journalRecord // nil once terminal (payload released)
+	lastType string
+	next     int64
+}
+
+func (e *journalEntry) terminal() bool {
+	switch e.lastType {
+	case "done", "fail", "cancel":
+		return true
+	}
+	return false
+}
+
+var journalCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// journalFileName is the single live journal file inside JournalDir.
+const journalFileName = "journal.log"
+
+// jobJournal owns the append fd and the live entry view.  It has its
+// own mutex: appends from the Submit path run under the manager lock
+// (per-id record order is the manager's state order), while ckpt
+// records append from Save callbacks without it.
+type jobJournal struct {
+	mu           sync.Mutex
+	path         string
+	f            *os.File
+	frames       int
+	compactEvery int
+	entries      map[string]*journalEntry
+}
+
+// journalReplay is what openJournal learned from the existing log.
+type journalReplay struct {
+	// Pending lists the submit records of non-terminal jobs, in id
+	// order — the re-admission work list.
+	Pending []*journalRecord
+	// CkptNext maps pending ids to their newest journaled checkpoint
+	// index (progress hint; resume reads the checkpoint store).
+	CkptNext map[string]int64
+	// Frames and CorruptFrames count what the scan saw; MaxSeq is the
+	// highest job sequence number any record named.
+	Frames        int
+	CorruptFrames int
+	MaxSeq        int64
+}
+
+// appendFrame frames rec into buf.
+func appendFrame(buf []byte, rec *journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(payload, journalCRCTable))
+	return append(buf, payload...), nil
+}
+
+// scanJournal walks data frame by frame, calling visit for each valid
+// record.  It returns the number of valid frames, the byte length of
+// the valid prefix, and whether a bad frame stopped the scan.
+func scanJournal(data []byte, visit func(*journalRecord)) (frames int, validLen int, truncated bool) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 12 {
+			return frames, off, true
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint64(data[off+4:])
+		// A frame longer than the remaining file, or absurdly large, is
+		// a torn or corrupt length word.
+		if n < 2 || n > 1<<24 || off+12+n > len(data) {
+			return frames, off, true
+		}
+		payload := data[off+12 : off+12+n]
+		if crc64.Checksum(payload, journalCRCTable) != sum {
+			return frames, off, true
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.T == "" || rec.ID == "" {
+			return frames, off, true
+		}
+		visit(&rec)
+		frames++
+		off += 12 + n
+	}
+	return frames, off, false
+}
+
+// jobSeq parses a job id of the form "j%06d" back to its sequence
+// number; 0 for anything else.
+func jobSeq(id string) int64 {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// openJournal replays (and truncates to the valid prefix of) the log in
+// dir, then opens it for appending.
+func openJournal(dir string, compactEvery int) (*jobJournal, *journalReplay, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	if compactEvery < 1 {
+		compactEvery = 4096
+	}
+	jl := &jobJournal{
+		path:         filepath.Join(dir, journalFileName),
+		compactEvery: compactEvery,
+		entries:      make(map[string]*journalEntry),
+	}
+	rep := &journalReplay{CkptNext: make(map[string]int64)}
+
+	data, err := os.ReadFile(jl.path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("jobs: reading journal: %w", err)
+	}
+	frames, validLen, truncated := scanJournal(data, func(rec *journalRecord) {
+		if s := jobSeq(rec.ID); s > rep.MaxSeq {
+			rep.MaxSeq = s
+		}
+		jl.apply(rec)
+	})
+	jl.frames = frames
+	rep.Frames = frames
+	if truncated {
+		rep.CorruptFrames = 1
+	}
+
+	// Truncate the torn tail so future appends land after valid frames.
+	if truncated && validLen < len(data) {
+		if err := os.Truncate(jl.path, int64(validLen)); err != nil {
+			return nil, nil, fmt.Errorf("jobs: truncating torn journal tail: %w", err)
+		}
+	}
+
+	ids := make([]string, 0, len(jl.entries))
+	for id, e := range jl.entries {
+		if !e.terminal() && e.submit != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
+	for _, id := range ids {
+		rep.Pending = append(rep.Pending, jl.entries[id].submit)
+		if n := jl.entries[id].next; n > 0 {
+			rep.CkptNext[id] = n
+		}
+	}
+
+	f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	jl.f = f
+	return jl, rep, nil
+}
+
+// apply folds one record into the live entry view.  Callers hold jl.mu
+// (or run before concurrency exists, in openJournal).
+func (jl *jobJournal) apply(rec *journalRecord) {
+	e := jl.entries[rec.ID]
+	if e == nil {
+		e = &journalEntry{}
+		jl.entries[rec.ID] = e
+	}
+	e.lastType = rec.T
+	switch rec.T {
+	case "submit":
+		e.submit = rec
+	case "ckpt":
+		if rec.Next > e.next {
+			e.next = rec.Next
+		}
+	case "done", "fail", "cancel":
+		e.submit = nil // payload no longer needed; entry stays terminal
+	}
+}
+
+// append frames rec, writes and fsyncs it, and compacts when the file
+// has grown past the bound.  An append error leaves the journal open:
+// durability is degraded (the caller surfaces it), service is not.
+func (jl *jobJournal) append(rec *journalRecord) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("jobs: journal closed")
+	}
+	jl.apply(rec)
+	if err := faultinject.Before("journal.append", rec.ID); err != nil {
+		return err
+	}
+	frame, err := appendFrame(nil, rec)
+	if err != nil {
+		return err
+	}
+	frame, fault := faultinject.MutateWrite("journal.append", frame)
+	if _, err := jl.f.Write(frame); err != nil {
+		return err
+	}
+	if err := jl.f.Sync(); err != nil {
+		return err
+	}
+	if fault == faultinject.WriteTorn {
+		return fmt.Errorf("jobs: journal append: %w", faultinject.ErrInjected)
+	}
+	jl.frames++
+	if jl.frames >= jl.compactEvery {
+		return jl.compactLocked()
+	}
+	return nil
+}
+
+// compact rewrites the journal to one submit (+ checkpoint hint) per
+// pending job, dropping terminal history.
+func (jl *jobJournal) compact() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.compactLocked()
+}
+
+func (jl *jobJournal) compactLocked() error {
+	ids := make([]string, 0, len(jl.entries))
+	for id, e := range jl.entries {
+		if !e.terminal() && e.submit != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
+	var buf []byte
+	frames := 0
+	var err error
+	for _, id := range ids {
+		e := jl.entries[id]
+		if buf, err = appendFrame(buf, e.submit); err != nil {
+			return err
+		}
+		frames++
+		if e.next > 0 {
+			if buf, err = appendFrame(buf, &journalRecord{T: "ckpt", ID: id, Key: e.submit.Key, Next: e.next}); err != nil {
+				return err
+			}
+			frames++
+		}
+	}
+	if err := durable.WriteFileAtomic(jl.path, buf, "journal.compact"); err != nil {
+		return err
+	}
+	// The rename orphaned the append fd; reopen on the new inode.  Drop
+	// terminal entries from the live view — they are no longer on disk.
+	if jl.f != nil {
+		jl.f.Close()
+	}
+	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		jl.f = nil
+		return err
+	}
+	jl.f = f
+	jl.frames = frames
+	for id, e := range jl.entries {
+		if e.terminal() {
+			delete(jl.entries, id)
+		}
+	}
+	return nil
+}
+
+// pendingCount reports non-terminal journaled jobs (Stats surface).
+func (jl *jobJournal) pendingCount() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	n := 0
+	for _, e := range jl.entries {
+		if !e.terminal() && e.submit != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// close releases the append fd.
+func (jl *jobJournal) close() {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+// submitRecord builds the durable form of a job at admission time.
+func submitRecord(j *job, datasetDigest string) *journalRecord {
+	opt := j.spec.Opt
+	return &journalRecord{
+		T:       "submit",
+		ID:      j.id,
+		Key:     j.key,
+		Dataset: datasetDigest,
+		Labels:  j.spec.Labels,
+		Opt:     &opt,
+		NProcs:  j.spec.NProcs,
+		Every:   j.spec.Every,
+		Tenant:  j.tenant,
+		Class:   j.class.String(),
+	}
+}

@@ -1,0 +1,231 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sprint/internal/core"
+)
+
+func journalPath(dir string) string { return filepath.Join(dir, journalFileName) }
+
+// writeTestJournal appends n submit records (j000001..j00000n) through
+// the real append path and returns the directory.
+func writeTestJournal(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	jl, _, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.close()
+	for i := 1; i <= n; i++ {
+		opt := core.DefaultOptions()
+		rec := &journalRecord{
+			T: "submit", ID: fmt.Sprintf("j%06d", i), Key: fmt.Sprintf("k%d", i),
+			Dataset: "sha256:abc", Labels: []int{0, 0, 1, 1}, Opt: &opt,
+		}
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestJournalTornTailEveryByte is the crash-mid-append property test: a
+// journal cut at ANY byte offset must reopen cleanly, replay exactly the
+// records whose frames fit in the prefix, and accept appends afterwards.
+func TestJournalTornTailEveryByte(t *testing.T) {
+	const n = 4
+	dir := writeTestJournal(t, n)
+	full, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries, to know how many records each prefix holds.
+	var bounds []int
+	off := 0
+	for off < len(full) {
+		sz := int(uint32(full[off]) | uint32(full[off+1])<<8 | uint32(full[off+2])<<16 | uint32(full[off+3])<<24)
+		off += 12 + sz
+		bounds = append(bounds, off)
+	}
+	if len(bounds) != n {
+		t.Fatalf("found %d frames, want %d", len(bounds), n)
+	}
+	wantRecords := func(cut int) int {
+		k := 0
+		for _, b := range bounds {
+			if b <= cut {
+				k++
+			}
+		}
+		return k
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(journalPath(dir2), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jl, rep, err := openJournal(dir2, 0)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := wantRecords(cut)
+		if len(rep.Pending) != want {
+			t.Fatalf("cut %d: %d pending, want %d", cut, len(rep.Pending), want)
+		}
+		// A mid-frame cut counts as corruption and must have been
+		// truncated back to the last valid frame.
+		if cut > 0 && want < n && rep.CorruptFrames == 0 && cut != bounds[want-1] {
+			t.Fatalf("cut %d: torn tail not flagged", cut)
+		}
+		// The journal stays appendable after a torn tail.
+		opt := core.DefaultOptions()
+		if err := jl.append(&journalRecord{T: "submit", ID: "j999999", Key: "kx", Opt: &opt}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		jl.close()
+		_, rep2, err := openJournal(dir2, 0)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if len(rep2.Pending) != want+1 {
+			t.Fatalf("cut %d: %d pending after append, want %d", cut, len(rep2.Pending), want+1)
+		}
+	}
+}
+
+// TestJournalCRCFlip flips each byte of the middle record's payload in
+// turn; replay must stop at the damaged frame every time (never crash,
+// never deliver the mangled record).
+func TestJournalCRCFlip(t *testing.T) {
+	dir := writeTestJournal(t, 3)
+	full, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate frame 2.
+	sz0 := int(uint32(full[0]) | uint32(full[1])<<8 | uint32(full[2])<<16 | uint32(full[3])<<24)
+	f1 := 12 + sz0
+	sz1 := int(uint32(full[f1]) | uint32(full[f1+1])<<8 | uint32(full[f1+2])<<16 | uint32(full[f1+3])<<24)
+	for off := f1; off < f1+12+sz1; off++ {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x01
+		dir2 := t.TempDir()
+		if err := os.WriteFile(journalPath(dir2), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jl, rep, err := openJournal(dir2, 0)
+		if err != nil {
+			t.Fatalf("flip@%d: %v", off, err)
+		}
+		jl.close()
+		if rep.CorruptFrames == 0 {
+			t.Fatalf("flip@%d: corruption not counted", off)
+		}
+		// Only the record before the damage survives; the flipped frame
+		// and everything after it is dropped whole.
+		if len(rep.Pending) != 1 || rep.Pending[0].ID != "j000001" {
+			t.Fatalf("flip@%d: pending %v", off, rep.Pending)
+		}
+	}
+}
+
+// TestJournalLastRecordWins pins the idempotent-by-id semantics:
+// duplicate submits collapse to one entry, and a terminal record removes
+// the job from replay no matter how many earlier records name it.
+func TestJournalLastRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	jl, _, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	sub := func(id string) *journalRecord {
+		return &journalRecord{T: "submit", ID: id, Key: "k-" + id, Opt: &opt}
+	}
+	for _, rec := range []*journalRecord{
+		sub("j000001"), sub("j000001"), // duplicate submit
+		{T: "start", ID: "j000001", Key: "k-j000001"},
+		sub("j000002"),
+		{T: "ckpt", ID: "j000002", Key: "k-j000002", Next: 500},
+		{T: "ckpt", ID: "j000002", Key: "k-j000002", Next: 300}, // stale hint, must not regress
+		sub("j000003"),
+		{T: "done", ID: "j000003"},
+		sub("j000004"),
+		{T: "cancel", ID: "j000004"},
+	} {
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jl.close()
+
+	_, rep, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 2 {
+		t.Fatalf("pending %d, want 2 (got %+v)", len(rep.Pending), rep.Pending)
+	}
+	if rep.Pending[0].ID != "j000001" || rep.Pending[1].ID != "j000002" {
+		t.Fatalf("pending order %v", rep.Pending)
+	}
+	if rep.CkptNext["j000002"] != 500 {
+		t.Fatalf("ckpt hint %d, want 500", rep.CkptNext["j000002"])
+	}
+	if rep.MaxSeq != 4 {
+		t.Fatalf("MaxSeq %d, want 4", rep.MaxSeq)
+	}
+}
+
+// TestJournalCompaction verifies the size bound: terminal churn is
+// rewritten away, pending jobs (and their checkpoint hints) survive, and
+// the reopened append fd lands on the new inode.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	jl, _, err := openJournal(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	for i := 1; i <= 20; i++ {
+		id := fmt.Sprintf("j%06d", i)
+		if err := jl.append(&journalRecord{T: "submit", ID: id, Key: "k" + id, Opt: &opt}); err != nil {
+			t.Fatal(err)
+		}
+		if i < 20 { // the last job stays live
+			if err := jl.append(&journalRecord{T: "done", ID: id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := jl.append(&journalRecord{T: "ckpt", ID: "j000020", Key: "kj000020", Next: 700}); err != nil {
+		t.Fatal(err)
+	}
+	if jl.frames >= 8 {
+		t.Fatalf("journal not compacted: %d frames", jl.frames)
+	}
+	// Appends after compaction must reach the NEW file, not the orphaned
+	// pre-rename inode.
+	if err := jl.append(&journalRecord{T: "start", ID: "j000020", Key: "kj000020"}); err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+
+	_, rep, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 1 || rep.Pending[0].ID != "j000020" {
+		t.Fatalf("pending after compaction: %+v", rep.Pending)
+	}
+	if rep.CkptNext["j000020"] != 700 {
+		t.Fatalf("ckpt hint lost in compaction: %v", rep.CkptNext)
+	}
+}

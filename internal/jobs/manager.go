@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sprint/internal/core"
@@ -57,6 +58,20 @@ type Config struct {
 	// moment precompute state) kept per dataset, one per distinct
 	// (labels, test, side, nonpara, NA) combination.  Defaults to 8.
 	MaxPrepsPerDataset int
+	// JournalDir, when non-empty, enables the write-ahead job journal:
+	// every admitted job is durably recorded before Submit returns, and
+	// a restarted manager replays the journal, re-admits every
+	// non-terminal job under its original id, and resumes running jobs
+	// from their newest valid checkpoint — results bitwise identical to
+	// an uninterrupted run.  Matrix submissions are mirrored into
+	// DatasetDir by content address so their cells survive too (without
+	// a DatasetDir they are replayed as failed: unrecoverable).  Empty
+	// disables journaling.
+	JournalDir string
+	// JournalCompactEvery bounds the journal file: past this many
+	// frames it is compacted to one submit record per live job.
+	// Defaults to 4096.
+	JournalCompactEvery int
 
 	// Metrics is the registry the manager instruments (queue depth and
 	// wait, per-stage timings, shed/throttle decisions, dataset-plane
@@ -277,6 +292,26 @@ type Stats struct {
 	// Tenants lists the busiest (top 32) with admitted/throttled counts.
 	TenantsActive int          `json:"tenants_active"`
 	Tenants       []TenantStat `json:"tenants,omitempty"`
+
+	// ---- Durability / integrity plane (PR 8) ----
+
+	// Recovering reports that journal replay re-admission is still in
+	// progress (the readiness probe's signal).
+	Recovering bool `json:"recovering"`
+	// JournalPending counts journaled jobs not yet terminal;
+	// JournalReplayed counts jobs re-admitted by this process's replay;
+	// JournalCorruptFrames counts torn/corrupt frames dropped at replay;
+	// JournalAppendErrors counts appends that failed (durability
+	// degraded, service continued).
+	JournalPending       int   `json:"journal_pending"`
+	JournalReplayed      int64 `json:"journal_replayed"`
+	JournalCorruptFrames int64 `json:"journal_corrupt_frames"`
+	JournalAppendErrors  int64 `json:"journal_append_errors"`
+	// CorruptCheckpoints and CorruptDatasets count integrity-frame or
+	// digest failures detected on disk reads; each one was quarantined
+	// and the affected work recomputed from an older prefix or scratch.
+	CorruptCheckpoints int64 `json:"corrupt_checkpoints"`
+	CorruptDatasets    int64 `json:"corrupt_datasets"`
 }
 
 // Manager owns the queue, the worker pool, the result cache and the
@@ -298,6 +333,12 @@ type Manager struct {
 	tenants *tenantLimiter
 	drain   *drainMeter
 	met     *mgrMetrics
+
+	// journal is the write-ahead job log (nil when disabled);
+	// recovering is set while replayed jobs are being re-admitted.
+	journal         *jobJournal
+	recovering      atomic.Bool
+	journalAppendEr atomic.Int64
 	// onWindow feeds kernel-window wall times into the histogram; built
 	// once here so the per-job RunControl assignment allocates nothing.
 	onWindow func(perms int64, elapsed time.Duration)
@@ -345,12 +386,203 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.stats.DatasetEvictions += int64(n)
 		m.met.dsEvicted.Add(int64(n))
 	}
+	// Integrity observers: quarantined checkpoint generations and
+	// corrupt dataset mirrors surface as counters, never as job errors
+	// — the read paths fall back (older prefix, B=0, re-push).
+	m.ckpts.noteCorrupt = func(key string) {
+		m.stats.CorruptCheckpoints++
+		m.met.ckptCorrupt.Inc()
+	}
+	m.datasets.noteCorrupt = func(id string) {
+		m.mu.Lock()
+		m.stats.CorruptDatasets++
+		m.mu.Unlock()
+		m.met.dsCorrupt.Inc()
+	}
+
+	// Journal replay happens BEFORE workers start: the replayed state
+	// (sequence number, pending set) must be complete before any new
+	// submission can mint an id or any worker can pop a job.
+	var replay *journalReplay
+	if cfg.JournalDir != "" {
+		var err error
+		m.journal, replay, err = openJournal(cfg.JournalDir, cfg.JournalCompactEvery)
+		if err != nil {
+			return nil, err
+		}
+		m.seq = replay.MaxSeq
+		m.stats.JournalCorruptFrames = int64(replay.CorruptFrames)
+		if replay.CorruptFrames > 0 {
+			m.met.journalCorrupt.Add(int64(replay.CorruptFrames))
+		}
+	}
+
 	m.registerGauges(cfg.Metrics)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if replay != nil && len(replay.Pending) > 0 {
+		// Re-admission runs in the background (dataset reloads can be
+		// big); Recovering() stays true — and the readiness probe not
+		// ready — until every journaled job is queued or failed.
+		m.recovering.Store(true)
+		m.wg.Add(1)
+		go m.recover(replay)
+	} else if m.journal != nil {
+		// Nothing to replay: compact away the previous life's history.
+		m.journal.compact()
+	}
 	return m, nil
+}
+
+// Recovering reports whether journal replay re-admission is still in
+// progress.  The HTTP readiness probe reports not-ready while true.
+func (m *Manager) Recovering() bool { return m.recovering.Load() }
+
+// recover re-admits every non-terminal journaled job, in original
+// submission order and under its original id.  Jobs whose dataset is
+// gone (no mirror — e.g. a matrix submission journaled without a
+// DatasetDir) are recorded as Failed: unrecoverable, but visible.
+func (m *Manager) recover(replay *journalReplay) {
+	defer m.wg.Done()
+	defer m.recovering.Store(false)
+	for _, rec := range replay.Pending {
+		if !m.recoverJob(rec) {
+			return // manager closed mid-recovery
+		}
+	}
+	// Replay plus re-admission re-journaled nothing; rewrite the log to
+	// the live set so the next restart replays one submit per job.
+	m.journal.compact()
+}
+
+// recoverJob rebuilds one journaled job and re-admits it.  It returns
+// false only when the manager is closing (stop recovery); corrupt or
+// unrecoverable records are consumed and surfaced, not fatal.
+func (m *Manager) recoverJob(rec *journalRecord) bool {
+	spec := Spec{
+		DatasetID: rec.Dataset,
+		Labels:    rec.Labels,
+		NProcs:    rec.NProcs,
+		Every:     rec.Every,
+		Tenant:    rec.Tenant,
+		Class:     rec.Class,
+	}
+	if rec.Opt != nil {
+		spec.Opt = *rec.Opt
+	}
+	fail := func(err error) bool {
+		now := m.cfg.Clock()
+		j := &job{
+			id: rec.ID, key: rec.Key, tenant: rec.Tenant,
+			state: Failed, err: fmt.Errorf("jobs: unrecoverable after restart: %w", err),
+			submittedAt: now, finishedAt: now,
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return false
+		}
+		m.insertLocked(j)
+		m.stats.Failed++
+		m.mu.Unlock()
+		m.met.failed.Inc()
+		m.journalAppend(&journalRecord{T: "fail", ID: rec.ID, Key: rec.Key})
+		return true
+	}
+
+	canon, err := core.CanonicalOptions(spec.Opt)
+	if err != nil {
+		return fail(err)
+	}
+	spec.Opt = canon
+	class, err := classFor(spec.Class, canon.B, m.cfg.InteractiveMaxB)
+	if err != nil {
+		return fail(err)
+	}
+	if spec.NProcs < 1 {
+		spec.NProcs = m.cfg.DefaultNProcs
+	}
+	if spec.Every < 1 {
+		spec.Every = m.cfg.DefaultEvery
+	}
+	// The journaled key must equal the key this process would compute:
+	// anything else is a corrupt or cross-version record, and running
+	// the wrong analysis under a recycled id would be worse than
+	// dropping it.
+	key, err := jobKey(rec.Dataset, rec.Labels, canon)
+	if err != nil || key != rec.Key {
+		m.met.journalCorrupt.Inc()
+		m.mu.Lock()
+		m.stats.JournalCorruptFrames++
+		m.mu.Unlock()
+		return true
+	}
+	ds, err := m.datasetRef(rec.Dataset)
+	if err != nil {
+		return fail(err)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.releaseDatasetLocked(ds)
+		m.mu.Unlock()
+		return false
+	}
+	now := m.cfg.Clock()
+	j := &job{
+		id:          rec.ID,
+		key:         key,
+		spec:        spec,
+		ds:          ds,
+		tenant:      rec.Tenant,
+		class:       class,
+		enqueueSeq:  jobSeq(rec.ID),
+		enqueuedAt:  now,
+		state:       Queued,
+		total:       canon.B,
+		submittedAt: now,
+	}
+	m.insertLocked(j)
+	m.stats.JournalReplayed++
+	m.mu.Unlock()
+	m.met.journalReplayed.Inc()
+
+	// The queue may be momentarily full of other replayed jobs; unlike
+	// Submit, recovery must not shed — these jobs were already admitted
+	// in a previous life.  Retry until space frees or the manager closes.
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.releaseJobLocked(j)
+			m.mu.Unlock()
+			return false
+		}
+		pushed := m.queue.tryPush(j)
+		m.mu.Unlock()
+		if pushed {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// journalAppend writes one record to the journal (no-op when
+// journaling is disabled).  Append failures degrade durability, not
+// service: they are counted and the job proceeds.
+func (m *Manager) journalAppend(rec *journalRecord) {
+	if m.journal == nil {
+		return
+	}
+	start := time.Now()
+	if err := m.journal.append(rec); err != nil {
+		m.journalAppendEr.Add(1)
+		m.met.journalAppendErr.Inc()
+		return
+	}
+	m.met.journalAppendD.ObserveDuration(time.Since(start))
+	m.met.journalRecords.Inc()
 }
 
 // Metrics returns the registry the manager instruments.
@@ -473,6 +705,7 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 	// stall API handlers.
 	var data matrix.Matrix
 	var ds *dsEntry
+	datasetDigest := spec.DatasetID
 	if spec.DatasetID != "" {
 		ds, err = m.datasetRef(spec.DatasetID)
 		if err != nil {
@@ -486,6 +719,20 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		}
 		m.met.stageIngest.ObserveDuration(time.Since(ingestStart))
 		spec.X, spec.XFlat = nil, nil // data supersedes the submission payload
+		if m.journal != nil {
+			// The journal records datasets by content address only, so a
+			// matrix submission becomes durable by mirroring its cells
+			// into the dataset plane first.  The digest equals the one
+			// inside the content key, so the replayed dataset-id job
+			// shares this job's cache and checkpoint identity exactly.
+			// A failed mirror degrades durability (the job would replay
+			// as unrecoverable), never service.
+			datasetDigest = DatasetDigest(data)
+			if err := m.datasets.writeDisk(datasetDigest, data); err != nil {
+				m.journalAppendEr.Add(1)
+				m.met.journalAppendErr.Inc()
+			}
+		}
 	}
 
 	m.mu.Lock()
@@ -520,6 +767,11 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 	m.stats.Submitted++
 	m.met.submitted[class].Inc()
 	m.insertLocked(j)
+	// The write-ahead record lands (fsync'd) before Submit returns:
+	// once the client holds the job id, a crash cannot forget the job.
+	// Appending under m.mu is what orders this record before any
+	// lifecycle record a fast worker could write.
+	m.journalAppend(submitRecord(j, datasetDigest))
 	return j.status(), nil
 }
 
@@ -604,6 +856,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		m.releaseJobLocked(j)
 		m.stats.Cancelled++
 		m.met.cancelled.Inc()
+		m.journalAppend(&journalRecord{T: "cancel", ID: j.id, Key: j.key})
 	case Running:
 		j.cancelRequested = true
 		if j.cancel != nil {
@@ -648,6 +901,11 @@ func (m *Manager) StatsSnapshot() Stats {
 	s.QueuePolicy = m.cfg.QueuePolicy
 	s.QueuedInteractive, s.QueuedBulk = qi, qb
 	s.DrainRatePerSec = drainRate
+	s.Recovering = m.recovering.Load()
+	s.JournalAppendErrors = m.journalAppendEr.Load()
+	if m.journal != nil {
+		s.JournalPending = m.journal.pendingCount()
+	}
 	s.TenantsActive = tenantsActive
 	s.Tenants = tenants
 	if s.Submitted > 0 {
@@ -682,6 +940,9 @@ func (m *Manager) Close() {
 	m.cancelAll()
 	m.queue.close()
 	m.wg.Wait()
+	if m.journal != nil {
+		m.journal.close()
+	}
 }
 
 // execute runs one job's analysis: over the shared preparation for
@@ -742,6 +1003,7 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		j.done = resume.Done
 		m.stats.Resumed++
 	}
+	m.journalAppend(&journalRecord{T: "start", ID: j.id, Key: j.key})
 	m.mu.Unlock()
 	if resume != nil {
 		m.met.resumed.Inc()
@@ -768,6 +1030,10 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 				return err
 			}
 			m.met.ckptWrite.ObserveDuration(time.Since(writeStart))
+			// The ckpt record is a progress hint (resume reads the
+			// checkpoint store by content key); it is journaled only
+			// AFTER the checkpoint itself is durably on disk.
+			m.journalAppend(&journalRecord{T: "ckpt", ID: j.id, Key: j.key, Next: ck.Next})
 			if m.cfg.OnCheckpoint != nil {
 				m.cfg.OnCheckpoint(j.id, ck.Done, ck.TotalB)
 			}
@@ -839,6 +1105,7 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		m.ckpts.drop(j.key)
 		m.stats.Completed++
 		m.met.completed[j.class].Inc()
+		m.journalAppend(&journalRecord{T: "done", ID: j.id, Key: j.key})
 	case j.cancelRequested || errors.Is(err, context.Canceled):
 		// Cancelled (or shut down): the checkpoint store keeps the last
 		// window so an identical resubmission resumes from it.
@@ -846,10 +1113,18 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		j.err = err
 		m.stats.Cancelled++
 		m.met.cancelled.Inc()
+		if j.cancelRequested {
+			// Only USER cancellations are journaled terminal.  A
+			// shutdown-driven cancellation leaves the job pending in the
+			// journal on purpose: those are exactly the jobs a restart
+			// must revive and resume.
+			m.journalAppend(&journalRecord{T: "cancel", ID: j.id, Key: j.key})
+		}
 	default:
 		j.state = Failed
 		j.err = err
 		m.stats.Failed++
 		m.met.failed.Inc()
+		m.journalAppend(&journalRecord{T: "fail", ID: j.id, Key: j.key})
 	}
 }

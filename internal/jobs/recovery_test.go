@@ -1,0 +1,446 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sprint/internal/core"
+	"sprint/internal/faultinject"
+	"sprint/internal/microarray"
+)
+
+// durableDirs is one crash-safe store layout shared across "restarts".
+type durableDirs struct {
+	journal, ckpt, ds string
+}
+
+func newDurableDirs(t *testing.T) durableDirs {
+	t.Helper()
+	root := t.TempDir()
+	return durableDirs{
+		journal: filepath.Join(root, "journal"),
+		ckpt:    filepath.Join(root, "checkpoints"),
+		ds:      filepath.Join(root, "datasets"),
+	}
+}
+
+func (d durableDirs) config(workers int) Config {
+	return Config{
+		Workers:       workers,
+		JournalDir:    d.journal,
+		CheckpointDir: d.ckpt,
+		DatasetDir:    d.ds,
+	}
+}
+
+// waitRecoveredTerminal waits for a replayed job to surface under its
+// original id and reach a terminal state.
+func waitRecoveredTerminal(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := m.Get(id); err == nil && st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reappear and finish after restart", id)
+	return Status{}
+}
+
+// recoverySpec is a job long enough to be interrupted mid-flight: the
+// restart tests need the daemon to die while permutations are genuinely
+// outstanding, so B is large relative to the checkpoint window.
+func recoverySpec(t *testing.T, seed uint64) Spec {
+	t.Helper()
+	data, err := microarray.Generate(microarray.GenOptions{
+		Genes: 100, Samples: 20, Classes: 2,
+		DiffFraction: 0.2, EffectSize: 2.0, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.B = 100000
+	opt.Seed = seed
+	return Spec{X: data.X, Labels: data.Labels, Opt: opt, NProcs: 1, Every: 1000}
+}
+
+// TestRestartReplaysInterruptedJobs is the tentpole acceptance test: a
+// manager carrying one running and several queued jobs is shut down;
+// a second manager over the same directories must revive every job
+// under its original id and finish each with results bitwise identical
+// to an uninterrupted run.
+func TestRestartReplaysInterruptedJobs(t *testing.T) {
+	dirs := newDurableDirs(t)
+	specs := []Spec{recoverySpec(t, 1), recoverySpec(t, 2), recoverySpec(t, 3)}
+
+	m1, err := NewManager(dirs.config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(specs))
+	for i, sp := range specs {
+		st, err := m1.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	// Let the first job into its permutation loop, then "crash".
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m1.Get(ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == Running && st.Done > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m1.Close()
+
+	m2, err := NewManager(dirs.config(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for i, id := range ids {
+		st := waitRecoveredTerminal(t, m2, id)
+		if st.State != Done {
+			t.Fatalf("job %s replayed to %s (%s), want done", id, st.State, st.Error)
+		}
+		res, _, err := m2.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.MaxT(specs[i].X, specs[i].Labels, specs[i].Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFloats(t, fmt.Sprintf("job %d AdjP", i), res.AdjP, want.AdjP)
+		sameFloats(t, fmt.Sprintf("job %d RawP", i), res.RawP, want.RawP)
+		sameFloats(t, fmt.Sprintf("job %d Stat", i), res.Stat, want.Stat)
+	}
+	s := m2.StatsSnapshot()
+	if s.JournalReplayed != int64(len(ids)) {
+		t.Fatalf("JournalReplayed %d, want %d", s.JournalReplayed, len(ids))
+	}
+	if s.Recovering {
+		t.Fatal("still recovering after all jobs finished")
+	}
+}
+
+// TestRestartResumesFromCheckpoint pins that replay does not recompute
+// from zero when a durable checkpoint covers a prefix.
+func TestRestartResumesFromCheckpoint(t *testing.T) {
+	dirs := newDurableDirs(t)
+	spec := recoverySpec(t, 7)
+
+	ckptDone := make(chan struct{}, 8)
+	cfg := dirs.config(1)
+	cfg.OnCheckpoint = func(id string, done, total int64) {
+		select {
+		case ckptDone <- struct{}{}:
+		default:
+		}
+	}
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ckptDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no checkpoint written")
+	}
+	if got, err := m1.Get(st.ID); err != nil || got.State.Terminal() {
+		t.Fatalf("job finished before the crash (%v %v); bump recoverySpec's B", got.State, err)
+	}
+	m1.Close()
+
+	m2, err := NewManager(dirs.config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	fin := waitRecoveredTerminal(t, m2, st.ID)
+	if fin.State != Done {
+		t.Fatalf("replayed job %s (%s)", fin.State, fin.Error)
+	}
+	if fin.ResumedFrom <= 0 {
+		t.Fatalf("ResumedFrom %d, want a checkpointed prefix", fin.ResumedFrom)
+	}
+	res, _, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MaxT(spec.X, spec.Labels, spec.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFloats(t, "AdjP", res.AdjP, want.AdjP)
+}
+
+// TestRestartWithCorruptCheckpoint flips bytes in the newest checkpoint
+// generation: replay must quarantine it, fall back (older generation or
+// B=0) and still converge to the bit-exact result.
+func TestRestartWithCorruptCheckpoint(t *testing.T) {
+	dirs := newDurableDirs(t)
+	spec := recoverySpec(t, 9)
+
+	ckptDone := make(chan struct{}, 8)
+	cfg := dirs.config(1)
+	cfg.OnCheckpoint = func(id string, done, total int64) {
+		select {
+		case ckptDone <- struct{}{}:
+		default:
+		}
+	}
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ckptDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no checkpoint written")
+	}
+	if got, err := m1.Get(st.ID); err != nil || got.State.Terminal() {
+		t.Fatalf("job finished before the crash (%v %v); bump recoverySpec's B", got.State, err)
+	}
+	m1.Close()
+
+	// Damage every current-generation checkpoint file (not .prev).
+	files, err := os.ReadDir(dirs.ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".prev") || strings.HasSuffix(f.Name(), ".corrupt") {
+			continue
+		}
+		p := filepath.Join(dirs.ckpt, f.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	if damaged == 0 {
+		t.Fatal("no checkpoint file to damage")
+	}
+
+	m2, err := NewManager(dirs.config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	fin := waitRecoveredTerminal(t, m2, st.ID)
+	if fin.State != Done {
+		t.Fatalf("replayed job %s (%s)", fin.State, fin.Error)
+	}
+	res, _, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MaxT(spec.X, spec.Labels, spec.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFloats(t, "AdjP", res.AdjP, want.AdjP)
+	sameFloats(t, "RawP", res.RawP, want.RawP)
+	if s := m2.StatsSnapshot(); s.CorruptCheckpoints == 0 {
+		t.Fatal("corrupt checkpoint not counted")
+	}
+	// No .corrupt file remains here: the finished job's drop() removes
+	// every generation — TestCkptStoreQuarantine pins the quarantine
+	// rename itself.
+}
+
+// TestCkptStoreQuarantine pins the disk-level contract: a checkpoint
+// file that fails its CRC frame is renamed to .corrupt (kept for
+// forensics, never re-read) and the .prev generation serves the resume.
+func TestCkptStoreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newCkptStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupted []string
+	s.noteCorrupt = func(key string) { corrupted = append(corrupted, key) }
+
+	older := &core.Checkpoint{Next: 100}
+	newer := &core.Checkpoint{Next: 200}
+	if err := s.writeDisk("k1", older); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.writeDisk("k1", newer); err != nil { // rotates older to .prev
+		t.Fatal(err)
+	}
+	p := s.path("k1")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := s.load("k1")
+	if got == nil || got.Next != 100 {
+		t.Fatalf("load after corruption: %+v, want the .prev generation (Next=100)", got)
+	}
+	if len(corrupted) != 1 || corrupted[0] != "k1" {
+		t.Fatalf("noteCorrupt calls %v", corrupted)
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("damaged file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("damaged file still at the live path: %v", err)
+	}
+}
+
+// TestRestartWithDatasetGone pins the unrecoverable path: a journaled
+// job whose .spb mirror vanished is replayed as Failed — visible, with
+// the reason — instead of hanging or crashing recovery.
+func TestRestartWithDatasetGone(t *testing.T) {
+	dirs := newDurableDirs(t)
+	spec := recoverySpec(t, 4)
+
+	m1, err := NewManager(dirs.config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	if err := os.RemoveAll(dirs.ds); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(dirs.config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	fin := waitRecoveredTerminal(t, m2, st.ID)
+	if fin.State != Failed || !strings.Contains(fin.Error, "unrecoverable") {
+		t.Fatalf("replayed job %s (%q), want unrecoverable failure", fin.State, fin.Error)
+	}
+}
+
+// TestChaosMatrix drives the fault plane end to end over three seeds:
+// inject checkpoint corruption, journal append failures and dataset
+// mirror damage while jobs run, "crash", restart clean, and require
+// that every result the system produces afterwards is bitwise identical
+// to the uninterrupted reference.  Failed-but-visible jobs are allowed
+// (that is the degraded-durability contract); wrong counts are not.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is slow")
+	}
+	want, wantErr := core.MaxT(recoverySpec(t, 21).X, recoverySpec(t, 21).Labels, recoverySpec(t, 21).Opt)
+	if wantErr != nil {
+		t.Fatal(wantErr)
+	}
+	for seed := 1; seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dirs := newDurableDirs(t)
+			spec := recoverySpec(t, 21)
+			faultSpec := fmt.Sprintf(
+				"seed=%d;ckpt.write:corrupt:n=%d;journal.append:error:n=%d;dataset.write:corrupt:n=%d",
+				seed, seed, seed+3, 4-seed)
+			if _, err := faultinject.Setup(faultSpec); err != nil {
+				t.Fatal(err)
+			}
+			defer faultinject.Disable()
+
+			m1, err := NewManager(dirs.config(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m1.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Let it make some progress under fire, then crash.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				got, err := m1.Get(st.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.State.Terminal() || got.Done > 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("job made no progress")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			m1.Close()
+			faultinject.Disable()
+
+			m2, err := NewManager(dirs.config(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			// Whatever survived the storm must finish correct; a job the
+			// faults failed outright (or kept out of the journal) is
+			// resubmitted below and must compute — or cache-hit — to the
+			// exact same counts.
+			deadline = time.Now().Add(30 * time.Second)
+			for m2.Recovering() {
+				if time.Now().After(deadline) {
+					t.Fatal("recovery did not finish")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if _, err := m2.Get(st.ID); err == nil {
+				waitTerminal(t, m2, st.ID)
+			}
+			st2, err := m2.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fin := waitTerminal(t, m2, st2.ID)
+			if fin.State != Done {
+				t.Fatalf("post-chaos submission %s (%s)", fin.State, fin.Error)
+			}
+			res, _, err := m2.Result(st2.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFloats(t, "AdjP", res.AdjP, want.AdjP)
+			sameFloats(t, "RawP", res.RawP, want.RawP)
+			sameFloats(t, "Stat", res.Stat, want.Stat)
+		})
+	}
+}
