@@ -53,6 +53,8 @@ func run(args []string, w io.Writer) error {
 	jsonServe := fs.Bool("json-serve", false, "run the serving-plane saturation sweep (admission control under 1x/2x/4x load), emit JSON, and exit")
 	jsonDist := fs.Bool("json-dist", false, "run the distributed-scaling sweep (coordinator + 1/2/4 in-process workers, bitwise-checked), emit JSON, and exit")
 	jsonRecover := fs.Bool("json-recover", false, "run the crash-recovery sweep (journal replay latency vs queue depth, bitwise-checked), emit JSON, and exit")
+	jsonSeq := fs.Bool("json-seq", false, "run the exact-vs-sequential sweep on the paper workload, emit JSON, and exit")
+	seqPerms := fs.String("seq-perms", "10000,100000,1000000", "sequential sweep: comma-separated planned permutation counts")
 	distPerms := fs.Int64("dist-perms", 30000, "distributed sweep: permutation count")
 	recoverPerms := fs.Int64("recover-perms", 100000, "recovery sweep: permutation count per interrupted job")
 	serveSeconds := fs.Float64("serve-seconds", 2, "saturation sweep: offered-load duration per level, seconds")
@@ -77,6 +79,13 @@ func run(args []string, w io.Writer) error {
 	}
 	if *jsonRecover {
 		return emitJSONRecover(w, *genes, *recoverPerms)
+	}
+	if *jsonSeq {
+		perms, err := parseSeqPerms(*seqPerms)
+		if err != nil {
+			return err
+		}
+		return emitJSONSeq(w, *genes, perms)
 	}
 	if *jsonServe {
 		levels, err := parseServeLevels(*serveLevels)

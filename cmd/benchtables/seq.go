@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sprint"
+	"sprint/internal/core"
+)
+
+// The -json-seq mode emits the sequential-engine acceptance data CI
+// tracks as BENCH_seq.json: for each planned B on the paper's Welch-t
+// workload, one exact run and one sequential run of the same plan, with
+// wall times, effective-permutation statistics and the worst p-value
+// drift between the two.  The headline number is MedianSavingsX — the
+// planned B over the median per-row effective count.
+
+// seqRunJSON is one planned-B comparison row.
+type seqRunJSON struct {
+	B              int64   `json:"b"`
+	ExactWallNs    int64   `json:"exact_wall_ns"`
+	SeqWallNs      int64   `json:"seq_wall_ns"`
+	SeqMergedB     int64   `json:"seq_b"` // permutations the sequential job ran
+	RowsStopped    int     `json:"rows_stopped"`
+	PermsSaved     int64   `json:"perms_saved"`
+	MedianBEff     int64   `json:"median_b_eff"`
+	MeanBEff       float64 `json:"mean_b_eff"`
+	MedianSavingsX float64 `json:"median_savings_x"` // B / median bEff
+	MaxAbsDeltaRaw float64 `json:"max_abs_delta_raw_p"`
+	MaxAbsDeltaAdj float64 `json:"max_abs_delta_adj_p"`
+}
+
+type seqBenchJSON struct {
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Genes     int          `json:"genes"`
+	Samples   int          `json:"samples"`
+	Test      string       `json:"test"`
+	Alpha     float64      `json:"target_alpha"`
+	Tolerance float64      `json:"p_tolerance"`
+	Runs      []seqRunJSON `json:"runs"`
+}
+
+// emitJSONSeq runs the exact-versus-sequential sweep and writes one JSON
+// document.
+func emitJSONSeq(w io.Writer, genes int, perms []int64) error {
+	opt := sprint.PaperDataset()
+	opt.Genes = genes
+	data, err := sprint.GenerateDataset(opt)
+	if err != nil {
+		return err
+	}
+	nprocs := runtime.NumCPU()
+	out := seqBenchJSON{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Genes: genes, Samples: opt.Samples, Test: "t",
+	}
+
+	for _, b := range perms {
+		exactOpt := sprint.DefaultOptions()
+		exactOpt.B = b
+		exactOpt.Seed = 42
+		exactOpt.Mode = sprint.ModeExact
+		t0 := time.Now()
+		exact, err := sprint.Run(data.X, data.Labels, exactOpt, sprint.RunControl{NProcs: nprocs})
+		if err != nil {
+			return err
+		}
+		exactWall := time.Since(t0)
+
+		seqOpt := exactOpt
+		seqOpt.Mode = sprint.ModeSequential
+		t0 = time.Now()
+		seq, err := sprint.Run(data.X, data.Labels, seqOpt, sprint.RunControl{NProcs: nprocs})
+		if err != nil {
+			return err
+		}
+		seqWall := time.Since(t0)
+		// The knobs the engine actually ran under (defaults fill at
+		// canonicalisation).
+		canon, err := core.CanonicalOptions(seqOpt)
+		if err != nil {
+			return err
+		}
+		out.Alpha, out.Tolerance = canon.SeqAlpha, canon.SeqTolerance
+
+		var bEffs []int64
+		var sum float64
+		var maxRaw, maxAdj float64
+		for i := range seq.RawP {
+			if math.IsNaN(seq.Stat[i]) {
+				continue
+			}
+			bEffs = append(bEffs, seq.BEff[i])
+			sum += float64(seq.BEff[i])
+			if d := math.Abs(seq.RawP[i] - exact.RawP[i]); d > maxRaw {
+				maxRaw = d
+			}
+			if d := math.Abs(seq.AdjP[i] - exact.AdjP[i]); d > maxAdj {
+				maxAdj = d
+			}
+		}
+		sort.Slice(bEffs, func(a, c int) bool { return bEffs[a] < bEffs[c] })
+		median := int64(0)
+		if n := len(bEffs); n > 0 {
+			median = bEffs[n/2]
+		}
+		row := seqRunJSON{
+			B: b, ExactWallNs: exactWall.Nanoseconds(), SeqWallNs: seqWall.Nanoseconds(),
+			SeqMergedB: seq.B, RowsStopped: seq.SeqRowsStopped(), PermsSaved: seq.SeqPermsSaved(),
+			MedianBEff: median, MeanBEff: sum / float64(len(bEffs)),
+			MaxAbsDeltaRaw: maxRaw, MaxAbsDeltaAdj: maxAdj,
+		}
+		if median > 0 {
+			row.MedianSavingsX = float64(b) / float64(median)
+		}
+		out.Runs = append(out.Runs, row)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseSeqPerms parses the -seq-perms list ("10000,100000,1000000").
+func parseSeqPerms(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("benchtables: bad -seq-perms entry %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchtables: -seq-perms is empty")
+	}
+	return out, nil
+}

@@ -45,6 +45,9 @@ func run(args []string, stdout io.Writer) error {
 	batch := fs.Int("batch", 0, "kernel permutation batch size (0 = auto; results are identical at any value)")
 	kernel := fs.String("kernel", "auto", "accumulation kernel: auto, generic, sse2, avx2 (results are identical on all)")
 	order := fs.String("order", "auto", "complete-enumeration order: auto, lex, door (results are identical on all)")
+	mode := fs.String("mode", "exact", "run mode: exact (fixed B, bit-reproducible) or sequential (adaptive early stopping)")
+	seqAlpha := fs.Float64("seq-alpha", 0, "sequential mode: significance level the stopping rule certifies decisions at (0 = default 0.05)")
+	seqTol := fs.Float64("seq-tolerance", 0, "sequential mode: p-value half-width a row must reach before freezing (0 = default 0.02)")
 	top := fs.Int("top", 20, "number of most significant genes to print")
 	profile := fs.Bool("profile", true, "print the five-section time profile")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -55,6 +58,12 @@ func run(args []string, stdout io.Writer) error {
 	if *dataPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -data")
+	}
+	if *mode == sprint.ModeSequential && *order == "door" {
+		// Fail at the flag level with the flags named, before any data is
+		// read: the door order exists only for complete enumeration, which
+		// the sequential engine rejects anyway.
+		return fmt.Errorf("-mode sequential does not support -order door (sequential runs sample permutations; door is a complete-enumeration order)")
 	}
 	if _, err := sprint.SetKernel(*kernel); err != nil {
 		return err
@@ -104,23 +113,35 @@ func run(args []string, stdout io.Writer) error {
 		Test: *test, Side: *side, FixedSeedSampling: *fss,
 		B: *b, NA: *na, Nonpara: *nonpara, Seed: *seed, BatchSize: *batch,
 		PermOrder: *order,
+		Mode:      *mode, SeqAlpha: *seqAlpha, SeqTolerance: *seqTol,
 	}
 	var res *sprint.Result
-	if *serial {
+	switch {
+	case *serial:
 		res, err = sprint.MaxT(data.X, data.Labels, opt)
-	} else {
+	case *mode == sprint.ModeSequential:
+		// The MPI-style collective computes fixed shards; sequential runs
+		// need the supervised window loop so the stopping rule can act
+		// between windows.  Same parallel kernel, same rank chunking.
+		res, err = sprint.Run(data.X, data.Labels, opt, sprint.RunControl{NProcs: *np})
+	default:
 		res, err = sprint.PMaxT(data.X, data.Labels, *np, opt)
 	}
 	if err != nil {
 		return err
 	}
 
-	mode := "pmaxT"
+	label := "pmaxT"
 	if *serial {
-		mode = "mt.maxT (serial)"
+		label = "mt.maxT (serial)"
 	}
-	fmt.Fprintf(stdout, "%s: %d x %d dataset, %d permutations (complete: %v), %d process(es), kernel %s\n\n",
-		mode, data.Rows(), data.Cols(), res.B, res.Complete, res.NProcs, sprint.KernelName())
+	fmt.Fprintf(stdout, "%s: %d x %d dataset, %d permutations (complete: %v), %d process(es), kernel %s\n",
+		label, data.Rows(), data.Cols(), res.B, res.Complete, res.NProcs, sprint.KernelName())
+	if res.Sequential() {
+		fmt.Fprintf(stdout, "sequential: planned B %d, ran %d; %d of %d rows stopped early; %d row-permutation evaluations saved\n",
+			res.PlannedB, res.B, res.SeqRowsStopped(), data.Rows(), res.SeqPermsSaved())
+	}
+	fmt.Fprintln(stdout)
 
 	if err := report.PValueTable(stdout, data.GeneNames, res.Stat, res.RawP, res.AdjP, res.Order, *top); err != nil {
 		return err

@@ -95,6 +95,7 @@ type CoordinatorInfo struct {
 	JobsDistributed  int64        `json:"jobs_distributed"`
 	JobsDeclined     int64        `json:"jobs_declined"`
 	LocalShards      int64        `json:"local_shards"`
+	SeqEarlyStops    int64        `json:"seq_early_stops,omitempty"`
 }
 
 // MemberInfo is one worker as the coordinator sees it.

@@ -99,8 +99,10 @@ type Coordinator struct {
 	jobsDist   atomic.Int64
 	jobsDecl   atomic.Int64
 	localDone  atomic.Int64
+	seqStops   atomic.Int64
 
 	metDispatched   *metrics.Counter
+	metSeqStops     *metrics.Counter
 	metRetries      map[string]*metrics.Counter
 	metPushes       *metrics.Counter
 	metJobsDist     *metrics.Counter
@@ -176,7 +178,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	reg.Help("cluster_rpc_timeout_total", "Cluster RPCs that hit their deadline, by call.")
 	reg.Help("integrity_shard_corrupt_total", "Shard deliveries rejected for a CRC mismatch and re-dispatched.")
 	reg.Help("integrity_push_digest_mismatch_total", "Dataset pushes whose echoed content id disagreed with the local digest.")
+	reg.Help("cluster_seq_early_stops_total", "Sequential jobs whose merged counts satisfied the stopping rule before every shard finished.")
 	c.metDispatched = reg.Counter("cluster_shards_dispatched_total")
+	c.metSeqStops = reg.Counter("cluster_seq_early_stops_total")
 	c.metRetries = map[string]*metrics.Counter{
 		retryError:     reg.Counter("cluster_shard_retries_total", "reason", retryError),
 		retryPartial:   reg.Counter("cluster_shard_retries_total", "reason", retryPartial),
@@ -245,6 +249,7 @@ func (c *Coordinator) Info() Info {
 			JobsDistributed:  c.jobsDist.Load(),
 			JobsDeclined:     c.jobsDecl.Load(),
 			LocalShards:      c.localDone.Load(),
+			SeqEarlyStops:    c.seqStops.Load(),
 		},
 	}
 }
@@ -373,6 +378,39 @@ func partitionRange(lo, hi int64, n int) [][2]int64 {
 // the same spec — the merge ledger guarantees each permutation index is
 // counted exactly once, and int64 count merging is order-independent.
 func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.Result, error) {
+	// Sequential jobs distribute as EXACT shards: a shard never holds the
+	// global step-down prefix, so per-row freezing cannot apply remotely.
+	// The coordinator validates the plan under the original sequential
+	// options (rejecting complete enumerations), rewrites the shard
+	// options to exact, applies the whole-job stopping rule to its merge
+	// ledger as deliveries land, and finalizes every row at the merged
+	// count.  A resume checkpoint that already froze rows under local
+	// per-row stopping is declined — only the local engine can honour it.
+	seqOpt := req.Opt
+	canon, err := core.CanonicalOptions(req.Opt)
+	if err != nil {
+		return nil, err
+	}
+	sequential := canon.Mode == core.ModeSequential
+	var seqFingerprint uint64
+	if sequential {
+		seqPlan, err := core.PlanRun(req.Prepared, seqOpt)
+		if err != nil {
+			return nil, err
+		}
+		seqFingerprint = seqPlan.Fingerprint
+		if r := req.Resume; r != nil {
+			for _, b := range r.BEff {
+				if b != 0 {
+					c.jobsDecl.Add(1)
+					c.metJobsDecl.Inc()
+					return nil, jobs.ErrNotDistributed
+				}
+			}
+		}
+		req.Opt.Mode = core.ModeExact
+		req.Opt.SeqAlpha, req.Opt.SeqTolerance = 0, 0
+	}
 	plan, err := core.PlanRun(req.Prepared, req.Opt)
 	if err != nil {
 		return nil, err
@@ -392,9 +430,15 @@ func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.R
 	// A valid prefix checkpoint is just a pre-merged shard covering
 	// [0, Next): merge it and dispatch only the remainder.  An invalid
 	// one (engine drift, different analysis) is ignored, not fatal —
-	// the cluster recomputes from scratch.
+	// the cluster recomputes from scratch.  Sequential jobs checkpoint
+	// under the sequential fingerprint (mode + stopping parameters are
+	// mixed in), so the prefix check compares against that.
+	ckptFP := plan.Fingerprint
+	if sequential {
+		ckptFP = seqFingerprint
+	}
 	if r := req.Resume; r != nil &&
-		r.Fingerprint == plan.Fingerprint && r.TotalB == plan.TotalB &&
+		r.Fingerprint == ckptFP && r.TotalB == plan.TotalB &&
 		r.Complete == plan.Complete && r.Next == r.Done &&
 		len(r.Raw) == plan.Rows && len(r.Adj) == plan.Rows && r.Next <= plan.TotalB {
 		copy(merged.Raw, r.Raw)
@@ -405,9 +449,20 @@ func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.R
 
 	if start < plan.TotalB {
 		spans := partitionRange(start, plan.TotalB, len(workers)*c.cfg.ShardsPerWorker)
-		if err := c.runShards(ctx, req, plan, merged, spans, workers); err != nil {
+		if err := c.runShards(ctx, runShardsParams{
+			req: req, plan: plan, seq: sequential, seqOpt: seqOpt,
+			seenObserved: start > 0,
+		}, merged, spans, workers); err != nil {
 			return nil, err
 		}
+	}
+	if sequential {
+		res, err := core.FinalizeCountsSequential(req.Prepared, seqOpt, merged)
+		if err != nil {
+			return nil, err
+		}
+		res.NProcs = len(workers)
+		return res, nil
 	}
 	res, err := core.FinalizeCounts(req.Prepared, req.Opt, merged)
 	if err != nil {
@@ -440,6 +495,17 @@ type jobState struct {
 	req  jobs.DistRequest
 	plan core.Plan
 
+	// Sequential whole-job stopping: seq marks the job, seqOpt carries
+	// the original sequential options the stopping rule evaluates under,
+	// seenObserved records that the merge covers permutation index 0 (the
+	// observed labelling — the rule is meaningless before it lands), and
+	// earlyStop is the coordinator's stop decision: dispatch loops drain,
+	// in-flight shard RPCs are cancelled, and the merge finalizes as-is.
+	seq          bool
+	seqOpt       core.Options
+	seenObserved bool
+	earlyStop    bool
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	shards    []*shardRec
@@ -451,11 +517,25 @@ type jobState struct {
 	err       error
 }
 
-// runShards drives the dispatch loops until every span is merged.
-func (c *Coordinator) runShards(ctx context.Context, req jobs.DistRequest, plan core.Plan, merged *maxt.Counts, spans [][2]int64, workers []*member) error {
+// runShardsParams bundles the per-job constants of one dispatch run.
+type runShardsParams struct {
+	req          jobs.DistRequest
+	plan         core.Plan
+	seq          bool
+	seqOpt       core.Options
+	seenObserved bool // resume prefix already covers the observed labelling
+}
+
+// runShards drives the dispatch loops until every span is merged — or,
+// for sequential jobs, until the merged counts satisfy the whole-job
+// stopping rule, whichever comes first.
+func (c *Coordinator) runShards(ctx context.Context, p runShardsParams, merged *maxt.Counts, spans [][2]int64, workers []*member) error {
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	st := &jobState{c: c, ctx: jobCtx, req: req, plan: plan, merged: merged, remaining: len(spans)}
+	st := &jobState{
+		c: c, ctx: jobCtx, req: p.req, plan: p.plan, merged: merged, remaining: len(spans),
+		seq: p.seq, seqOpt: p.seqOpt, seenObserved: p.seenObserved,
+	}
 	st.cond = sync.NewCond(&st.mu)
 	for _, sp := range spans {
 		rec := &shardRec{lo: sp[0], hi: sp[1], queued: true}
@@ -478,7 +558,7 @@ func (c *Coordinator) runShards(ctx context.Context, req jobs.DistRequest, plan 
 	}
 
 	st.mu.Lock()
-	for st.remaining > 0 && st.err == nil {
+	for st.remaining > 0 && st.err == nil && !st.earlyStop {
 		st.cond.Wait()
 	}
 	st.finished = true
@@ -487,6 +567,9 @@ func (c *Coordinator) runShards(ctx context.Context, req jobs.DistRequest, plan 
 	st.cond.Broadcast()
 	// cancel() (deferred) aborts any straggling RPCs and the local
 	// loop; their late deliveries are discarded by the finished flag.
+	// For a sequential early stop, this cancellation IS the cluster-wide
+	// stop broadcast: every in-flight shard RPC is torn down and no
+	// further spans dispatch.
 	return err
 }
 
@@ -508,7 +591,7 @@ func (st *jobState) next(localLoop bool) *shardRec {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
-		if st.finished || st.err != nil || st.remaining == 0 {
+		if st.finished || st.err != nil || st.remaining == 0 || st.earlyStop {
 			return nil
 		}
 		if rec := st.takeLocked(localLoop); rec != nil {
@@ -616,6 +699,24 @@ func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
 		}
 		if st.req.OnProgress != nil {
 			st.req.OnProgress(st.merged.B, st.plan.TotalB)
+		}
+		if st.seq {
+			// Whole-job stopping on the merge ledger.  The rule only
+			// makes sense once the observed labelling (permutation index
+			// 0, always the first span's first index) is merged — every
+			// count is conditioned on the observed statistics being in
+			// the ledger.  Merged shards cover disjoint index ranges of
+			// one iid sampled sequence, so any union is a valid sample.
+			if resp.Lo == 0 {
+				st.seenObserved = true
+			}
+			if st.seenObserved && st.remaining > 0 {
+				if settled, serr := core.SeqAllSettled(st.req.Prepared, st.seqOpt, st.merged); serr == nil && settled {
+					st.earlyStop = true
+					st.c.seqStops.Add(1)
+					st.c.metSeqStops.Inc()
+				}
+			}
 		}
 	}
 	partial := ok && !rec.done

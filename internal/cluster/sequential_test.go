@@ -1,0 +1,236 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"testing"
+
+	"sprint/internal/cluster"
+	"sprint/internal/core"
+	"sprint/internal/jobs"
+	"sprint/internal/matrix"
+)
+
+// seqClusterCase builds a sequential submission whose merged counts are
+// guaranteed to satisfy the whole-job stopping rule well before the
+// planned B: 120 null rows at B=100000, where the empirical-Bernstein
+// radius drops under the default 0.02 tolerance by ~25k merged
+// permutations even for worst-case p̂ = 0.5.  20 samples (10v10) keeps
+// C(20,10) = 184756 above B, so the plan stays a sampled run.
+func seqClusterCase() (matrix.Matrix, []int, core.Options) {
+	x := synthX(120, 20, 17)
+	lab := make([]int, 20)
+	for i := 10; i < 20; i++ {
+		lab[i] = 1
+	}
+	opt := core.Options{
+		Test: "t", Side: "abs", FixedSeedSampling: "y",
+		B: 100000, Seed: 23,
+		Mode: core.ModeSequential,
+	}
+	return x, lab, opt
+}
+
+// TestClusterSequentialEarlyStop drives a sequential job through a
+// coordinator and two workers: shards run exact, the coordinator applies
+// the stopping rule to its merge ledger, and the job finishes with fewer
+// merged permutations than planned while every p-value stays within the
+// tolerance of a full-length exact run.
+func TestClusterSequentialEarlyStop(t *testing.T) {
+	x, lab, opt := seqClusterCase()
+	w1 := newWorkerNode(t, nil)
+	w2 := newWorkerNode(t, nil)
+	for _, w := range []*workerNode{w1, w2} {
+		if _, _, err := w.srv.Manager().PutDataset(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, cm := coordManager(t, cluster.CoordinatorConfig{Workers: []string{w1.ts.URL, w2.ts.URL}})
+
+	got := runOn(t, cm, x, lab, opt)
+	if !got.Sequential() || got.PlannedB != opt.B {
+		t.Fatalf("cluster result not sequential: mode=%q plannedB=%d", got.Mode, got.PlannedB)
+	}
+	if got.B >= opt.B {
+		t.Fatalf("merged %d of %d planned permutations — the stopping rule never fired", got.B, opt.B)
+	}
+	if got.SeqPermsSaved() <= 0 {
+		t.Fatalf("SeqPermsSaved = %d on an early-stopped job", got.SeqPermsSaved())
+	}
+	// The coordinator finalizes every row at the uniform merged count.
+	for i, be := range got.BEff {
+		if math.IsNaN(got.Stat[i]) {
+			if be != 0 {
+				t.Fatalf("BEff[%d] = %d for an invalid row", i, be)
+			}
+			continue
+		}
+		if be != got.B {
+			t.Fatalf("BEff[%d] = %d, want uniform merged count %d", i, be, got.B)
+		}
+	}
+	info := coord.Info().Coordinator
+	if info.SeqEarlyStops != 1 {
+		t.Errorf("coordinator SeqEarlyStops = %d, want 1", info.SeqEarlyStops)
+	}
+	if info.JobsDistributed != 1 {
+		t.Errorf("jobs distributed = %d, want 1", info.JobsDistributed)
+	}
+
+	// Accuracy contract: within the confidence-sequence tolerance of an
+	// exact full-length run, with the order and statistics identical.
+	exactOpt := opt
+	exactOpt.Mode = core.ModeExact
+	want := standalone(t, x, lab, exactOpt)
+	const bound = 2 * 0.02
+	for i := range want.RawP {
+		if math.IsNaN(want.RawP[i]) {
+			continue
+		}
+		if d := math.Abs(want.RawP[i] - got.RawP[i]); d > bound {
+			t.Fatalf("RawP[%d]: cluster sequential %v vs exact %v (Δ=%v > %v)",
+				i, got.RawP[i], want.RawP[i], d, bound)
+		}
+		if d := math.Abs(want.AdjP[i] - got.AdjP[i]); d > bound {
+			t.Fatalf("AdjP[%d]: cluster sequential %v vs exact %v (Δ=%v > %v)",
+				i, got.AdjP[i], want.AdjP[i], d, bound)
+		}
+		if math.Float64bits(want.Stat[i]) != math.Float64bits(got.Stat[i]) {
+			t.Fatalf("Stat[%d] differs between modes", i)
+		}
+	}
+	for i := range want.Order {
+		if want.Order[i] != got.Order[i] {
+			t.Fatalf("significance order diverged at %d", i)
+		}
+	}
+}
+
+// TestClusterSequentialWorkerKill slams one worker's connection on every
+// shard RPC during a sequential job: the survivor and the local fallback
+// absorb its spans, and the job still completes with valid sequential
+// metadata (and, when the observed span lands before the last merge, an
+// early stop).
+func TestClusterSequentialWorkerKill(t *testing.T) {
+	x, lab, opt := seqClusterCase()
+	kill := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == "POST" && r.URL.Path == cluster.ShardPath {
+				if hj, ok := w.(http.Hijacker); ok {
+					if conn, _, err := hj.Hijack(); err == nil {
+						conn.Close()
+					}
+				}
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	dead := newWorkerNode(t, kill)
+	live := newWorkerNode(t, nil)
+	for _, w := range []*workerNode{dead, live} {
+		if _, _, err := w.srv.Manager().PutDataset(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, cm := coordManager(t, cluster.CoordinatorConfig{
+		Workers: []string{dead.ts.URL, live.ts.URL},
+	})
+
+	got := runOn(t, cm, x, lab, opt)
+	if !got.Sequential() || got.PlannedB != opt.B || got.B > opt.B {
+		t.Fatalf("result metadata: mode=%q B=%d plannedB=%d", got.Mode, got.B, got.PlannedB)
+	}
+	info := coord.Info().Coordinator
+	if info.ShardRetries < 1 {
+		t.Errorf("shard retries = %d, want >= 1 after a killed worker", info.ShardRetries)
+	}
+	if got.B == opt.B {
+		// Requeue shuffling can land the observed span last, in which
+		// case the rule has no merge left to stop; identity still holds.
+		t.Log("observed span merged last: job ran to the full plan")
+	} else if info.SeqEarlyStops != 1 {
+		t.Errorf("early-stopped job but SeqEarlyStops = %d", info.SeqEarlyStops)
+	}
+	exactOpt := opt
+	exactOpt.Mode = core.ModeExact
+	want := standalone(t, x, lab, exactOpt)
+	const bound = 2 * 0.02
+	for i := range want.RawP {
+		if math.IsNaN(want.RawP[i]) {
+			continue
+		}
+		if math.Abs(want.RawP[i]-got.RawP[i]) > bound || math.Abs(want.AdjP[i]-got.AdjP[i]) > bound {
+			t.Fatalf("row %d drifted beyond tolerance after failover: raw %v vs %v, adj %v vs %v",
+				i, got.RawP[i], want.RawP[i], got.AdjP[i], want.AdjP[i])
+		}
+	}
+}
+
+// TestClusterSequentialResumeWithFrozenRowsDeclined pins the handoff
+// contract: a checkpoint that already froze rows under local per-row
+// stopping cannot be distributed (shards are exact; remote nodes cannot
+// honour per-row effective counts), so the coordinator declines and the
+// manager falls back to the bit-identical local path.
+func TestClusterSequentialResumeWithFrozenRowsDeclined(t *testing.T) {
+	x, lab, opt := seqClusterCase()
+	canon, err := core.CanonicalOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Prepare(x, lab, canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorkerNode(t, nil)
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Workers: []string{w.ts.URL}})
+
+	bEff := make([]int64, 120)
+	bEff[3] = 4096 // one frozen row is enough to force the local path
+	_, err = coord.RunJob(context.Background(), jobs.DistRequest{
+		Key: "k", DatasetID: "d", Labels: lab, Opt: canon, Prepared: p,
+		Resume: &core.Checkpoint{BEff: bEff},
+	})
+	if !errors.Is(err, jobs.ErrNotDistributed) {
+		t.Fatalf("frozen-row resume: %v, want ErrNotDistributed", err)
+	}
+	if n := coord.Info().Coordinator.JobsDeclined; n != 1 {
+		t.Errorf("jobs declined = %d, want 1", n)
+	}
+}
+
+// TestWorkerRefusesSequentialShard pins the worker-side guard: a shard
+// request that still carries sequential mode (a buggy or stale
+// coordinator) is a loud 400, not a confusing engine error.
+func TestWorkerRefusesSequentialShard(t *testing.T) {
+	w := newWorkerNode(t, nil)
+	_, lab, opt := seqClusterCase()
+	body, err := json.Marshal(cluster.ShardRequest{
+		JobKey: "k", DatasetID: "missing", Labels: lab, Options: opt,
+		Lo: 0, Hi: 1000, TotalB: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(w.ts.URL+cluster.ShardPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sequential shard request answered %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error == "" {
+		t.Fatal("400 without an error message")
+	}
+}

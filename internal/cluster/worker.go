@@ -213,6 +213,14 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: "bad shard request: " + err.Error()})
 		return
 	}
+	if req.Options.Mode == core.ModeSequential {
+		// A coordinator rewrites sequential jobs to exact shards before
+		// dispatch; a sequential shard request means a version-skewed or
+		// misbehaving coordinator.  Refuse loudly rather than let
+		// core.RunShard's rejection read as a generic shard failure.
+		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: "sequential mode never dispatches to workers: shards compute exact counts, the coordinator applies the stopping rule to the merge"})
+		return
+	}
 	select {
 	case w.sem <- struct{}{}:
 	case <-r.Context().Done():

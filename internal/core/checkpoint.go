@@ -39,6 +39,11 @@ type Checkpoint struct {
 	// number of permutations they cover.
 	Raw, Adj []int64
 	Done     int64
+	// BEff is the sequential-mode freeze state: per matrix row, the
+	// permutation count at which the row's counts were frozen (0 = still
+	// accumulating).  Nil on exact-mode checkpoints.  A frozen row's Raw
+	// and Adj entries cover [0, BEff[i]) rather than [0, Done).
+	BEff []int64
 }
 
 // Encode serialises the checkpoint.
@@ -119,29 +124,38 @@ func DecodeCheckpointBytes(data []byte) (*Checkpoint, error) {
 // engineVersion tags the statistics engine whose counts a checkpoint
 // accumulates.  Version 2 was the flat-matrix batched-kernel engine;
 // version 3 the permutation-batched engine whose two-sample and paired-t
-// tails evaluate on scaled central moments; version 4 is the
+// tails evaluate on scaled central moments; version 4 the
 // delta-evaluation engine, whose complete two-sample enumerations run in
-// revolving-door order by default.  Version 4's statistic bit patterns
-// are IDENTICAL to version 3's (the integer rank path and the hoisted
-// Wilcoxon tail are exact-by-construction rewrites), but the enumeration
-// ORDER of complete two-sample runs changed, and a checkpoint's counts
-// are a prefix over one specific order — resuming a v3 prefix under the
-// v4 order would process the wrong remainder, so old checkpoints must
-// fail loudly with ErrCheckpointMismatch.  BatchSize and the kernel ISA
-// are deliberately NOT part of the fingerprint: both are bitwise neutral
-// AND order-neutral, so checkpoints are interchangeable across them.
-// The resolved enumeration order (doorOrder) IS part of it, for the same
-// prefix-semantics reason the version bump exists.
-const engineVersion = 4
+// revolving-door order by default.  Version 5 is the sequential-capable
+// engine: exact-mode statistic bit patterns and enumeration orders are
+// IDENTICAL to version 4's, but checkpoints gained the BEff freeze-state
+// vector and the fingerprint gained the run mode, so a v4 checkpoint —
+// which cannot carry freeze state — must fail loudly with
+// ErrCheckpointMismatch rather than resume under rules it never ran.
+// BatchSize and the kernel ISA are deliberately NOT part of the
+// fingerprint: both are bitwise neutral AND order-neutral, so
+// checkpoints are interchangeable across them.  The resolved enumeration
+// order (doorOrder) IS part of it: a checkpoint's counts are a prefix
+// over one specific order, so resuming under a different order would
+// process the wrong remainder.
+const engineVersion = 5
 
 // fingerprint summarises the analysis identity: the engine version,
 // validated options, the resolved enumeration order, the class labels
 // and a sample of the data.  Any change that could alter the permutation
 // stream — its membership or its order — or the statistics changes the
-// fingerprint.
+// fingerprint.  Sequential mode additionally mixes in its stopping
+// parameters: a sequential checkpoint's frozen rows embody stopping
+// decisions taken under one specific (alpha, tolerance), so resuming
+// under different parameters would freeze the wrong rows.
 func fingerprint(cfg config, x matrix.Matrix, classlabel []int, doorOrder bool) uint64 {
 	h := rng.Mix64(uint64(engineVersion)<<44 ^ uint64(boolToInt64(doorOrder))<<40 ^ uint64(cfg.test)<<32 ^ uint64(cfg.side)<<24 ^ uint64(boolToInt64(cfg.fixedSeed))<<16 ^ uint64(boolToInt64(cfg.nonpara)))
 	h = rng.Mix64(h ^ uint64(cfg.b) ^ cfg.seed<<1)
+	if cfg.mode == modeSequential {
+		h = rng.Mix64(h ^ 0x5e9)
+		h = rng.Mix64(h ^ math.Float64bits(cfg.seqAlpha))
+		h = rng.Mix64(h ^ math.Float64bits(cfg.seqTol))
+	}
 	h = rng.Mix64(h ^ uint64(x.Rows)<<32 ^ uint64(x.Cols))
 	for _, l := range classlabel {
 		h = rng.Mix64(h ^ uint64(l+1))
@@ -166,6 +180,13 @@ func fingerprint(cfg config, x matrix.Matrix, classlabel []int, doorOrder bool) 
 // ErrCheckpointMismatch reports a checkpoint that does not belong to the
 // requested analysis.
 var ErrCheckpointMismatch = fmt.Errorf("core: checkpoint does not match this analysis (options, labels or data changed)")
+
+// ckptMismatch wraps ErrCheckpointMismatch naming the field that drifted,
+// so a cluster or resume mismatch reports WHAT disagreed instead of only
+// that something did.  errors.Is(err, ErrCheckpointMismatch) still holds.
+func ckptMismatch(field string, got, want any) error {
+	return fmt.Errorf("%w: %s drifted (checkpoint has %v, analysis wants %v)", ErrCheckpointMismatch, field, got, want)
+}
 
 // MaxTCheckpointed runs the serial permutation loop with periodic
 // checkpoints.  Every `every` permutations (and once at the end) it calls

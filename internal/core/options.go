@@ -12,6 +12,7 @@ import (
 	"sprint/internal/matrix"
 	"sprint/internal/maxt"
 	"sprint/internal/perm"
+	"sprint/internal/seqstop"
 	"sprint/internal/stat"
 )
 
@@ -81,6 +82,28 @@ type Options struct {
 	// so BatchSize never changes results — it is excluded from job cache
 	// keys and checkpoint fingerprints.
 	BatchSize int
+	// Mode selects the permutation engine: "exact" (the default) runs
+	// every planned permutation and is bitwise-unchanged from earlier
+	// engines; "sequential" stops rows — and whole jobs — early, as soon
+	// as a Besag–Clifford rule plus an anytime-valid confidence sequence
+	// pin their p-values within SeqTolerance (see internal/seqstop).
+	// Sequential results report a per-row effective permutation count and
+	// are NOT bitwise reproductions of the exact result; they are the
+	// same estimator over a row-specific prefix of the same permutation
+	// sequence.  Sequential mode requires sampled permutations: complete
+	// enumerations (B = 0, or a complete count at most B) are exact by
+	// definition and are rejected.
+	Mode string
+	// SeqAlpha is sequential mode's significance threshold of interest
+	// (the API's target_alpha): rows certified below it may stop before
+	// accumulating the Besag–Clifford exceedance count.  0 selects the
+	// default (0.05).  Ignored — and canonicalised away — in exact mode.
+	SeqAlpha float64
+	// SeqTolerance is sequential mode's absolute p-value error budget
+	// (the API's p_tolerance): every reported p-value is within this of
+	// its exact value with high probability, simultaneously across rows.
+	// 0 selects the default (0.02).  Ignored in exact mode.
+	SeqTolerance float64
 	// PermOrder selects the enumeration order of complete permutation
 	// runs: "auto" (default) uses the revolving-door Gray order on
 	// two-sample designs — enabling the O(1) delta kernel on rank data —
@@ -105,6 +128,46 @@ func DefaultOptions() Options {
 		NA:                DefaultNA,
 		Nonpara:           "n",
 	}
+}
+
+// ModeExact and ModeSequential are the canonical Options.Mode values.
+const (
+	ModeExact      = "exact"
+	ModeSequential = "sequential"
+)
+
+// runMode is the validated engine-mode knob.
+type runMode int
+
+const (
+	// modeExact runs every planned permutation (the historical engine).
+	modeExact runMode = iota
+	// modeSequential early-stops rows and jobs under the seqstop rules.
+	modeSequential
+)
+
+var modeNames = map[runMode]string{
+	modeExact:      ModeExact,
+	modeSequential: ModeSequential,
+}
+
+func (m runMode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("runMode(%d)", int(m))
+}
+
+func parseRunMode(s string) (runMode, error) {
+	if s == "" {
+		return modeExact, nil
+	}
+	for m, name := range modeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want exact or sequential)", s)
 }
 
 // permOrder is the validated enumeration-order knob.
@@ -157,6 +220,9 @@ type config struct {
 	scalarParams bool
 	batch        int
 	order        permOrder
+	mode         runMode
+	seqAlpha     float64
+	seqTol       float64
 }
 
 // effectiveBatch resolves the BatchSize knob: 0 means auto.
@@ -244,6 +310,25 @@ func parseOptions(opt Options) (config, error) {
 	}
 	if cfg.order, err = parsePermOrder(opt.PermOrder); err != nil {
 		return cfg, err
+	}
+	if cfg.mode, err = parseRunMode(opt.Mode); err != nil {
+		return cfg, err
+	}
+	if cfg.mode == modeSequential {
+		if cfg.order == orderDoor {
+			return cfg, fmt.Errorf("core: mode \"sequential\" cannot run under perm order \"door\": a complete enumeration is exact by definition, so early stopping would only destroy that exactness")
+		}
+		if opt.B == 0 {
+			// Catch the explicit request here so services reject it at
+			// submission; the auto case (a complete count at most B) is
+			// only decidable once the design is known and fails in planFor.
+			return cfg, fmt.Errorf("core: mode \"sequential\" requires sampled permutations (B > 0); B = 0 requests the complete enumeration, which is exact by definition")
+		}
+		sc, err := seqstop.New(opt.SeqAlpha, opt.SeqTolerance, 1)
+		if err != nil {
+			return cfg, fmt.Errorf("core: %w", err)
+		}
+		cfg.seqAlpha, cfg.seqTol = sc.Alpha, sc.Tolerance
 	}
 	cfg.b = opt.B
 	cfg.na = opt.NA

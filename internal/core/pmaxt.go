@@ -50,6 +50,52 @@ type Result struct {
 	// KernelMax is the slowest rank's kernel time; with balanced chunks
 	// it tracks Profile.MainKernel closely.
 	KernelMax time.Duration
+	// Mode names the engine that produced the result: "" or ModeExact for
+	// the exact engine, ModeSequential for the early-stopping engine.
+	Mode string
+	// PlannedB is the permutation count the run would have performed
+	// without early stopping; zero on exact results (where it equals B).
+	PlannedB int64
+	// BEff, on sequential results, holds per matrix row the effective
+	// permutation count its p-values are estimated over (RawP[i] =
+	// Raw[i]/BEff[i]); zero for rows with no computable statistic.  Nil on
+	// exact results, where every row's count is B.
+	BEff []int64
+}
+
+// Sequential reports whether the result came from the early-stopping
+// engine.
+func (r *Result) Sequential() bool { return r.Mode == ModeSequential }
+
+// SeqPermsSaved returns the number of per-row permutation evaluations the
+// sequential engine avoided relative to running every row to PlannedB:
+// the sum over rows of PlannedB - BEff[i].  Zero on exact results.
+func (r *Result) SeqPermsSaved() int64 {
+	if !r.Sequential() {
+		return 0
+	}
+	var saved int64
+	for _, b := range r.BEff {
+		if b > 0 && b < r.PlannedB {
+			saved += r.PlannedB - b
+		}
+	}
+	return saved
+}
+
+// SeqRowsStopped returns how many rows the sequential engine froze before
+// PlannedB permutations.  Zero on exact results.
+func (r *Result) SeqRowsStopped() int {
+	if !r.Sequential() {
+		return 0
+	}
+	n := 0
+	for _, b := range r.BEff {
+		if b > 0 && b < r.PlannedB {
+			n++
+		}
+	}
+	return n
 }
 
 // Chunk returns the permutation index range [lo, hi) owned by rank within
@@ -144,6 +190,12 @@ func evalPMaxT(c *mpi.Comm, args any) (any, error) {
 		cfg, err = parseOptions(j.opt)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.mode == modeSequential {
+			// The sprintfw collective is a fixed-work protocol: every rank
+			// must process its whole chunk.  The supervised Run path owns
+			// sequential execution.
+			return nil, fmt.Errorf("core: pmaxt (MPI-style collective) supports mode \"exact\" only; run mode \"sequential\" through Run or RunPrepared")
 		}
 		if j.x.IsEmpty() {
 			return nil, fmt.Errorf("core: empty input matrix")
@@ -403,6 +455,12 @@ func MaxTMatrix(x matrix.Matrix, classlabel []int, opt Options) (*Result, error)
 	cfg, err := parseOptions(opt)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.mode == modeSequential {
+		// Sequential runs need the supervised window loop (per-window
+		// stopping decisions); delegate rather than silently running a
+		// mode this fixed-work loop cannot honour.  Serial, like MaxT.
+		return RunMatrix(x, classlabel, opt, RunControl{NProcs: 1})
 	}
 	if x.IsEmpty() {
 		return nil, fmt.Errorf("core: empty input matrix")

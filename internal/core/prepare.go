@@ -103,10 +103,20 @@ func Prepare(x matrix.Matrix, classlabel []int, opt Options) (*Prepared, error) 
 // the preparation on a prep-relevant field.
 var ErrPrepMismatch = fmt.Errorf("core: options do not match the prepared state (test, side, nonpara or NA changed)")
 
-// compatible checks that opt's prep-relevant subset matches p.
+// compatible checks that opt's prep-relevant subset matches p, naming the
+// field that drifted — a cluster fingerprint mismatch is debuggable only
+// if the error says WHICH option disagreed.  errors.Is(err,
+// ErrPrepMismatch) holds for every branch.
 func (p *Prepared) compatible(cfg config) error {
-	if cfg.test != p.test || cfg.side != p.side || cfg.nonpara != p.nonpara || cfg.na != p.na {
-		return ErrPrepMismatch
+	switch {
+	case cfg.test != p.test:
+		return fmt.Errorf("%w: test drifted (options have %q, prepared state has %q)", ErrPrepMismatch, cfg.test, p.test)
+	case cfg.side != p.side:
+		return fmt.Errorf("%w: side drifted (options have %q, prepared state has %q)", ErrPrepMismatch, cfg.side, p.side)
+	case cfg.nonpara != p.nonpara:
+		return fmt.Errorf("%w: nonpara drifted (options have %v, prepared state has %v)", ErrPrepMismatch, cfg.nonpara, p.nonpara)
+	case cfg.na != p.na:
+		return fmt.Errorf("%w: NA code drifted (options have %v, prepared state has %v)", ErrPrepMismatch, cfg.na, p.na)
 	}
 	return nil
 }
@@ -132,6 +142,9 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.mode == modeSequential {
+		return runSequential(p, cfg, plan, ctl)
+	}
 	prep, totalB := p.prep, plan.TotalB
 
 	nprocs := ctl.NProcs
@@ -143,15 +156,15 @@ func RunPrepared(p *Prepared, opt Options, ctl RunControl) (*Result, error) {
 	first := int64(0)
 	if ctl.Resume != nil {
 		r := ctl.Resume
-		if r.Fingerprint != plan.Fingerprint || r.TotalB != totalB || r.Complete != plan.Complete {
-			return nil, ErrCheckpointMismatch
+		if err := plan.checkResume(r, prep.Rows()); err != nil {
+			return nil, err
 		}
 		// A full-run checkpoint is a pure prefix: counts cover [0, Next).
 		if r.Next != r.Done {
-			return nil, ErrCheckpointMismatch
+			return nil, ckptMismatch("progress", fmt.Sprintf("counts for %d of %d permutations (a shard partial)", r.Done, r.Next), "a pure prefix (Next == Done)")
 		}
-		if len(r.Raw) != prep.Rows() || len(r.Adj) != prep.Rows() {
-			return nil, ErrCheckpointMismatch
+		if r.BEff != nil {
+			return nil, ckptMismatch("mode", "sequential freeze state", "an exact-mode checkpoint")
 		}
 		copy(counts.Raw, r.Raw)
 		copy(counts.Adj, r.Adj)

@@ -49,6 +49,11 @@ type RunControl struct {
 	// It runs on the run's supervising goroutine and must be cheap and
 	// allocation-free: it sits inside the hot loop.
 	OnWindow func(perms int64, elapsed time.Duration)
+	// OnSeq, when non-nil, is called after every sequential-mode window
+	// with the number of rows still accumulating and the per-row
+	// permutation evaluations already saved relative to the planned total.
+	// Never called in exact mode.
+	OnSeq func(activeRows int, permsSaved int64)
 	// Scratch, when non-nil, supplies reusable per-rank working state.  A
 	// long-lived caller (the jobs worker pool) passes one RunScratch per
 	// worker so that consecutive jobs reuse kernel scratch, batch buffers
@@ -150,5 +155,13 @@ func CanonicalOptions(opt Options) (Options, error) {
 		// and under every enumeration order.
 		BatchSize: cfg.batch,
 		PermOrder: cfg.order.String(),
+		// Mode names the engine; the sequential knobs canonicalise to
+		// their resolved values in sequential mode and to zero in exact
+		// mode, where they cannot affect anything.  Content keys hash the
+		// three fields only for sequential jobs, so every exact-mode key
+		// is byte-identical to the keys earlier engines produced.
+		Mode:         cfg.mode.String(),
+		SeqAlpha:     cfg.seqAlpha,
+		SeqTolerance: cfg.seqTol,
 	}, nil
 }

@@ -205,7 +205,7 @@ func TestCanonicalOptions(t *testing.T) {
 	want := Options{
 		Test: "t", Side: "abs", FixedSeedSampling: "y", B: 500,
 		NA: DefaultNA, Nonpara: "n", MaxComplete: DefaultMaxComplete,
-		PermOrder: "auto",
+		PermOrder: "auto", Mode: ModeExact,
 	}
 	if canon != want {
 		t.Fatalf("canonical = %+v, want %+v", canon, want)

@@ -72,6 +72,9 @@ func (p *Prepared) planFor(opt Options) (config, Plan, error) {
 	if err != nil {
 		return cfg, Plan{}, err
 	}
+	if cfg.mode == modeSequential && useComplete {
+		return cfg, Plan{}, fmt.Errorf("core: mode \"sequential\" requires sampled permutations, but the plan resolved to the complete enumeration (%d labellings, which is exact by definition); run exact mode instead", totalB)
+	}
 	door := useComplete && cfg.doorOrder(p.design)
 	return cfg, Plan{
 		TotalB:      totalB,
@@ -80,6 +83,23 @@ func (p *Prepared) planFor(opt Options) (config, Plan, error) {
 		Rows:        p.prep.Rows(),
 		Fingerprint: fingerprint(cfg, p.clean, p.labels, door),
 	}, nil
+}
+
+// checkResume validates the analysis-identity half of a resume checkpoint
+// against the plan, naming the field that drifted so mismatches are
+// debuggable; range/progress semantics stay with the caller.
+func (pl Plan) checkResume(r *Checkpoint, rows int) error {
+	switch {
+	case r.Fingerprint != pl.Fingerprint:
+		return ckptMismatch("fingerprint", fmt.Sprintf("%016x", r.Fingerprint), fmt.Sprintf("%016x", pl.Fingerprint))
+	case r.TotalB != pl.TotalB:
+		return ckptMismatch("TotalB", r.TotalB, pl.TotalB)
+	case r.Complete != pl.Complete:
+		return ckptMismatch("Complete", r.Complete, pl.Complete)
+	case len(r.Raw) != rows || len(r.Adj) != rows:
+		return ckptMismatch("rows", fmt.Sprintf("%d raw / %d adj counts", len(r.Raw), len(r.Adj)), rows)
+	}
+	return nil
 }
 
 // generatorFor builds the permutation generator serving indices
@@ -235,6 +255,13 @@ func RunShard(p *Prepared, opt Options, lo, hi int64, ctl RunControl) (*ShardCou
 	if err != nil {
 		return nil, err
 	}
+	if cfg.mode == modeSequential {
+		// Per-row freezing needs the global prefix counts, which one shard
+		// never holds: sequential stopping is coordinated ABOVE the shard
+		// level (the coordinator evaluates merged counts and cancels
+		// in-flight shards), so shards themselves always run exact.
+		return nil, fmt.Errorf("core: RunShard rejects mode \"sequential\": shards compute exact counts; the coordinator applies the stopping rule to the merge")
+	}
 	if lo < 0 || hi > plan.TotalB || lo >= hi {
 		return nil, fmt.Errorf("core: shard range [%d, %d) outside plan [0, %d)", lo, hi, plan.TotalB)
 	}
@@ -242,17 +269,14 @@ func RunShard(p *Prepared, opt Options, lo, hi int64, ctl RunControl) (*ShardCou
 	start := lo
 	if ctl.Resume != nil {
 		r := ctl.Resume
-		if r.Fingerprint != plan.Fingerprint || r.TotalB != plan.TotalB || r.Complete != plan.Complete {
-			return nil, ErrCheckpointMismatch
+		if err := plan.checkResume(r, plan.Rows); err != nil {
+			return nil, err
 		}
 		// A shard checkpoint's counts cover [Next-Done, Next); they only
 		// belong to this shard when that range starts at lo and ends
 		// inside [lo, hi].
 		if r.Next-r.Done != lo || r.Next < lo || r.Next > hi {
-			return nil, ErrCheckpointMismatch
-		}
-		if len(r.Raw) != plan.Rows || len(r.Adj) != plan.Rows {
-			return nil, ErrCheckpointMismatch
+			return nil, ckptMismatch("range", fmt.Sprintf("counts over [%d, %d)", r.Next-r.Done, r.Next), fmt.Sprintf("a prefix of shard [%d, %d)", lo, hi))
 		}
 		copy(counts.Raw, r.Raw)
 		copy(counts.Adj, r.Adj)

@@ -284,6 +284,16 @@ type OptionsJSON struct {
 	// revolving-door where the delta kernel applies), "lex" or "door".
 	// Like BatchSize it never changes results or cache keys.
 	PermOrder string `json:"perm_order,omitempty"`
+	// Mode selects the engine: "exact" (default) or "sequential", which
+	// stops rows — and the whole job — as soon as every p-value is pinned
+	// within p_tolerance (see target_alpha / p_tolerance below).
+	Mode string `json:"mode,omitempty"`
+	// TargetAlpha is sequential mode's significance threshold of
+	// interest (core.Options.SeqAlpha); 0 selects the default (0.05).
+	TargetAlpha float64 `json:"target_alpha,omitempty"`
+	// PTolerance is sequential mode's absolute p-value error budget
+	// (core.Options.SeqTolerance); 0 selects the default (0.02).
+	PTolerance float64 `json:"p_tolerance,omitempty"`
 }
 
 func (o OptionsJSON) options() core.Options {
@@ -299,6 +309,9 @@ func (o OptionsJSON) options() core.Options {
 		ScalarParams:      o.ScalarParams,
 		BatchSize:         o.BatchSize,
 		PermOrder:         o.PermOrder,
+		Mode:              o.Mode,
+		SeqAlpha:          o.TargetAlpha,
+		SeqTolerance:      o.PTolerance,
 	}
 }
 
@@ -341,22 +354,28 @@ func profileJSON(p core.Profile) *ProfileJSON {
 
 // StatusJSON is the wire form of a job status.
 type StatusJSON struct {
-	ID          string       `json:"id"`
-	Key         string       `json:"key"`
-	State       string       `json:"state"`
-	Error       string       `json:"error,omitempty"`
-	Done        int64        `json:"done"`
-	Total       int64        `json:"total"`
-	Progress    float64      `json:"progress"` // Done/Total in [0,1]; 0 while Total unknown
-	ResumedFrom int64        `json:"resumed_from,omitempty"`
-	CacheHit    bool         `json:"cache_hit,omitempty"`
-	NProcs      int          `json:"nprocs"`
-	Tenant      string       `json:"tenant,omitempty"`
-	Class       string       `json:"class,omitempty"`
-	Profile     *ProfileJSON `json:"profile,omitempty"`
-	SubmittedAt string       `json:"submitted_at,omitempty"`
-	StartedAt   string       `json:"started_at,omitempty"`
-	FinishedAt  string       `json:"finished_at,omitempty"`
+	ID          string  `json:"id"`
+	Key         string  `json:"key"`
+	State       string  `json:"state"`
+	Error       string  `json:"error,omitempty"`
+	Done        int64   `json:"done"`
+	Total       int64   `json:"total"`
+	Progress    float64 `json:"progress"` // Done/Total in [0,1]; 0 while Total unknown
+	ResumedFrom int64   `json:"resumed_from,omitempty"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	NProcs      int     `json:"nprocs"`
+	Tenant      string  `json:"tenant,omitempty"`
+	Class       string  `json:"class,omitempty"`
+	// Mode names the engine the job runs under; the seq_* fields track
+	// sequential progress (rows still accumulating, per-row permutation
+	// evaluations already saved against the planned total).
+	Mode          string       `json:"mode,omitempty"`
+	SeqActiveRows int          `json:"seq_active_rows,omitempty"`
+	SeqPermsSaved int64        `json:"seq_perms_saved,omitempty"`
+	Profile       *ProfileJSON `json:"profile,omitempty"`
+	SubmittedAt   string       `json:"submitted_at,omitempty"`
+	StartedAt     string       `json:"started_at,omitempty"`
+	FinishedAt    string       `json:"finished_at,omitempty"`
 }
 
 func statusJSON(st jobs.Status) StatusJSON {
@@ -372,6 +391,11 @@ func statusJSON(st jobs.Status) StatusJSON {
 		NProcs:      st.NProcs,
 		Tenant:      st.Tenant,
 		Class:       st.Class,
+	}
+	if st.Mode == core.ModeSequential {
+		out.Mode = st.Mode
+		out.SeqActiveRows = st.SeqActiveRows
+		out.SeqPermsSaved = st.SeqPermsSaved
 	}
 	if st.Total > 0 {
 		out.Progress = float64(st.Done) / float64(st.Total)
@@ -403,6 +427,14 @@ type ResultJSON struct {
 	Complete bool   `json:"complete"`
 	NProcs   int    `json:"nprocs"`
 	CacheHit bool   `json:"cache_hit"`
+	// Sequential-mode fields: the engine mode, the permutation count the
+	// run would have performed without early stopping, the per-row
+	// effective permutation counts the p-values are estimated over, and
+	// the total evaluations saved.  Omitted on exact results.
+	Mode       string  `json:"mode,omitempty"`
+	PlannedB   int64   `json:"planned_b,omitempty"`
+	BEffective []int64 `json:"b_effective,omitempty"`
+	PermsSaved int64   `json:"perms_saved,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -639,7 +671,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 	default:
-		writeJSON(w, http.StatusOK, ResultJSON{
+		out := ResultJSON{
 			ID:       st.ID,
 			Key:      st.Key,
 			Stat:     res.Stat,
@@ -650,7 +682,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			Complete: res.Complete,
 			NProcs:   res.NProcs,
 			CacheHit: st.CacheHit,
-		})
+		}
+		if res.Sequential() {
+			out.Mode = res.Mode
+			out.PlannedB = res.PlannedB
+			out.BEffective = res.BEff
+			out.PermsSaved = res.SeqPermsSaved()
+		}
+		writeJSON(w, http.StatusOK, out)
 	}
 }
 

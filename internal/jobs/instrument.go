@@ -23,6 +23,11 @@ type mgrMetrics struct {
 	dsReloads  *metrics.Counter
 	dsEvicted  *metrics.Counter
 
+	// Sequential-engine plane.
+	seqRowsStopped  *metrics.Counter
+	seqPermsSaved   *metrics.Counter
+	seqJobEarlyStop *metrics.Counter
+
 	// Durability / integrity plane.
 	ckptCorrupt      *metrics.Counter
 	dsCorrupt        *metrics.Counter
@@ -70,6 +75,9 @@ func newMgrMetrics(reg *metrics.Registry) *mgrMetrics {
 	reg.Help("journal_replayed_jobs_total", "Jobs re-admitted from the journal after a restart.")
 	reg.Help("journal_append_errors_total", "Journal appends or durability mirrors that failed (service continued).")
 	reg.Help("journal_append_seconds", "Latency of one fsync'd journal append.")
+	reg.Help("seq_rows_stopped_total", "Rows frozen before the planned permutation count by the sequential stopping rule.")
+	reg.Help("seq_perms_saved_total", "Per-row permutation evaluations avoided by sequential early stopping.")
+	reg.Help("seq_job_early_stop_total", "Sequential jobs whose whole run stopped before the planned permutation count.")
 
 	m := &mgrMetrics{
 		failed:           reg.Counter("jobs_failed_total"),
@@ -83,6 +91,9 @@ func newMgrMetrics(reg *metrics.Registry) *mgrMetrics {
 		dsHits:           reg.Counter("dataset_hits_total"),
 		dsReloads:        reg.Counter("dataset_reloads_total"),
 		dsEvicted:        reg.Counter("dataset_evictions_total"),
+		seqRowsStopped:   reg.Counter("seq_rows_stopped_total"),
+		seqPermsSaved:    reg.Counter("seq_perms_saved_total"),
+		seqJobEarlyStop:  reg.Counter("seq_job_early_stop_total"),
 		ckptCorrupt:      reg.Counter("integrity_checkpoint_corrupt_total"),
 		dsCorrupt:        reg.Counter("integrity_dataset_corrupt_total"),
 		journalCorrupt:   reg.Counter("integrity_journal_corrupt_total"),

@@ -118,6 +118,14 @@ type Status struct {
 	// Tenant and Class report the admission identity the job ran under.
 	Tenant string
 	Class  string
+	// Mode names the engine the job runs under ("exact" or "sequential"),
+	// resolved from the canonical options at submission.
+	Mode string
+	// SeqActiveRows and SeqPermsSaved track sequential-mode progress: the
+	// rows still accumulating and the per-row permutation evaluations
+	// already avoided relative to the planned total.  Zero on exact jobs.
+	SeqActiveRows int
+	SeqPermsSaved int64
 	// Profile holds the five-section time profile once the job is Done
 	// (zero for cache hits, which time nothing).
 	Profile core.Profile
@@ -291,6 +299,16 @@ func jobKey(datasetDigest string, labels []int, opt core.Options) (string, error
 	h.Write(buf[:])
 	writeInt(int64(canon.Seed))
 	writeInt(canon.MaxComplete)
+	// The sequential fields are hashed ONLY for sequential jobs, so every
+	// exact-mode key is byte-identical to the keys this layer produced
+	// before the mode knob existed — cached exact results stay addressable.
+	if canon.Mode == core.ModeSequential {
+		writeStr(canon.Mode)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(canon.SeqAlpha))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(canon.SeqTolerance))
+		h.Write(buf[:])
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

@@ -30,6 +30,15 @@ type Config struct {
 	// DefaultEvery is the checkpoint/progress window for jobs that do not
 	// choose one, in permutations.  Defaults to 1000.
 	DefaultEvery int64
+	// DefaultMode, when non-empty, is the engine mode applied to
+	// submissions that leave Opt.Mode blank: "exact" (the zero-value
+	// default) or "sequential".  An explicit Spec.Opt.Mode always wins.
+	DefaultMode string
+	// DefaultSeqAlpha and DefaultSeqTolerance seed the sequential
+	// stopping parameters of submissions that leave them zero; zero here
+	// keeps the engine defaults (0.05 and 0.02).
+	DefaultSeqAlpha     float64
+	DefaultSeqTolerance float64
 	// CacheSize bounds the result cache (entries).  Defaults to 128.
 	// Negative disables caching.
 	CacheSize int
@@ -114,6 +123,26 @@ type Config struct {
 	OnCheckpoint func(id string, done, total int64)
 }
 
+// applyModeDefaults fills the server-configured engine mode and stopping
+// parameters into a submission that left them blank.  An explicit
+// Opt.Mode always wins, and the sequential knobs are only seeded on jobs
+// that actually resolve to sequential mode — exact submissions stay
+// untouched so their content keys cannot drift.
+func (c Config) applyModeDefaults(opt core.Options) core.Options {
+	if opt.Mode == "" && c.DefaultMode != "" {
+		opt.Mode = c.DefaultMode
+	}
+	if opt.Mode == core.ModeSequential {
+		if opt.SeqAlpha == 0 {
+			opt.SeqAlpha = c.DefaultSeqAlpha
+		}
+		if opt.SeqTolerance == 0 {
+			opt.SeqTolerance = c.DefaultSeqTolerance
+		}
+	}
+	return opt
+}
+
 func (c Config) withDefaults() Config {
 	if c.Workers < 1 {
 		c.Workers = runtime.NumCPU() / 2
@@ -191,6 +220,11 @@ type job struct {
 	profile     core.Profile
 	result      *core.Result
 
+	// Sequential-mode live progress (updated from the run's OnSeq hook):
+	// rows still accumulating and per-row evaluations already saved.
+	seqActiveRows int
+	seqPermsSaved int64
+
 	submittedAt, startedAt, finishedAt time.Time
 
 	cancel          context.CancelFunc
@@ -199,20 +233,23 @@ type job struct {
 
 func (j *job) status() Status {
 	s := Status{
-		ID:          j.id,
-		Key:         j.key,
-		State:       j.state,
-		Done:        j.done,
-		Total:       j.total,
-		ResumedFrom: j.resumedFrom,
-		CacheHit:    j.cacheHit,
-		NProcs:      j.spec.NProcs,
-		Tenant:      j.tenant,
-		Class:       j.class.String(),
-		Profile:     j.profile,
-		SubmittedAt: j.submittedAt,
-		StartedAt:   j.startedAt,
-		FinishedAt:  j.finishedAt,
+		ID:            j.id,
+		Key:           j.key,
+		State:         j.state,
+		Done:          j.done,
+		Total:         j.total,
+		ResumedFrom:   j.resumedFrom,
+		CacheHit:      j.cacheHit,
+		NProcs:        j.spec.NProcs,
+		Tenant:        j.tenant,
+		Class:         j.class.String(),
+		Mode:          j.spec.Opt.Mode,
+		SeqActiveRows: j.seqActiveRows,
+		SeqPermsSaved: j.seqPermsSaved,
+		Profile:       j.profile,
+		SubmittedAt:   j.submittedAt,
+		StartedAt:     j.startedAt,
+		FinishedAt:    j.finishedAt,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -312,6 +349,16 @@ type Stats struct {
 	// and the affected work recomputed from an older prefix or scratch.
 	CorruptCheckpoints int64 `json:"corrupt_checkpoints"`
 	CorruptDatasets    int64 `json:"corrupt_datasets"`
+
+	// ---- Sequential engine plane (additive) ----
+
+	// SeqRowsStopped counts rows frozen before their planned permutation
+	// count; SeqPermsSaved the per-row evaluations those freezes avoided;
+	// SeqJobsEarlyStopped whole jobs that terminated before their planned
+	// count.
+	SeqRowsStopped      int64 `json:"seq_rows_stopped"`
+	SeqPermsSaved       int64 `json:"seq_perms_saved"`
+	SeqJobsEarlyStopped int64 `json:"seq_jobs_early_stopped"`
 }
 
 // Manager owns the queue, the worker pool, the result cache and the
@@ -617,6 +664,7 @@ func (m *Manager) shed(reason string, sentinel error, retryAfter time.Duration, 
 // carrying the Retry-After guidance; cache hits are exempt from
 // admission control — they occupy no worker.
 func (m *Manager) Submit(spec Spec) (Status, error) {
+	spec.Opt = m.cfg.applyModeDefaults(spec.Opt)
 	canon, err := core.CanonicalOptions(spec.Opt)
 	if err != nil {
 		return Status{}, err
@@ -1044,6 +1092,11 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 			j.done, j.total = done, total
 			m.mu.Unlock()
 		},
+		OnSeq: func(activeRows int, permsSaved int64) {
+			m.mu.Lock()
+			j.seqActiveRows, j.seqPermsSaved = activeRows, permsSaved
+			m.mu.Unlock()
+		},
 	}
 	// Dataset jobs run over the registry's shared preparation — built
 	// once per (dataset, labels, prep options) key, reused read-only by
@@ -1101,6 +1154,21 @@ func (m *Manager) run(j *job, scratch *core.RunScratch) {
 		j.result = res
 		j.profile = res.Profile
 		j.done, j.total = res.B, res.B
+		if res.Sequential() {
+			// Keep the planned total visible so an early stop reads as
+			// done < total, not as a silently shrunken job.
+			j.total = res.PlannedB
+			j.seqActiveRows = 0
+			j.seqPermsSaved = res.SeqPermsSaved()
+			m.met.seqRowsStopped.Add(int64(res.SeqRowsStopped()))
+			m.met.seqPermsSaved.Add(res.SeqPermsSaved())
+			m.stats.SeqRowsStopped += int64(res.SeqRowsStopped())
+			m.stats.SeqPermsSaved += res.SeqPermsSaved()
+			if res.B < res.PlannedB {
+				m.met.seqJobEarlyStop.Inc()
+				m.stats.SeqJobsEarlyStopped++
+			}
+		}
 		m.cache.put(j.key, res)
 		m.ckpts.drop(j.key)
 		m.stats.Completed++

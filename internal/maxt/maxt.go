@@ -227,6 +227,58 @@ func newPrep(m matrix.Matrix, d *stat.Design, side Side, nonpara bool, ref bool)
 // Rows returns the number of rows (genes) in the prepared matrix.
 func (p *Prep) Rows() int { return p.M.Rows }
 
+// Subset builds a prep over a subset of p's rows, given as matrix row
+// indices in STEP-DOWN ORDER (a contiguous run of p.Order positions whose
+// observed statistics are computable).  It exists for the sequential
+// engine: once every row above a position has frozen, the remaining rows'
+// successive maxima depend only on themselves, so the kernel may compute
+// this smaller prep instead — ProcessBatched over the subset accumulates
+// bit-for-bit the counts the full prep would have produced for the same
+// rows, because the rows are byte copies of p's already-transformed
+// matrix, the observed statistics are copied rather than recomputed, and
+// the induced order is the identity by construction.
+func (p *Prep) Subset(rows []int) (*Prep, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("maxt: empty row subset")
+	}
+	m := matrix.New(len(rows), p.M.Cols)
+	sub := &Prep{
+		Design: p.Design,
+		Side:   p.Side,
+		M:      m,
+		StatFn: p.StatFn,
+		Stat:   make([]float64, len(rows)),
+		Obs:    make([]float64, len(rows)),
+		Order:  make([]int, len(rows)),
+		Valid:  len(rows),
+		ref:    p.ref,
+	}
+	for i, r := range rows {
+		if r < 0 || r >= p.M.Rows {
+			return nil, fmt.Errorf("maxt: subset row %d outside matrix of %d rows", r, p.M.Rows)
+		}
+		if math.IsNaN(p.Obs[r]) {
+			return nil, fmt.Errorf("maxt: subset row %d has no computable observed statistic", r)
+		}
+		copy(m.Row(i), p.M.Row(r))
+		sub.Stat[i] = p.Stat[r]
+		sub.Obs[i] = p.Obs[r]
+		sub.Order[i] = i
+	}
+	if !p.ref {
+		// The matrix rows are already rank-transformed where the test
+		// demands it, exactly as the full prep's were when its kernel was
+		// built, so the kernel sees identical per-row data and produces
+		// identical statistics.
+		k, err := stat.NewKernel(p.Design, m)
+		if err != nil {
+			return nil, err
+		}
+		sub.Kernel = k
+	}
+	return sub, nil
+}
+
 // Counts holds partial exceedance counts.  Raw[i] counts permutations whose
 // statistic for row i reaches the observed one; Adj[i] counts permutations
 // whose successive maximum at row i's ordered position reaches the observed
@@ -494,6 +546,45 @@ func Finalize(p *Prep, c *Counts) *Result {
 	for j := 0; j < p.Valid; j++ {
 		r := p.Order[j]
 		v := float64(c.Adj[r]) / float64(c.B)
+		if v < prev {
+			v = prev
+		}
+		res.AdjP[r] = v
+		prev = v
+	}
+	return res
+}
+
+// FinalizeEffective is Finalize for sequentially stopped runs: row r's
+// counts cover its own prefix [0, bEff[r]) of the permutation sequence
+// rather than a shared B, so each p-value divides by its row's effective
+// count.  Rows with bEff[r] == 0 (no computable statistic) receive NaN.
+// The step-down monotonicity enforcement is unchanged: adjusted p-values
+// are made non-decreasing down the significance order.
+func FinalizeEffective(p *Prep, c *Counts, bEff []int64) *Result {
+	n := p.M.Rows
+	res := &Result{
+		Stat:  append([]float64(nil), p.Stat...),
+		RawP:  make([]float64, n),
+		AdjP:  make([]float64, n),
+		Order: append([]int(nil), p.Order...),
+		B:     c.B,
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(p.Obs[i]) || bEff[i] <= 0 {
+			res.RawP[i] = math.NaN()
+			res.AdjP[i] = math.NaN()
+		} else {
+			res.RawP[i] = float64(c.Raw[i]) / float64(bEff[i])
+		}
+	}
+	prev := 0.0
+	for j := 0; j < p.Valid; j++ {
+		r := p.Order[j]
+		if bEff[r] <= 0 {
+			continue
+		}
+		v := float64(c.Adj[r]) / float64(bEff[r])
 		if v < prev {
 			v = prev
 		}

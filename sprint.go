@@ -68,6 +68,14 @@ type DatasetOptions = microarray.GenOptions
 // DefaultNA is the multtest missing-value code (.mt.naNUM).
 const DefaultNA = core.DefaultNA
 
+// Run modes for Options.Mode.  ModeExact is the historical fixed-B engine
+// and the default; ModeSequential runs the adaptive early-stopping engine
+// with anytime-valid confidence sequences (see Options.Mode in core).
+const (
+	ModeExact      = core.ModeExact
+	ModeSequential = core.ModeSequential
+)
+
 // DefaultOptions returns the documented mt.maxT defaults: Welch t, absolute
 // rejection region, on-the-fly sampling, B = 10000.
 func DefaultOptions() Options { return core.DefaultOptions() }
