@@ -107,6 +107,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	distMinB := fs.Int64("dist-min-b", 1000, "coordinator: run jobs with B under this locally instead of distributing")
 	shardNProcs := fs.Int("shard-nprocs", 0, "coordinator: ranks each worker uses per shard (0 = worker default)")
 	shardsPerWorker := fs.Int("shards-per-worker", 2, "coordinator: shards carved per live worker")
+	lease := fs.Duration("lease", 0, "coordinator: shard compute lease renewed by heartbeat; a worker keeps an orphaned shard alive this long after its coordinator dies (0 = default 15s, negative disables)")
+	retentionDir := fs.String("retention-dir", "", "worker: persist finished and parked shard results here for coordinator-restart re-delivery (default <journal-dir>/retained when -journal-dir is set; empty = memory only)")
+	retained := fs.Int("retention", 0, "worker: retained shard results kept for re-delivery (0 = default 128, negative disables)")
 	faults := fs.String("faults", os.Getenv("SPRINT_FAULTS"),
 		"deterministic fault-injection spec for crash testing, e.g. \"seed=7;ckpt.write:torn:n=2\" (default $SPRINT_FAULTS; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -221,6 +224,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			ShardsPerWorker: *shardsPerWorker,
 			MinDistB:        *distMinB,
 			WorkerNProcs:    *shardNProcs,
+			LeaseDuration:   *lease,
 			Metrics:         reg,
 			Logger:          logger,
 		})
@@ -260,13 +264,20 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	case coord != nil:
 		srv.AttachCluster(coord)
 	case *role == "worker":
+		// Retention rides the journal tree by default: one flag buys
+		// coordinator-crash survival of delivered AND undelivered work.
+		if *retentionDir == "" && *journalDir != "" {
+			*retentionDir = filepath.Join(*journalDir, "retained")
+		}
 		worker = cluster.NewWorker(cluster.WorkerConfig{
-			Source:  srv.Manager(),
-			Client:  faultClient,
-			NProcs:  *nprocs,
-			Every:   *every,
-			Metrics: reg,
-			Logger:  logger,
+			Source:       srv.Manager(),
+			Client:       faultClient,
+			NProcs:       *nprocs,
+			Every:        *every,
+			RetentionDir: *retentionDir,
+			MaxRetained:  *retained,
+			Metrics:      reg,
+			Logger:       logger,
 		})
 		srv.AttachCluster(worker)
 	}

@@ -52,6 +52,7 @@ const (
 	ShardPath   = "/cluster/v1/shards"
 	PingPath    = "/cluster/v1/ping"
 	WorkersPath = "/cluster/v1/workers"
+	LeasesPath  = "/cluster/v1/leases"
 
 	datasetsPath   = "/v1/datasets"
 	spbContentType = "application/x-sprint-spb"
@@ -96,6 +97,12 @@ type CoordinatorInfo struct {
 	JobsDeclined     int64        `json:"jobs_declined"`
 	LocalShards      int64        `json:"local_shards"`
 	SeqEarlyStops    int64        `json:"seq_early_stops,omitempty"`
+	// Durable-ledger and lease traffic (omitted when idle).
+	LedgerRecords         int64 `json:"ledger_records,omitempty"`
+	LedgerJobsReplayed    int64 `json:"ledger_jobs_replayed,omitempty"`
+	LedgerWindowsReplayed int64 `json:"ledger_windows_replayed,omitempty"`
+	LedgerInvalid         int64 `json:"ledger_invalid,omitempty"`
+	LeaseRenewals         int64 `json:"lease_renewals,omitempty"`
 }
 
 // MemberInfo is one worker as the coordinator sees it.
@@ -114,6 +121,14 @@ type WorkerNodeInfo struct {
 	ShardsServed  int64  `json:"shards_served"`
 	ShardsPartial int64  `json:"shards_partial"`
 	ShardsRefused int64  `json:"shards_refused"`
+	// Result retention and lease state (omitted when idle).
+	ShardsRetained  int   `json:"shards_retained,omitempty"`
+	RetainedHits    int64 `json:"retained_hits,omitempty"`
+	RetainedResumes int64 `json:"retained_resumes,omitempty"`
+	InflightJoins   int64 `json:"inflight_joins,omitempty"`
+	LeaseRenewed    int64 `json:"lease_renewed,omitempty"`
+	LeaseExpired    int64 `json:"lease_expired,omitempty"`
+	LeaseDisowned   int64 `json:"lease_disowned,omitempty"`
 }
 
 // ShardRequest asks a worker to compute exceedance counts over the
@@ -134,6 +149,12 @@ type ShardRequest struct {
 	// NProcs caps the worker-side rank count for this shard; 0 uses the
 	// worker's default.
 	NProcs int `json:"nprocs,omitempty"`
+	// LeaseMS grants the worker a compute lease: the shard may keep
+	// computing for this many milliseconds after its requester vanishes,
+	// on the expectation that a restarted coordinator will re-probe and
+	// collect the result from retention.  Renewed via LeasesPath; 0 ties
+	// the compute to the request context (pre-lease behavior).
+	LeaseMS int64 `json:"lease_ms,omitempty"`
 }
 
 // ShardResponse carries a shard's counts back.  Counts cover [Lo, Next);
@@ -206,9 +227,30 @@ const (
 	reasonUnknownDataset = "unknown_dataset"
 	reasonDraining       = "draining"
 	reasonFingerprint    = "fingerprint_mismatch"
+	reasonLease          = "lease_lapsed"
 )
 
 // joinBody is the worker registration payload.
 type joinBody struct {
 	Addr string `json:"addr"`
+}
+
+// leaseBody is the coordinator's lease heartbeat: every in-flight shard
+// whose plan fingerprint appears in Fingerprints has its lease extended
+// by LeaseMS.  Authoritative means the list is the coordinator's
+// complete active set, so a shard fingerprint NOT listed is disowned —
+// the worker cancels it, parks the partial prefix in retention, and
+// frees the CPU.  Retention itself is never purged by a disown: a
+// restarting coordinator renews leases before its ledger replay admits
+// every job, and parked results are exactly what the replay collects.
+type leaseBody struct {
+	Fingerprints  []uint64 `json:"fingerprints"`
+	LeaseMS       int64    `json:"lease_ms"`
+	Authoritative bool     `json:"authoritative,omitempty"`
+}
+
+// leaseAck reports what a lease heartbeat did on the worker.
+type leaseAck struct {
+	Renewed  int `json:"renewed"`
+	Disowned int `json:"disowned"`
 }

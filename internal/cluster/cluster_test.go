@@ -93,7 +93,7 @@ func TestLedgerExactlyOnce(t *testing.T) {
 	st.c.inflight.Add(2)
 
 	first := resp(0, 100, 100, 0xfeed, rows, 7)
-	st.deliver(rec, first)
+	st.deliver(rec, first, "w")
 	if st.merged.B != 100 || st.merged.Raw[0] != 7 {
 		t.Fatalf("first delivery not merged: B=%d raw=%v", st.merged.B, st.merged.Raw)
 	}
@@ -102,7 +102,7 @@ func TestLedgerExactlyOnce(t *testing.T) {
 	}
 
 	// The duplicate (same window, same counts) must change nothing.
-	st.deliver(rec, resp(0, 100, 100, 0xfeed, rows, 7))
+	st.deliver(rec, resp(0, 100, 100, 0xfeed, rows, 7), "w")
 	if st.merged.B != 100 || st.merged.Raw[0] != 7 || st.merged.Adj[0] != 7 {
 		t.Fatalf("duplicate delivery double-counted: B=%d raw=%v", st.merged.B, st.merged.Raw)
 	}
@@ -126,7 +126,7 @@ func TestLedgerRejectsDrift(t *testing.T) {
 		st, rec := newLedgerState(rows, 0, 100)
 		rec.inflight = 1
 		st.c.inflight.Add(1)
-		st.deliver(rec, r)
+		st.deliver(rec, r, "w")
 		if st.merged.B != 0 || rec.done || st.remaining != 1 {
 			t.Errorf("bad delivery %d accepted: B=%d done=%v", i, st.merged.B, rec.done)
 		}
@@ -141,7 +141,7 @@ func TestLedgerPartialAdvances(t *testing.T) {
 	st, rec := newLedgerState(rows, 0, 100)
 	rec.inflight = 1
 	st.c.inflight.Add(1)
-	st.deliver(rec, resp(0, 40, 100, 0xfeed, rows, 3))
+	st.deliver(rec, resp(0, 40, 100, 0xfeed, rows, 3), "w")
 	if st.merged.B != 40 || rec.lo != 40 || rec.done || !rec.queued {
 		t.Fatalf("partial not advanced: B=%d lo=%d done=%v queued=%v",
 			st.merged.B, rec.lo, rec.done, rec.queued)
@@ -150,14 +150,14 @@ func TestLedgerPartialAdvances(t *testing.T) {
 	// the advanced lo and is discarded.
 	rec.inflight = 1
 	st.c.inflight.Add(1)
-	st.deliver(rec, resp(0, 100, 100, 0xfeed, rows, 3))
+	st.deliver(rec, resp(0, 100, 100, 0xfeed, rows, 3), "w")
 	if st.merged.B != 40 {
 		t.Fatalf("stale full-window delivery merged over partial: B=%d", st.merged.B)
 	}
 	// The remainder completes the shard.
 	rec.inflight = 1
 	st.c.inflight.Add(1)
-	st.deliver(rec, resp(40, 100, 100, 0xfeed, rows, 5))
+	st.deliver(rec, resp(40, 100, 100, 0xfeed, rows, 5), "w")
 	if st.merged.B != 100 || !rec.done || st.remaining != 0 {
 		t.Fatalf("remainder not merged: B=%d done=%v", st.merged.B, rec.done)
 	}

@@ -65,6 +65,13 @@ type CoordinatorConfig struct {
 	// WorkerNProcs is the rank count shard requests ask workers for
 	// (0 = each worker's own default).
 	WorkerNProcs int
+	// LeaseDuration is the compute lease granted with each shard
+	// dispatch and renewed by the coordinator's lease heartbeat: a
+	// worker keeps computing an orphaned shard this long after its
+	// coordinator vanishes (long enough to park useful work for a
+	// restart, short enough not to burn CPU forever).  Defaults to 15s;
+	// negative disables leases (shards die with their request).
+	LeaseDuration time.Duration
 	// Metrics receives the coordinator-side cluster series; nil gets a
 	// private registry.
 	Metrics *metrics.Registry
@@ -91,27 +98,42 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	members map[string]*member
+	// active tracks running jobStates (guarded by mu) for the lease
+	// heartbeat loop and for offering queued windows to workers that
+	// join mid-job; leaseTicking marks the singleton lease loop.
+	active       map[*jobState]struct{}
+	leaseTicking bool
 
-	inflight   atomic.Int64
-	dispatched atomic.Int64
-	retries    atomic.Int64
-	pushes     atomic.Int64
-	jobsDist   atomic.Int64
-	jobsDecl   atomic.Int64
-	localDone  atomic.Int64
-	seqStops   atomic.Int64
+	inflight      atomic.Int64
+	dispatched    atomic.Int64
+	retries       atomic.Int64
+	pushes        atomic.Int64
+	jobsDist      atomic.Int64
+	jobsDecl      atomic.Int64
+	localDone     atomic.Int64
+	seqStops      atomic.Int64
+	ledgerRecords atomic.Int64
+	ledgerJobs    atomic.Int64
+	ledgerWindows atomic.Int64
+	ledgerInvalid atomic.Int64
+	leaseRenews   atomic.Int64
 
-	metDispatched   *metrics.Counter
-	metSeqStops     *metrics.Counter
-	metRetries      map[string]*metrics.Counter
-	metPushes       *metrics.Counter
-	metJobsDist     *metrics.Counter
-	metJobsDecl     *metrics.Counter
-	metLocal        *metrics.Counter
-	metRPC          *metrics.Histogram
-	metTimeouts     map[string]*metrics.Counter // by call
-	metShardCorrupt *metrics.Counter
-	metPushEcho     *metrics.Counter
+	metDispatched    *metrics.Counter
+	metSeqStops      *metrics.Counter
+	metRetries       map[string]*metrics.Counter
+	metPushes        *metrics.Counter
+	metJobsDist      *metrics.Counter
+	metJobsDecl      *metrics.Counter
+	metLocal         *metrics.Counter
+	metRPC           *metrics.Histogram
+	metTimeouts      map[string]*metrics.Counter // by call
+	metShardCorrupt  *metrics.Counter
+	metPushEcho      *metrics.Counter
+	metLedgerRecords map[string]*metrics.Counter // by kind
+	metLedgerJobs    *metrics.Counter
+	metLedgerWindows *metrics.Counter
+	metLedgerInvalid *metrics.Counter
+	metLeaseRenewals *metrics.Counter
 }
 
 // Retry reasons, used as the metric label and in logs.
@@ -148,6 +170,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.PushTimeout == 0 {
 		cfg.PushTimeout = 2 * time.Minute
 	}
+	if cfg.LeaseDuration == 0 {
+		cfg.LeaseDuration = 15 * time.Second
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
@@ -157,7 +182,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	c := &Coordinator{cfg: cfg, client: cfg.Client, members: make(map[string]*member)}
+	c := &Coordinator{cfg: cfg, client: cfg.Client, members: make(map[string]*member), active: make(map[*jobState]struct{})}
 	for _, addr := range cfg.Workers {
 		addr = strings.TrimRight(addr, "/")
 		if addr == "" {
@@ -192,6 +217,20 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		"push":  reg.Counter("cluster_rpc_timeout_total", "call", "push"),
 	}
 	c.metShardCorrupt = reg.Counter("integrity_shard_corrupt_total")
+	reg.Help("cluster_ledger_records_total", "Durable merge-ledger records journaled, by kind (plan, shard, redispatch).")
+	reg.Help("cluster_ledger_jobs_replayed_total", "Jobs whose journaled merge ledger was adopted after a coordinator restart.")
+	reg.Help("cluster_ledger_windows_replayed_total", "Shard deliveries re-merged from the journal on restart — windows that were NOT recomputed.")
+	reg.Help("cluster_ledger_invalid_total", "Replayed merge ledgers discarded after failing validation (plan drift, span gaps).")
+	reg.Help("cluster_lease_renewals_total", "Shard-lease heartbeats delivered to workers.")
+	c.metLedgerRecords = map[string]*metrics.Counter{
+		"plan":       reg.Counter("cluster_ledger_records_total", "kind", "plan"),
+		"shard":      reg.Counter("cluster_ledger_records_total", "kind", "shard"),
+		"redispatch": reg.Counter("cluster_ledger_records_total", "kind", "redispatch"),
+	}
+	c.metLedgerJobs = reg.Counter("cluster_ledger_jobs_replayed_total")
+	c.metLedgerWindows = reg.Counter("cluster_ledger_windows_replayed_total")
+	c.metLedgerInvalid = reg.Counter("cluster_ledger_invalid_total")
+	c.metLeaseRenewals = reg.Counter("cluster_lease_renewals_total")
 	c.metPushEcho = reg.Counter("integrity_push_digest_mismatch_total")
 	c.metPushes = reg.Counter("cluster_dataset_pushes_total")
 	c.metJobsDist = reg.Counter("cluster_jobs_distributed_total")
@@ -250,6 +289,12 @@ func (c *Coordinator) Info() Info {
 			JobsDeclined:     c.jobsDecl.Load(),
 			LocalShards:      c.localDone.Load(),
 			SeqEarlyStops:    c.seqStops.Load(),
+
+			LedgerRecords:         c.ledgerRecords.Load(),
+			LedgerJobsReplayed:    c.ledgerJobs.Load(),
+			LedgerWindowsReplayed: c.ledgerWindows.Load(),
+			LedgerInvalid:         c.ledgerInvalid.Load(),
+			LeaseRenewals:         c.leaseRenews.Load(),
 		},
 	}
 }
@@ -284,6 +329,10 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		c.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "cluster_worker_joined", slog.String("addr", addr))
 	}
+	// A heartbeat is proof of life: put the worker on any job that still
+	// has queued windows, right now — a worker re-joining mid-job used
+	// to idle until another worker failed.
+	c.offerActive(m)
 	writeClusterJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
@@ -348,6 +397,115 @@ func (c *Coordinator) markDown(m *member) {
 	c.mu.Unlock()
 }
 
+// registerActive tracks a running jobState for the lease heartbeat and
+// for mid-job worker join offers, starting the singleton lease loop on
+// demand.
+func (c *Coordinator) registerActive(st *jobState) {
+	c.mu.Lock()
+	c.active[st] = struct{}{}
+	if !c.leaseTicking && c.cfg.LeaseDuration > 0 {
+		c.leaseTicking = true
+		go c.leaseLoop()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) deregisterActive(st *jobState) {
+	c.mu.Lock()
+	delete(c.active, st)
+	c.mu.Unlock()
+}
+
+// leaseLoop renews the compute leases of every active job's shards on
+// all live workers, at a third of the lease duration so two heartbeats
+// can be lost before a lease lapses.  Each heartbeat is authoritative:
+// it carries the coordinator's complete active fingerprint set, so
+// workers disown (park, then cancel) shards from a previous coordinator
+// life.  The loop exits when the active set drains and restarts with
+// the next job.
+func (c *Coordinator) leaseLoop() {
+	interval := c.cfg.LeaseDuration / 3
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		c.mu.Lock()
+		if len(c.active) == 0 {
+			c.leaseTicking = false
+			c.mu.Unlock()
+			return
+		}
+		fps := make([]uint64, 0, len(c.active))
+		for st := range c.active {
+			fps = append(fps, st.plan.Fingerprint)
+		}
+		c.mu.Unlock()
+		body := leaseBody{
+			Fingerprints:  fps,
+			LeaseMS:       int64(c.cfg.LeaseDuration / time.Millisecond),
+			Authoritative: true,
+		}
+		for _, m := range c.live(c.cfg.Clock()) {
+			c.postLease(m.addr, &body)
+		}
+	}
+}
+
+// postLease delivers one lease heartbeat; failures are ignored (the
+// worker-side lease expiry is the backstop).
+func (c *Coordinator) postLease(addr string, body *leaseBody) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, "POST", addr+LeasesPath, bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<12))
+	hresp.Body.Close()
+	c.leaseRenews.Add(1)
+	c.metLeaseRenewals.Inc()
+}
+
+// offerActive offers every active job's remaining queue to a worker
+// that just proved liveness, so a worker that (re)joins mid-job is put
+// to work immediately instead of waiting out the next failure retry.
+func (c *Coordinator) offerActive(m *member) {
+	c.mu.Lock()
+	sts := make([]*jobState, 0, len(c.active))
+	for st := range c.active {
+		sts = append(sts, st)
+	}
+	c.mu.Unlock()
+	for _, st := range sts {
+		st.offer(m)
+	}
+}
+
+// offer starts a dispatch loop for m unless the job is over or m
+// already runs one.
+func (st *jobState) offer(m *member) {
+	st.mu.Lock()
+	if st.finished || st.err != nil || st.earlyStop || st.loops[m.addr] {
+		st.mu.Unlock()
+		return
+	}
+	st.loops[m.addr] = true
+	st.remotes++
+	st.mu.Unlock()
+	go st.remoteLoop(m)
+}
+
 // partitionRange splits [lo, hi) into at most n contiguous windows
 // following the paper's Figure-2 rank partitioning: deterministic,
 // equal spans up to remainder, in index order.
@@ -377,6 +535,12 @@ func partitionRange(lo, hi int64, n int) [][2]int64 {
 // finalize.  The returned result is bitwise identical to a local run of
 // the same spec — the merge ledger guarantees each permutation index is
 // counted exactly once, and int64 count merging is order-independent.
+//
+// The dispatch state doubles as a DURABLE merge ledger when the jobs
+// layer hands over a JobLedger: the shard plan and every accepted
+// delivery are journaled, so a coordinator killed mid-job replays the
+// ledger on restart, re-merges the journaled deliveries (zero
+// recomputation) and dispatches only the windows that never landed.
 func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.Result, error) {
 	// Sequential jobs distribute as EXACT shards: a shard never holds the
 	// global step-down prefix, so per-row freezing cannot apply remotely.
@@ -384,8 +548,11 @@ func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.R
 	// options (rejecting complete enumerations), rewrites the shard
 	// options to exact, applies the whole-job stopping rule to its merge
 	// ledger as deliveries land, and finalizes every row at the merged
-	// count.  A resume checkpoint that already froze rows under local
-	// per-row stopping is declined — only the local engine can honour it.
+	// count.  A resume checkpoint that froze rows under local per-row
+	// stopping pins those rows: their counts and effective B stay at the
+	// checkpoint values (masked out of every merge) while the active rows
+	// keep accumulating — the distributed continuation of exactly what
+	// the local engine would do.
 	seqOpt := req.Opt
 	canon, err := core.CanonicalOptions(req.Opt)
 	if err != nil {
@@ -399,15 +566,6 @@ func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.R
 			return nil, err
 		}
 		seqFingerprint = seqPlan.Fingerprint
-		if r := req.Resume; r != nil {
-			for _, b := range r.BEff {
-				if b != 0 {
-					c.jobsDecl.Add(1)
-					c.metJobsDecl.Inc()
-					return nil, jobs.ErrNotDistributed
-				}
-			}
-		}
 		req.Opt.Mode = core.ModeExact
 		req.Opt.SeqAlpha, req.Opt.SeqTolerance = 0, 0
 	}
@@ -415,18 +573,10 @@ func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.R
 	if err != nil {
 		return nil, err
 	}
-	now := c.cfg.Clock()
-	workers := c.live(now)
-	if len(workers) == 0 || plan.TotalB < c.cfg.MinDistB {
-		c.jobsDecl.Add(1)
-		c.metJobsDecl.Inc()
-		return nil, jobs.ErrNotDistributed
-	}
-	c.jobsDist.Add(1)
-	c.metJobsDist.Inc()
 
 	merged := maxt.NewCounts(plan.Rows)
 	start := int64(0)
+	var frozen []int64
 	// A valid prefix checkpoint is just a pre-merged shard covering
 	// [0, Next): merge it and dispatch only the remainder.  An invalid
 	// one (engine drift, different analysis) is ignored, not fatal —
@@ -445,31 +595,226 @@ func (c *Coordinator) RunJob(ctx context.Context, req jobs.DistRequest) (*core.R
 		copy(merged.Adj, r.Adj)
 		merged.B = r.Done
 		start = r.Next
+		if sequential {
+			for _, b := range r.BEff {
+				if b != 0 {
+					frozen = append([]int64(nil), r.BEff...)
+					break
+				}
+			}
+		}
 	}
 
-	if start < plan.TotalB {
-		spans := partitionRange(start, plan.TotalB, len(workers)*c.cfg.ShardsPerWorker)
+	led := req.Ledger
+	adopt := c.adoptLedger(led.Replayed(), plan, sequential, start, frozen)
+
+	now := c.cfg.Clock()
+	workers := c.live(now)
+	// An adopted job is never declined: its journaled deliveries must be
+	// honoured (the local path would recompute them), and the localLoop
+	// covers the remainder even with zero live workers.
+	if adopt == nil && (len(workers) == 0 || plan.TotalB < c.cfg.MinDistB) {
+		c.jobsDecl.Add(1)
+		c.metJobsDecl.Inc()
+		return nil, jobs.ErrNotDistributed
+	}
+	c.jobsDist.Add(1)
+	c.metJobsDist.Inc()
+
+	seenObserved := start > 0
+	var spans [][2]int64
+	if adopt != nil {
+		c.ledgerJobs.Add(1)
+		c.metLedgerJobs.Inc()
+		for i := range adopt.deliveries {
+			d := &adopt.deliveries[i]
+			mergeMasked(merged, d.Raw, d.Adj, d.B, frozen)
+			if d.Lo == 0 {
+				seenObserved = true
+			}
+		}
+		c.ledgerWindows.Add(int64(len(adopt.deliveries)))
+		c.metLedgerWindows.Add(int64(len(adopt.deliveries)))
+		if req.OnProgress != nil && merged.B > 0 {
+			req.OnProgress(merged.B, plan.TotalB)
+		}
+		spans = adopt.remaining
+		c.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "cluster_ledger_adopted",
+			slog.String("job", req.Key),
+			slog.Int("deliveries", len(adopt.deliveries)),
+			slog.Int("remaining", len(spans)),
+			slog.Int64("merged_b", merged.B))
+	} else if start < plan.TotalB {
+		n := len(workers)
+		if n < 1 {
+			n = 1
+		}
+		spans = partitionRange(start, plan.TotalB, n*c.cfg.ShardsPerWorker)
+		if led != nil {
+			led.RecordPlan(&jobs.LedgerState{
+				Fingerprint: plan.Fingerprint, TotalB: plan.TotalB,
+				Complete: plan.Complete, Rows: plan.Rows,
+				Start: start, Seq: sequential, BEff: frozen, Spans: spans,
+			})
+			c.ledgerRecords.Add(1)
+			c.metLedgerRecords["plan"].Inc()
+		}
+	}
+
+	// An adopted sequential merge may already satisfy the stopping rule;
+	// do not dispatch what the rule says we do not need.
+	if sequential && seenObserved && len(spans) > 0 {
+		if settled, serr := core.SeqAllSettledFrozen(req.Prepared, seqOpt, merged, frozen); serr == nil && settled {
+			spans = nil
+			c.seqStops.Add(1)
+			c.metSeqStops.Inc()
+		}
+	}
+
+	if len(spans) > 0 {
 		if err := c.runShards(ctx, runShardsParams{
 			req: req, plan: plan, seq: sequential, seqOpt: seqOpt,
-			seenObserved: start > 0,
+			seenObserved: seenObserved, frozen: frozen, led: led,
 		}, merged, spans, workers); err != nil {
 			return nil, err
 		}
 	}
+	nprocs := len(workers)
+	if nprocs == 0 {
+		nprocs = 1
+	}
 	if sequential {
-		res, err := core.FinalizeCountsSequential(req.Prepared, seqOpt, merged)
+		res, err := core.FinalizeCountsSequentialFrozen(req.Prepared, seqOpt, merged, frozen)
 		if err != nil {
 			return nil, err
 		}
-		res.NProcs = len(workers)
+		res.NProcs = nprocs
 		return res, nil
 	}
 	res, err := core.FinalizeCounts(req.Prepared, req.Opt, merged)
 	if err != nil {
 		return nil, err
 	}
-	res.NProcs = len(workers)
+	res.NProcs = nprocs
 	return res, nil
+}
+
+// mergeMasked merges one delivery's counts, pinning rows a resumed
+// sequential checkpoint froze: their exceedance counts stay at the
+// checkpoint values (their denominators are the checkpoint's BEff, not
+// the job's B), while B — the shared denominator of the active rows —
+// always advances.
+func mergeMasked(dst *maxt.Counts, raw, adj []int64, b int64, frozen []int64) {
+	if frozen == nil {
+		dst.Merge(&maxt.Counts{Raw: raw, Adj: adj, B: b})
+		return
+	}
+	for i := range raw {
+		if frozen[i] == 0 {
+			dst.Raw[i] += raw[i]
+			dst.Adj[i] += adj[i]
+		}
+	}
+	dst.B += b
+}
+
+// adoption is the validated outcome of replaying a job's durable merge
+// ledger: the journaled deliveries to re-merge and the windows still to
+// dispatch (each original span advanced past its delivered prefix;
+// fully-covered spans dropped).
+type adoption struct {
+	remaining  [][2]int64
+	deliveries []jobs.LedgerDelivery
+}
+
+// adoptLedger validates a replayed ledger against the freshly planned
+// job.  The plan identity (fingerprint, range, rows, resume prefix,
+// frozen rows) must match exactly and the journaled spans must tile
+// [start, TotalB) contiguously — anything else means the job changed
+// under the journal (engine upgrade, different checkpoint) and the
+// whole ledger is discarded: the job re-partitions from the resume
+// prefix alone and writes a fresh plan record.  Within a valid plan,
+// deliveries are adopted per span as a contiguous CRC-verified chain
+// from the span's lo; a delivery that does not chain or fails its
+// checksum drops together with the rest of its span's chain, and those
+// windows simply recompute.  Correctness never rides on the journal —
+// it can only save work, not corrupt the merge.
+func (c *Coordinator) adoptLedger(rep *jobs.LedgerState, plan core.Plan, sequential bool, start int64, frozen []int64) *adoption {
+	if rep == nil {
+		return nil
+	}
+	invalid := func(why string) *adoption {
+		c.ledgerInvalid.Add(1)
+		c.metLedgerInvalid.Inc()
+		c.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "cluster_ledger_invalid",
+			slog.String("why", why))
+		return nil
+	}
+	if rep.Fingerprint != plan.Fingerprint || rep.TotalB != plan.TotalB ||
+		rep.Complete != plan.Complete || rep.Rows != plan.Rows ||
+		rep.Seq != sequential || rep.Start != start {
+		return invalid("plan identity drift")
+	}
+	if len(rep.BEff) != len(frozen) {
+		return invalid("frozen-row drift")
+	}
+	for i := range frozen {
+		if rep.BEff[i] != frozen[i] {
+			return invalid("frozen-row drift")
+		}
+	}
+	if len(rep.Spans) == 0 {
+		return invalid("no spans")
+	}
+	at := start
+	for _, sp := range rep.Spans {
+		if sp[0] != at || sp[1] <= sp[0] {
+			return invalid("span layout")
+		}
+		at = sp[1]
+	}
+	if at != plan.TotalB {
+		return invalid("span coverage")
+	}
+	lo := make([]int64, len(rep.Spans))
+	for i, sp := range rep.Spans {
+		lo[i] = sp[0]
+	}
+	var adopted []jobs.LedgerDelivery
+	// Deliveries were journaled in merge order, so one pass chains them.
+	for _, d := range rep.Deliveries {
+		idx := -1
+		for i, sp := range rep.Spans {
+			if d.Lo >= sp[0] && d.Hi == sp[1] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 || d.Lo != lo[idx] || d.Next <= d.Lo || d.Next > d.Hi ||
+			d.B != d.Next-d.Lo ||
+			len(d.Raw) != plan.Rows || len(d.Adj) != plan.Rows {
+			continue
+		}
+		if d.CRC64 != 0 {
+			chk := ShardResponse{
+				Lo: d.Lo, Next: d.Next, Hi: d.Hi, TotalB: plan.TotalB,
+				Fingerprint: plan.Fingerprint, B: d.B, Raw: d.Raw, Adj: d.Adj,
+			}
+			if chk.CRC() != d.CRC64 {
+				c.metShardCorrupt.Inc()
+				continue
+			}
+		}
+		lo[idx] = d.Next
+		adopted = append(adopted, d)
+	}
+	ad := &adoption{deliveries: adopted}
+	for i, sp := range rep.Spans {
+		if lo[i] < sp[1] {
+			ad.remaining = append(ad.remaining, [2]int64{lo[i], sp[1]})
+		}
+	}
+	return ad
 }
 
 // shardRec is the coordinator's ledger entry for one window of the
@@ -506,13 +851,20 @@ type jobState struct {
 	seenObserved bool
 	earlyStop    bool
 
+	// frozen pins rows a resumed sequential checkpoint already settled
+	// (nil otherwise); led is the job's durable merge ledger (nil when
+	// the manager has no journal).
+	frozen []int64
+	led    *jobs.JobLedger
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	shards    []*shardRec
 	queue     []*shardRec
 	merged    *maxt.Counts
 	remaining int
-	remotes   int // live remote dispatch loops
+	remotes   int             // live remote dispatch loops
+	loops     map[string]bool // worker addr -> has an active remote loop
 	finished  bool
 	err       error
 }
@@ -524,6 +876,8 @@ type runShardsParams struct {
 	seq          bool
 	seqOpt       core.Options
 	seenObserved bool // resume prefix already covers the observed labelling
+	frozen       []int64
+	led          *jobs.JobLedger
 }
 
 // runShards drives the dispatch loops until every span is merged — or,
@@ -535,6 +889,7 @@ func (c *Coordinator) runShards(ctx context.Context, p runShardsParams, merged *
 	st := &jobState{
 		c: c, ctx: jobCtx, req: p.req, plan: p.plan, merged: merged, remaining: len(spans),
 		seq: p.seq, seqOpt: p.seqOpt, seenObserved: p.seenObserved,
+		frozen: p.frozen, led: p.led, loops: make(map[string]bool),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	for _, sp := range spans {
@@ -544,9 +899,12 @@ func (c *Coordinator) runShards(ctx context.Context, p runShardsParams, merged *
 	}
 	st.remotes = len(workers)
 	for _, m := range workers {
+		st.loops[m.addr] = true
 		go st.remoteLoop(m)
 	}
 	go st.localLoop()
+	c.registerActive(st)
+	defer c.deregisterActive(st)
 	stopAbort := context.AfterFunc(ctx, func() {
 		st.abort(fmt.Errorf("cluster: job aborted: %w", context.Cause(ctx)))
 	})
@@ -640,12 +998,14 @@ func (st *jobState) release(rec *shardRec) {
 }
 
 // requeue returns a failed dispatch to the queue, flipping the shard to
-// coordinator-local once its remote attempts are exhausted.
-func (st *jobState) requeue(rec *shardRec, reason string) {
+// coordinator-local once its remote attempts are exhausted.  The
+// re-dispatch decision is journaled as a ledger audit record.
+func (st *jobState) requeue(rec *shardRec, reason, from string) {
 	st.c.retries.Add(1)
 	if m, ok := st.c.metRetries[reason]; ok {
 		m.Inc()
 	}
+	requeued := false
 	st.mu.Lock()
 	rec.inflight--
 	st.c.inflight.Add(-1)
@@ -659,10 +1019,17 @@ func (st *jobState) requeue(rec *shardRec, reason string) {
 		if !rec.queued {
 			rec.queued = true
 			st.queue = append(st.queue, rec)
+			requeued = true
 		}
 	}
+	lo, hi := rec.lo, rec.hi
 	st.mu.Unlock()
 	st.cond.Broadcast()
+	if requeued && st.led != nil {
+		st.led.RecordRedispatch(lo, hi, from, reason)
+		st.c.ledgerRecords.Add(1)
+		st.c.metLedgerRecords["redispatch"].Inc()
+	}
 }
 
 // deliver merges one shard delivery under the exactly-once rule and
@@ -670,8 +1037,9 @@ func (st *jobState) requeue(rec *shardRec, reason string) {
 // equals the record's current lo and the fingerprint matches the plan;
 // anything else — duplicate, stale range, drifted node — is discarded
 // whole.  A partial delivery (next < hi) merges its prefix and requeues
-// the remainder.
-func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
+// the remainder.  from names the delivering worker ("local" for the
+// coordinator's own loop) for the ledger record.
+func (st *jobState) deliver(rec *shardRec, resp *ShardResponse, from string) {
 	rows := st.plan.Rows
 	st.mu.Lock()
 	rec.inflight--
@@ -687,8 +1055,9 @@ func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
 		resp.Lo == rec.lo && resp.Next > rec.lo && resp.Next <= rec.hi &&
 		resp.B == resp.Next-resp.Lo &&
 		len(resp.Raw) == rows && len(resp.Adj) == rows
+	var ledDel *jobs.LedgerDelivery
 	if ok {
-		st.merged.Merge(&maxt.Counts{Raw: resp.Raw, Adj: resp.Adj, B: resp.B})
+		mergeMasked(st.merged, resp.Raw, resp.Adj, resp.B, st.frozen)
 		rec.lo = resp.Next
 		if rec.lo == rec.hi {
 			rec.done = true
@@ -696,6 +1065,12 @@ func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
 		} else if !rec.queued {
 			rec.queued = true
 			st.queue = append(st.queue, rec)
+		}
+		if st.led != nil {
+			ledDel = &jobs.LedgerDelivery{
+				Lo: resp.Lo, Next: resp.Next, Hi: rec.hi, B: resp.B,
+				Raw: resp.Raw, Adj: resp.Adj, CRC64: resp.CRC64, Worker: from,
+			}
 		}
 		if st.req.OnProgress != nil {
 			st.req.OnProgress(st.merged.B, st.plan.TotalB)
@@ -711,7 +1086,7 @@ func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
 				st.seenObserved = true
 			}
 			if st.seenObserved && st.remaining > 0 {
-				if settled, serr := core.SeqAllSettled(st.req.Prepared, st.seqOpt, st.merged); serr == nil && settled {
+				if settled, serr := core.SeqAllSettledFrozen(st.req.Prepared, st.seqOpt, st.merged, st.frozen); serr == nil && settled {
 					st.earlyStop = true
 					st.c.seqStops.Add(1)
 					st.c.metSeqStops.Inc()
@@ -722,6 +1097,15 @@ func (st *jobState) deliver(rec *shardRec, resp *ShardResponse) {
 	partial := ok && !rec.done
 	st.mu.Unlock()
 	st.cond.Broadcast()
+	if ledDel != nil {
+		// Journal OUTSIDE the dispatch lock: the append fsyncs, and that
+		// latency must not serialize the merge.  The crash window this
+		// opens is safe — a merged-but-unjournaled delivery re-dispatches
+		// after restart and worker retention re-serves it from cache.
+		st.led.RecordDelivery(ledDel)
+		st.c.ledgerRecords.Add(1)
+		st.c.metLedgerRecords["shard"].Inc()
+	}
 	if partial {
 		st.c.retries.Add(1)
 		st.c.metRetries[retryPartial].Inc()
@@ -735,6 +1119,7 @@ func (st *jobState) remoteLoop(m *member) {
 	defer func() {
 		st.mu.Lock()
 		st.remotes--
+		delete(st.loops, m.addr)
 		st.mu.Unlock()
 		st.cond.Broadcast()
 	}()
@@ -781,12 +1166,14 @@ func (st *jobState) localLoop() {
 		}
 		st.c.localDone.Add(1)
 		st.c.metLocal.Inc()
-		st.deliver(rec, &ShardResponse{
+		resp := &ShardResponse{
 			Lo: sc.Lo, Next: sc.Next, Hi: hi,
 			TotalB: sc.Plan.TotalB, Complete: sc.Plan.Complete,
 			Fingerprint: sc.Plan.Fingerprint,
 			B:           sc.Counts.B, Raw: sc.Counts.Raw, Adj: sc.Counts.Adj,
-		})
+		}
+		resp.CRC64 = resp.CRC()
+		st.deliver(rec, resp, "local")
 	}
 }
 
@@ -803,7 +1190,7 @@ func (st *jobState) stragglerTicker(after time.Duration, stop <-chan struct{}) {
 		case <-t.C:
 		}
 		now := st.c.cfg.Clock()
-		bumped := false
+		var bumped [][2]int64
 		st.mu.Lock()
 		if len(st.queue) == 0 && st.remaining > 0 && st.err == nil && !st.finished {
 			for _, rec := range st.shards {
@@ -813,15 +1200,22 @@ func (st *jobState) stragglerTicker(after time.Duration, stop <-chan struct{}) {
 				if now.Sub(rec.dispatchedAt) >= after {
 					rec.spec, rec.queued = true, true
 					st.queue = append(st.queue, rec)
-					bumped = true
+					bumped = append(bumped, [2]int64{rec.lo, rec.hi})
 					st.c.retries.Add(1)
 					st.c.metRetries[retryStraggler].Inc()
 				}
 			}
 		}
 		st.mu.Unlock()
-		if bumped {
+		if len(bumped) > 0 {
 			st.cond.Broadcast()
+			if st.led != nil {
+				for _, w := range bumped {
+					st.led.RecordRedispatch(w[0], w[1], "", retryStraggler)
+					st.c.ledgerRecords.Add(1)
+					st.c.metLedgerRecords["redispatch"].Inc()
+				}
+			}
 		}
 	}
 }
@@ -848,6 +1242,9 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 		Fingerprint: st.plan.Fingerprint,
 		NProcs:      c.cfg.WorkerNProcs,
 	}
+	if d := c.cfg.LeaseDuration; d > 0 {
+		sreq.LeaseMS = int64(d / time.Millisecond)
+	}
 	for {
 		c.dispatched.Add(1)
 		c.metDispatched.Inc()
@@ -860,7 +1257,7 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 				slog.String("worker", m.addr), slog.Int64("lo", lo), slog.Int64("hi", hi),
 				slog.String("error", err.Error()))
 			c.markDown(m)
-			st.requeue(rec, retryError)
+			st.requeue(rec, retryError, m.addr)
 			return false
 		case status == http.StatusNotFound && reason == reasonUnknownDataset && !*pushed:
 			// First 404 from this worker: push the .spb once, then
@@ -871,7 +1268,7 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 				c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_dataset_push_failed",
 					slog.String("worker", m.addr), slog.String("error", perr.Error()))
 				c.markDown(m)
-				st.requeue(rec, retryError)
+				st.requeue(rec, retryError, m.addr)
 				return false
 			}
 			c.pushes.Add(1)
@@ -888,10 +1285,10 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 					slog.String("worker", m.addr), slog.Int64("lo", lo), slog.Int64("hi", hi))
 				c.metShardCorrupt.Inc()
 				c.markDown(m)
-				st.requeue(rec, retryCorrupt)
+				st.requeue(rec, retryCorrupt, m.addr)
 				return false
 			}
-			st.deliver(rec, resp)
+			st.deliver(rec, resp, m.addr)
 			return true
 		default:
 			// Refused: draining (503), fingerprint drift (409), or a
@@ -900,7 +1297,7 @@ func (c *Coordinator) attempt(st *jobState, m *member, rec *shardRec, pushed *bo
 			c.cfg.Logger.LogAttrs(st.ctx, slog.LevelWarn, "cluster_shard_refused",
 				slog.String("worker", m.addr), slog.Int("status", status), slog.String("reason", reason))
 			c.markDown(m)
-			st.requeue(rec, retryError)
+			st.requeue(rec, retryError, m.addr)
 			return false
 		}
 	}

@@ -171,35 +171,121 @@ func TestClusterSequentialWorkerKill(t *testing.T) {
 	}
 }
 
-// TestClusterSequentialResumeWithFrozenRowsDeclined pins the handoff
+// TestClusterSequentialResumeWithFrozenRowsDistributes pins the handoff
 // contract: a checkpoint that already froze rows under local per-row
-// stopping cannot be distributed (shards are exact; remote nodes cannot
-// honour per-row effective counts), so the coordinator declines and the
-// manager falls back to the bit-identical local path.
-func TestClusterSequentialResumeWithFrozenRowsDeclined(t *testing.T) {
+// stopping now distributes — the coordinator pins the frozen rows
+// (counts and effective B stay at the checkpoint values, masked out of
+// every merge) while the active rows keep accumulating across workers.
+// Before this, any frozen row forced the whole resume back onto the
+// local path.
+func TestClusterSequentialResumeWithFrozenRowsDistributes(t *testing.T) {
 	x, lab, opt := seqClusterCase()
+	// Boost a few rows far from null so they freeze early in the local
+	// prefix run (a near-zero p-value settles within a couple of
+	// windows), giving the checkpoint genuinely frozen rows.
+	for r := 0; r < 5; r++ {
+		for j := 10; j < 20; j++ {
+			x.Data[r*x.Cols+j] += 4
+		}
+	}
 	canon, err := core.CanonicalOptions(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Run the local sequential engine until per-row stopping has frozen
+	// rows, then cancel: the captured checkpoint is the exact state a
+	// crashed or migrated local job would hand the cluster.
+	ctx, cancel := context.WithCancel(context.Background())
+	var last *core.Checkpoint
+	_, err = core.RunMatrix(x, lab, canon, core.RunControl{
+		Ctx: ctx, NProcs: 1, Every: 2048,
+		Save: func(c *core.Checkpoint) error {
+			for _, b := range c.BEff {
+				if b != 0 {
+					last = c
+					cancel()
+					break
+				}
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) || last == nil {
+		t.Fatalf("prefix run: err=%v, frozen checkpoint captured=%v", err, last != nil)
+	}
+	if last.Next >= int64(opt.B) {
+		t.Fatalf("checkpoint already complete: next=%d of %d", last.Next, opt.B)
+	}
+	frozenRows := 0
+	for _, b := range last.BEff {
+		if b != 0 {
+			frozenRows++
+		}
+	}
+
+	w1 := newWorkerNode(t, nil)
+	w2 := newWorkerNode(t, nil)
+	for _, w := range []*workerNode{w1, w2} {
+		if _, _, err := w.srv.Manager().PutDataset(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Workers: []string{w1.ts.URL, w2.ts.URL}})
 	p, err := core.Prepare(x, lab, canon)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := newWorkerNode(t, nil)
-	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Workers: []string{w.ts.URL}})
-
-	bEff := make([]int64, 120)
-	bEff[3] = 4096 // one frozen row is enough to force the local path
-	_, err = coord.RunJob(context.Background(), jobs.DistRequest{
-		Key: "k", DatasetID: "d", Labels: lab, Opt: canon, Prepared: p,
-		Resume: &core.Checkpoint{BEff: bEff},
+	got, err := coord.RunJob(context.Background(), jobs.DistRequest{
+		Key: "k", DatasetID: jobs.DatasetDigest(x), Matrix: x,
+		Labels: lab, Opt: canon, Prepared: p,
+		Resume: last, NProcs: 1, Every: 50,
 	})
-	if !errors.Is(err, jobs.ErrNotDistributed) {
-		t.Fatalf("frozen-row resume: %v, want ErrNotDistributed", err)
+	if err != nil {
+		t.Fatalf("frozen-row resume declined or failed: %v", err)
 	}
-	if n := coord.Info().Coordinator.JobsDeclined; n != 1 {
-		t.Errorf("jobs declined = %d, want 1", n)
+	info := coord.Info().Coordinator
+	if info.JobsDistributed != 1 || info.JobsDeclined != 0 {
+		t.Errorf("distributed=%d declined=%d, want 1/0", info.JobsDistributed, info.JobsDeclined)
+	}
+
+	// Frozen rows stay pinned at the checkpoint's effective counts; the
+	// active rows finalize at the uniform merged count.
+	if !got.Sequential() || got.B <= last.Done {
+		t.Fatalf("result: mode=%q B=%d (checkpoint done=%d)", got.Mode, got.B, last.Done)
+	}
+	pinned := 0
+	for i, be := range last.BEff {
+		if be != 0 {
+			if got.BEff[i] != be {
+				t.Fatalf("BEff[%d] = %d, want pinned checkpoint value %d", i, got.BEff[i], be)
+			}
+			pinned++
+		} else if !math.IsNaN(got.Stat[i]) && got.BEff[i] != got.B {
+			t.Fatalf("BEff[%d] = %d on an active row, want uniform %d", i, got.BEff[i], got.B)
+		}
+	}
+	if pinned != frozenRows || pinned == 0 {
+		t.Fatalf("pinned %d rows, checkpoint froze %d", pinned, frozenRows)
+	}
+
+	// Accuracy: within the confidence-sequence tolerance of an exact
+	// full-length run, statistics and order identical.
+	exactOpt := opt
+	exactOpt.Mode = core.ModeExact
+	want := standalone(t, x, lab, exactOpt)
+	const bound = 2 * 0.02
+	for i := range want.RawP {
+		if math.IsNaN(want.RawP[i]) {
+			continue
+		}
+		if d := math.Abs(want.RawP[i] - got.RawP[i]); d > bound {
+			t.Fatalf("RawP[%d]: frozen resume %v vs exact %v (Δ=%v > %v)",
+				i, got.RawP[i], want.RawP[i], d, bound)
+		}
+		if math.Float64bits(want.Stat[i]) != math.Float64bits(got.Stat[i]) {
+			t.Fatalf("Stat[%d] differs from exact", i)
+		}
 	}
 }
 

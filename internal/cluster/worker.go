@@ -50,6 +50,13 @@ type WorkerConfig struct {
 	// MaxConcurrent bounds concurrently computing shards (further
 	// requests queue on the semaphore).  Defaults to 2.
 	MaxConcurrent int
+	// RetentionDir, when set, disk-backs the retained-result cache so
+	// shard results survive a worker restart too.  Empty keeps retention
+	// in memory only.
+	RetentionDir string
+	// MaxRetained bounds the retained-result cache (LRU past it).
+	// Defaults to 128; negative disables retention.
+	MaxRetained int
 	// Metrics receives the worker-side cluster series; nil gets a
 	// private registry.
 	Metrics *metrics.Registry
@@ -74,16 +81,35 @@ type Worker struct {
 	mu          sync.Mutex
 	coordinator string // joined coordinator base URL, for Info
 	active      int
+	// retain and tasks implement coordinator-crash tolerance: retained
+	// results re-deliver without recomputation, and the task map
+	// singleflights re-probes of a window that is still computing.
+	// Both are guarded by mu.
+	retain *retention
+	tasks  map[retainKey]*shardTask
 
 	served  atomic.Int64
 	partial atomic.Int64
 	refused atomic.Int64
 
-	metServed   *metrics.Counter
-	metPartial  *metrics.Counter
-	metRefused  map[string]*metrics.Counter
-	metCompute  *metrics.Histogram
-	metJoinTime *metrics.Counter
+	retainedHits    atomic.Int64
+	retainedResumes atomic.Int64
+	inflightJoins   atomic.Int64
+	leaseRenewed    atomic.Int64
+	leaseExpired    atomic.Int64
+	leaseDisowned   atomic.Int64
+
+	metServed          *metrics.Counter
+	metPartial         *metrics.Counter
+	metRefused         map[string]*metrics.Counter
+	metCompute         *metrics.Histogram
+	metJoinTime        *metrics.Counter
+	metRetainedHits    *metrics.Counter
+	metRetainedResumes *metrics.Counter
+	metInflightJoins   *metrics.Counter
+	metLeaseRenewed    *metrics.Counter
+	metLeaseExpired    *metrics.Counter
+	metLeaseDisowned   *metrics.Counter
 
 	hb struct {
 		sync.Mutex
@@ -112,6 +138,11 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: cfg.JoinTimeout}
 	}
+	if cfg.MaxRetained == 0 {
+		cfg.MaxRetained = 128
+	} else if cfg.MaxRetained < 0 {
+		cfg.MaxRetained = 0
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	w := &Worker{
 		cfg:       cfg,
@@ -119,7 +150,17 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		drainCtx:  ctx,
 		drainStop: cancel,
+		tasks:     make(map[retainKey]*shardTask),
 	}
+	rt, err := newRetention(cfg.RetentionDir, cfg.MaxRetained)
+	if err != nil {
+		// A broken retention dir degrades to memory-only retention:
+		// crash tolerance shrinks, shard service does not.
+		cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "cluster_retention_disabled",
+			slog.String("dir", cfg.RetentionDir), slog.String("error", err.Error()))
+		rt, _ = newRetention("", cfg.MaxRetained)
+	}
+	w.retain = rt
 	w.scratch.New = func() any { return &core.RunScratch{} }
 	reg := cfg.Metrics
 	reg.Help("cluster_worker_shards_served_total", "Shard requests answered with complete counts.")
@@ -134,8 +175,27 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		reasonDraining:       reg.Counter("cluster_worker_shards_refused_total", "reason", reasonDraining),
 		reasonUnknownDataset: reg.Counter("cluster_worker_shards_refused_total", "reason", reasonUnknownDataset),
 		reasonFingerprint:    reg.Counter("cluster_worker_shards_refused_total", "reason", reasonFingerprint),
+		reasonLease:          reg.Counter("cluster_worker_shards_refused_total", "reason", reasonLease),
 	}
 	w.metCompute = reg.Histogram("cluster_worker_shard_compute_seconds", metrics.DefLatencyBuckets)
+	reg.Help("cluster_worker_retained_hits_total", "Shard re-probes served whole from the retained-result cache, no recomputation.")
+	reg.Help("cluster_worker_retained_resumes_total", "Shard computes resumed from a parked partial result.")
+	reg.Help("cluster_worker_retained_results", "Shard results currently retained.")
+	reg.Help("cluster_worker_inflight_joins_total", "Shard re-probes that attached to an identical in-flight compute.")
+	reg.Help("cluster_lease_renewed_total", "Shard lease renewals applied on this worker.")
+	reg.Help("cluster_lease_expired_total", "Shard computes cancelled by lease expiry and parked in retention.")
+	reg.Help("cluster_lease_disowned_total", "Shard computes cancelled because an authoritative coordinator disowned them.")
+	w.metRetainedHits = reg.Counter("cluster_worker_retained_hits_total")
+	w.metRetainedResumes = reg.Counter("cluster_worker_retained_resumes_total")
+	w.metInflightJoins = reg.Counter("cluster_worker_inflight_joins_total")
+	w.metLeaseRenewed = reg.Counter("cluster_lease_renewed_total")
+	w.metLeaseExpired = reg.Counter("cluster_lease_expired_total")
+	w.metLeaseDisowned = reg.Counter("cluster_lease_disowned_total")
+	reg.GaugeFunc("cluster_worker_retained_results", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(w.retain.size())
+	})
 	return w
 }
 
@@ -148,23 +208,31 @@ func (w *Worker) Routes() []Route {
 	return []Route{
 		{Method: "POST", Pattern: ShardPath, Handler: w.handleShard},
 		{Method: "GET", Pattern: PingPath, Handler: w.handlePing},
+		{Method: "POST", Pattern: LeasesPath, Handler: w.handleLeases},
 	}
 }
 
 // Info implements Node.
 func (w *Worker) Info() Info {
 	w.mu.Lock()
-	coord, active := w.coordinator, w.active
+	coord, active, retained := w.coordinator, w.active, w.retain.size()
 	w.mu.Unlock()
 	return Info{
 		Role: "worker",
 		Worker: &WorkerNodeInfo{
-			Coordinator:   coord,
-			Draining:      w.draining.Load(),
-			ShardsActive:  active,
-			ShardsServed:  w.served.Load(),
-			ShardsPartial: w.partial.Load(),
-			ShardsRefused: w.refused.Load(),
+			Coordinator:     coord,
+			Draining:        w.draining.Load(),
+			ShardsActive:    active,
+			ShardsServed:    w.served.Load(),
+			ShardsPartial:   w.partial.Load(),
+			ShardsRefused:   w.refused.Load(),
+			ShardsRetained:  retained,
+			RetainedHits:    w.retainedHits.Load(),
+			RetainedResumes: w.retainedResumes.Load(),
+			InflightJoins:   w.inflightJoins.Load(),
+			LeaseRenewed:    w.leaseRenewed.Load(),
+			LeaseExpired:    w.leaseExpired.Load(),
+			LeaseDisowned:   w.leaseDisowned.Load(),
 		},
 	}
 }
@@ -197,12 +265,46 @@ func (w *Worker) refuse(rw http.ResponseWriter, status int, reason, msg string) 
 	writeClusterJSON(rw, status, errorBody{Error: msg, Reason: reason})
 }
 
-// handleShard computes one shard: resolve the shared preparation by
-// dataset id, verify the plan fingerprint against the coordinator's,
-// run the [lo, hi) range, and return the counts.  The compute context
-// is the request context (coordinator gone → stop) joined with the
-// drain context (SIGTERM → stop at the window boundary and ship the
-// prefix).
+// shardTask is one in-flight shard compute, shared by the original
+// requester and any re-probe of the same window that attaches to it
+// (a restarted coordinator re-dispatching while the compute still
+// runs).  lease, disowned and cancel are guarded by the worker mutex;
+// out is published before done closes and immutable afterwards.
+type shardTask struct {
+	fp       uint64
+	done     chan struct{}
+	out      *shardOutcome
+	lease    time.Time // zero for unleased computes
+	disowned bool
+	cancel   context.CancelFunc // nil for unleased computes
+}
+
+// shardOutcome is a compute's result as it is delivered to every
+// requester: a complete/partial response, or a status + error body.
+type shardOutcome struct {
+	status int
+	resp   *ShardResponse
+	body   errorBody
+}
+
+func writeOutcome(rw http.ResponseWriter, out *shardOutcome) {
+	if out == nil {
+		writeClusterJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "shard abandoned before compute"})
+		return
+	}
+	if out.resp != nil {
+		writeClusterJSON(rw, out.status, out.resp)
+		return
+	}
+	writeClusterJSON(rw, out.status, out.body)
+}
+
+// handleShard serves one shard window.  In order: a retained complete
+// result is re-delivered without recomputation; a re-probe of a window
+// that is already computing attaches to it (renewing its lease); and
+// otherwise the window computes — resuming from a parked partial prefix
+// when retention holds one — with the result parked in retention for
+// the next re-probe.
 func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	if w.draining.Load() {
 		w.refuse(rw, http.StatusServiceUnavailable, reasonDraining, "worker draining")
@@ -221,49 +323,149 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: "sequential mode never dispatches to workers: shards compute exact counts, the coordinator applies the stopping rule to the merge"})
 		return
 	}
+	if req.Fingerprint == 0 {
+		// No plan identity, no retention or singleflight to key on.
+		writeOutcome(rw, w.computeShard(r, &req, nil))
+		return
+	}
+	k := retainKey{req.Fingerprint, req.Lo, req.Hi}
+	leaseD := time.Duration(req.LeaseMS) * time.Millisecond
+	w.mu.Lock()
+	if rs := w.retain.get(k); rs != nil && !rs.Partial {
+		w.mu.Unlock()
+		w.retainedHits.Add(1)
+		w.metRetainedHits.Inc()
+		w.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "cluster_shard_retained_hit",
+			slog.Int64("lo", rs.Lo), slog.Int64("hi", rs.Hi))
+		writeClusterJSON(rw, http.StatusOK, rs)
+		return
+	}
+	if t := w.tasks[k]; t != nil {
+		// Attach to the identical in-flight compute; the re-probe is
+		// fresh evidence of coordinator interest, so it renews the lease.
+		if leaseD > 0 {
+			if nl := time.Now().Add(leaseD); nl.After(t.lease) {
+				t.lease = nl
+			}
+		}
+		w.mu.Unlock()
+		w.inflightJoins.Add(1)
+		w.metInflightJoins.Inc()
+		select {
+		case <-t.done:
+			writeOutcome(rw, t.out)
+		case <-r.Context().Done():
+		}
+		return
+	}
+	t := &shardTask{fp: req.Fingerprint, done: make(chan struct{})}
+	if leaseD > 0 {
+		t.lease = time.Now().Add(leaseD)
+	}
+	w.tasks[k] = t
+	w.mu.Unlock()
+	out := w.computeShard(r, &req, t)
+	t.out = out
+	w.mu.Lock()
+	delete(w.tasks, k)
+	w.mu.Unlock()
+	close(t.done)
+	writeOutcome(rw, out)
+}
+
+// computeShard runs the validate → compute → retain pipeline for one
+// window and returns the outcome every requester of the window gets.
+// task is nil for fingerprint-less requests (no retention); a leased
+// task decouples the compute's lifetime from the requester: it is
+// cancelled by drain, lease expiry or an authoritative disown — never
+// by the requester's death — and a cancelled prefix parks in retention.
+func (w *Worker) computeShard(r *http.Request, req *ShardRequest, task *shardTask) *shardOutcome {
+	refusal := func(status int, reason, msg string) *shardOutcome {
+		w.refused.Add(1)
+		if c, ok := w.metRefused[reason]; ok {
+			c.Inc()
+		}
+		return &shardOutcome{status: status, body: errorBody{Error: msg, Reason: reason}}
+	}
+	leased := task != nil && req.LeaseMS > 0
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if leased {
+		ctx, cancel = context.WithCancel(w.drainCtx)
+		w.mu.Lock()
+		task.cancel = cancel
+		w.mu.Unlock()
+		go w.watchLease(task)
+	} else {
+		ctx, cancel = mergeDone(r.Context(), w.drainCtx)
+	}
+	defer cancel()
+
 	select {
 	case w.sem <- struct{}{}:
-	case <-r.Context().Done():
-		return
-	case <-w.drainCtx.Done():
-		w.refuse(rw, http.StatusServiceUnavailable, reasonDraining, "worker draining")
-		return
+	case <-ctx.Done():
+		if w.draining.Load() {
+			return refusal(http.StatusServiceUnavailable, reasonDraining, "worker draining")
+		}
+		if leased {
+			return refusal(http.StatusServiceUnavailable, reasonLease, "shard lease lapsed before compute started")
+		}
+		return nil // requester gone, nothing computed
 	}
 	defer func() { <-w.sem }()
 
 	prep, release, err := w.cfg.Source.PreparedDataset(req.DatasetID, req.Labels, req.Options)
 	if err != nil {
 		if errors.Is(err, jobs.ErrUnknownDataset) {
-			w.refuse(rw, http.StatusNotFound, reasonUnknownDataset, "unknown dataset "+req.DatasetID)
-			return
+			return refusal(http.StatusNotFound, reasonUnknownDataset, "unknown dataset "+req.DatasetID)
 		}
-		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
-		return
+		return &shardOutcome{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}}
 	}
 	defer release()
 
 	plan, err := core.PlanRun(prep, req.Options)
 	if err != nil {
-		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
-		return
+		return &shardOutcome{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}}
 	}
 	// The fingerprint covers engine version, options, enumeration
 	// order, labels and a data sample: if this node would enumerate a
 	// different sequence than the coordinator planned, computing would
 	// merge wrong counts — refuse instead.
 	if req.Fingerprint != 0 && req.Fingerprint != plan.Fingerprint {
-		w.refuse(rw, http.StatusConflict, reasonFingerprint,
+		return refusal(http.StatusConflict, reasonFingerprint,
 			fmt.Sprintf("plan fingerprint %016x != coordinator %016x", plan.Fingerprint, req.Fingerprint))
-		return
 	}
 	if req.TotalB != 0 && req.TotalB != plan.TotalB {
-		w.refuse(rw, http.StatusConflict, reasonFingerprint,
+		return refusal(http.StatusConflict, reasonFingerprint,
 			fmt.Sprintf("plan B %d != coordinator %d", plan.TotalB, req.TotalB))
-		return
 	}
 
-	ctx, cancel := mergeDone(r.Context(), w.drainCtx)
-	defer cancel()
+	// A parked partial prefix of this exact window (lease lapsed or the
+	// worker drained in a previous probe) seeds the compute: only the
+	// remainder is recomputed, and the counts stay bitwise identical.
+	var resume *core.Checkpoint
+	if task != nil {
+		w.mu.Lock()
+		prev := w.retain.get(retainKey{req.Fingerprint, req.Lo, req.Hi})
+		w.mu.Unlock()
+		if prev != nil && prev.Partial && prev.Fingerprint == plan.Fingerprint &&
+			prev.TotalB == plan.TotalB && prev.Lo == req.Lo &&
+			prev.Next > req.Lo && prev.Next < req.Hi && len(prev.Raw) == plan.Rows {
+			resume = &core.Checkpoint{
+				Fingerprint: plan.Fingerprint,
+				TotalB:      plan.TotalB,
+				Complete:    plan.Complete,
+				Next:        prev.Next,
+				Done:        prev.B,
+				Raw:         prev.Raw,
+				Adj:         prev.Adj,
+			}
+			w.retainedResumes.Add(1)
+			w.metRetainedResumes.Inc()
+		}
+	}
+
 	nprocs := req.NProcs
 	if nprocs < 1 {
 		nprocs = w.cfg.NProcs
@@ -284,6 +486,7 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		Ctx:     ctx,
 		NProcs:  nprocs,
 		Every:   w.cfg.Every,
+		Resume:  resume,
 		Scratch: scratch,
 	})
 	elapsed := time.Since(start)
@@ -293,11 +496,12 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		// so the coordinator redispatches it whole; anything else is a
 		// plain error.
 		if w.draining.Load() {
-			w.refuse(rw, http.StatusServiceUnavailable, reasonDraining, "worker draining")
-			return
+			return refusal(http.StatusServiceUnavailable, reasonDraining, "worker draining")
 		}
-		writeClusterJSON(rw, http.StatusInternalServerError, errorBody{Error: runErr.Error()})
-		return
+		if leased && w.leaseLapsed(task) {
+			return refusal(http.StatusServiceUnavailable, reasonLease, "shard lease lapsed")
+		}
+		return &shardOutcome{status: http.StatusInternalServerError, body: errorBody{Error: runErr.Error()}}
 	}
 	resp := ShardResponse{
 		Lo:          sc.Lo,
@@ -313,6 +517,13 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 	}
 	resp.CRC64 = resp.CRC()
+	// Park the result — complete or partial — for re-delivery: this is
+	// what makes a coordinator restart recomputation-free.
+	if task != nil {
+		w.mu.Lock()
+		w.retain.put(retainKey{req.Fingerprint, req.Lo, req.Hi}, &resp)
+		w.mu.Unlock()
+	}
 	if resp.Partial {
 		w.partial.Add(1)
 		w.metPartial.Inc()
@@ -324,9 +535,89 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		slog.String("dataset", req.DatasetID),
 		slog.Int64("lo", sc.Lo), slog.Int64("next", sc.Next), slog.Int64("hi", req.Hi),
 		slog.Bool("partial", resp.Partial),
+		slog.Bool("resumed", resume != nil),
 		slog.Duration("elapsed", elapsed),
 	)
-	writeClusterJSON(rw, http.StatusOK, resp)
+	return &shardOutcome{status: http.StatusOK, resp: &resp}
+}
+
+// leaseLapsed reports whether the task's lease expired or was disowned.
+func (w *Worker) leaseLapsed(t *shardTask) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return t.disowned || (!t.lease.IsZero() && time.Now().After(t.lease))
+}
+
+// watchLease cancels a leased compute when its lease — which re-probes
+// and lease heartbeats keep pushing forward — finally lapses, so an
+// orphaned shard parks its prefix instead of burning CPU forever for a
+// coordinator that may never return.
+func (w *Worker) watchLease(t *shardTask) {
+	for {
+		w.mu.Lock()
+		d := time.Until(t.lease)
+		w.mu.Unlock()
+		if d <= 0 {
+			w.leaseExpired.Add(1)
+			w.metLeaseExpired.Inc()
+			w.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "cluster_shard_lease_expired")
+			t.cancel()
+			return
+		}
+		select {
+		case <-time.After(d):
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// handleLeases applies a coordinator lease heartbeat: every in-flight
+// leased compute whose plan fingerprint is listed gets its lease
+// extended; when the body is authoritative, unlisted computes are
+// disowned — cancelled now, their prefix parked by the compute path.
+// Retention is never purged here (see retention.go for why).
+func (w *Worker) handleLeases(rw http.ResponseWriter, r *http.Request) {
+	var body leaseBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		writeClusterJSON(rw, http.StatusBadRequest, errorBody{Error: "bad lease body: " + err.Error()})
+		return
+	}
+	listed := make(map[uint64]bool, len(body.Fingerprints))
+	for _, fp := range body.Fingerprints {
+		listed[fp] = true
+	}
+	until := time.Now().Add(time.Duration(body.LeaseMS) * time.Millisecond)
+	ack := leaseAck{}
+	w.mu.Lock()
+	for _, t := range w.tasks {
+		if t.cancel == nil {
+			continue // unleased compute: lifetime is its requester's
+		}
+		switch {
+		case listed[t.fp] && body.LeaseMS > 0:
+			if until.After(t.lease) {
+				t.lease = until
+			}
+			ack.Renewed++
+		case body.Authoritative && !listed[t.fp] && !t.disowned:
+			t.disowned = true
+			t.cancel()
+			ack.Disowned++
+		}
+	}
+	w.mu.Unlock()
+	if ack.Renewed > 0 {
+		w.leaseRenewed.Add(int64(ack.Renewed))
+		w.metLeaseRenewed.Add(int64(ack.Renewed))
+	}
+	if ack.Disowned > 0 {
+		w.leaseDisowned.Add(int64(ack.Disowned))
+		w.metLeaseDisowned.Add(int64(ack.Disowned))
+		w.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "cluster_shards_disowned",
+			slog.Int("count", ack.Disowned))
+	}
+	writeClusterJSON(rw, http.StatusOK, ack)
 }
 
 // Join registers the worker with a coordinator and heartbeats until

@@ -261,6 +261,16 @@ func runSequential(p *Prepared, cfg config, plan Plan, ctl RunControl) (*Result,
 // freezing does not apply across shards (a shard never holds the global
 // prefix), so distribution uses this all-rows rule only.
 func SeqAllSettled(p *Prepared, opt Options, counts *maxt.Counts) (bool, error) {
+	return SeqAllSettledFrozen(p, opt, counts, nil)
+}
+
+// SeqAllSettledFrozen is SeqAllSettled for a merge that resumed from a
+// checkpoint with already-frozen rows: frozen[i] != 0 marks row i's
+// counts as pinned at that effective permutation count, and the row is
+// treated as settled by construction — it satisfied the per-row rule
+// before the handoff, and its merged counts no longer track counts.B.
+// A nil frozen slice is the plain all-rows rule.
+func SeqAllSettledFrozen(p *Prepared, opt Options, counts *maxt.Counts, frozen []int64) (bool, error) {
 	cfg, _, err := p.planFor(opt)
 	if err != nil {
 		return false, err
@@ -272,12 +282,18 @@ func SeqAllSettled(p *Prepared, opt Options, counts *maxt.Counts) (bool, error) 
 	if len(counts.Raw) != prep.Rows() || len(counts.Adj) != prep.Rows() {
 		return false, fmt.Errorf("core: count vectors have %d/%d rows, prep has %d", len(counts.Raw), len(counts.Adj), prep.Rows())
 	}
+	if frozen != nil && len(frozen) != prep.Rows() {
+		return false, fmt.Errorf("core: frozen vector has %d rows, prep has %d", len(frozen), prep.Rows())
+	}
 	sc, err := seqstop.New(cfg.seqAlpha, cfg.seqTol, prep.Valid)
 	if err != nil {
 		return false, fmt.Errorf("core: %w", err)
 	}
 	for j := 0; j < prep.Valid; j++ {
 		r := prep.Order[j]
+		if frozen != nil && frozen[r] != 0 {
+			continue
+		}
 		if !sc.Settled(counts.Raw[r], counts.B) || !sc.Settled(counts.Adj[r], counts.B) {
 			return false, nil
 		}
@@ -287,9 +303,20 @@ func SeqAllSettled(p *Prepared, opt Options, counts *maxt.Counts) (bool, error) 
 
 // FinalizeCountsSequential is FinalizeCounts for a sequentially stopped
 // merge: counts cover counts.B <= TotalB sampled permutations (every row
-// uniformly — the distributed case has no per-row freezing), and the
+// uniformly — a fresh distributed run has no per-row freezing), and the
 // Result reports the planned total and the shared effective count.
 func FinalizeCountsSequential(p *Prepared, opt Options, counts *maxt.Counts) (*Result, error) {
+	return FinalizeCountsSequentialFrozen(p, opt, counts, nil)
+}
+
+// FinalizeCountsSequentialFrozen finalizes a sequential merge that
+// resumed from a checkpoint with frozen rows: frozen[i] != 0 pins row
+// i's effective permutation count at the value local per-row stopping
+// froze it at, while unfrozen valid rows take the uniform merged count.
+// The caller must have masked frozen rows out of every merge so that
+// counts.Raw/Adj for those rows still hold exactly the checkpoint's
+// values over [0, frozen[i]).  A nil frozen slice is the uniform rule.
+func FinalizeCountsSequentialFrozen(p *Prepared, opt Options, counts *maxt.Counts, frozen []int64) (*Result, error) {
 	cfg, plan, err := p.planFor(opt)
 	if err != nil {
 		return nil, err
@@ -303,11 +330,19 @@ func FinalizeCountsSequential(p *Prepared, opt Options, counts *maxt.Counts) (*R
 	if len(counts.Raw) != plan.Rows || len(counts.Adj) != plan.Rows {
 		return nil, fmt.Errorf("core: merged count vectors have %d rows, want %d", len(counts.Raw), plan.Rows)
 	}
+	if frozen != nil && len(frozen) != plan.Rows {
+		return nil, fmt.Errorf("core: frozen vector has %d rows, want %d", len(frozen), plan.Rows)
+	}
 	start := time.Now()
 	prep := p.prep
 	bEff := make([]int64, prep.Rows())
 	for j := 0; j < prep.Valid; j++ {
-		bEff[prep.Order[j]] = counts.B
+		r := prep.Order[j]
+		if frozen != nil && frozen[r] != 0 {
+			bEff[r] = frozen[r]
+			continue
+		}
+		bEff[r] = counts.B
 	}
 	final := maxt.FinalizeEffective(prep, counts, bEff)
 	return &Result{

@@ -10,7 +10,8 @@ import (
 
 // Transport wraps an http.RoundTripper with the fault schedule's
 // cluster-RPC sites: "rpc.shard" (shard dispatch), "rpc.push" (dataset
-// push), "rpc.ping" and "rpc.join" (membership).  An error fault on the
+// push), "rpc.ping" and "rpc.join" (membership), "rpc.lease" (shard
+// lease heartbeats).  An error fault on the
 // call site fails the round trip before it leaves (a partitioned
 // worker); a delay fault stalls it; a corrupt or shortread fault on the
 // "<site>.resp" sub-site (so "rpc.shard.resp:corrupt", or "rpc.shard*"
@@ -33,6 +34,8 @@ func rpcSite(req *http.Request) string {
 		return "rpc.ping"
 	case strings.HasSuffix(p, "/cluster/v1/workers"):
 		return "rpc.join"
+	case strings.HasSuffix(p, "/cluster/v1/leases"):
+		return "rpc.lease"
 	case strings.HasSuffix(p, "/v1/datasets") && (req.Method == "PUT" || req.Method == "POST"):
 		return "rpc.push"
 	}

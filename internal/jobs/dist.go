@@ -54,6 +54,11 @@ type DistRequest struct {
 	Every  int64
 	// OnProgress observes merged permutation counts as shards land.
 	OnProgress func(done, total int64)
+	// Ledger is the job's durable merge ledger handle (nil when the
+	// manager has no journal).  The distributor adopts its replayed
+	// state after a coordinator restart and journals the plan and every
+	// accepted delivery through it.
+	Ledger *JobLedger
 }
 
 // Distributor runs one job's permutation plan across worker nodes and
@@ -83,6 +88,7 @@ func (m *Manager) runDistributed(ctx context.Context, j *job, prepared *core.Pre
 			j.done, j.total = done, total
 			m.mu.Unlock()
 		},
+		Ledger: m.ledgerFor(j),
 	}
 	if j.spec.DatasetID != "" {
 		// j.ds is pinned from submission to the terminal state, so the

@@ -40,6 +40,11 @@ import (
 //	start   a worker picked it up (progress hint only: resume identity
 //	        is the content key, not the lifecycle phase)
 //	ckpt    a checkpoint covering [0, next) was durably written
+//	plan / shard / redispatch
+//	        the distributed merge ledger (see ledger.go): the shard
+//	        plan, accepted deliveries, and re-dispatch audit records
+//	        of a coordinator-run job, replayed so a restarted
+//	        coordinator re-dispatches only undelivered windows
 //	done / fail / cancel
 //	        terminal — the job is never replayed
 //
@@ -73,6 +78,11 @@ type journalRecord struct {
 	Class   string        `json:"class,omitempty"`
 	// Next is the checkpoint progress hint carried by ckpt records.
 	Next int64 `json:"next,omitempty"`
+	// Distributed merge-ledger payloads (see ledger.go): Plan for "plan"
+	// records, Shard for "shard" records, Redispatch for "redispatch".
+	Plan       *LedgerState      `json:"plan,omitempty"`
+	Shard      *LedgerDelivery   `json:"shard,omitempty"`
+	Redispatch *ledgerRedispatch `json:"redispatch,omitempty"`
 }
 
 // journalEntry is the live, compaction-driving view of one job id.
@@ -80,6 +90,10 @@ type journalEntry struct {
 	submit   *journalRecord // nil once terminal (payload released)
 	lastType string
 	next     int64
+	// ledger is the distributed merge ledger accumulated from plan/shard
+	// records; nil until a plan record lands, reset by each plan record,
+	// released at the terminal record.
+	ledger *LedgerState
 }
 
 func (e *journalEntry) terminal() bool {
@@ -116,6 +130,10 @@ type journalReplay struct {
 	// CkptNext maps pending ids to their newest journaled checkpoint
 	// index (progress hint; resume reads the checkpoint store).
 	CkptNext map[string]int64
+	// Ledgers maps pending ids to their replayed distributed merge
+	// ledgers (plan + verified-framing deliveries); the coordinator
+	// re-validates delivery CRCs and span coverage before adopting.
+	Ledgers map[string]*LedgerState
 	// Frames and CorruptFrames count what the scan saw; MaxSeq is the
 	// highest job sequence number any record named.
 	Frames        int
@@ -192,7 +210,7 @@ func openJournal(dir string, compactEvery int) (*jobJournal, *journalReplay, err
 		compactEvery: compactEvery,
 		entries:      make(map[string]*journalEntry),
 	}
-	rep := &journalReplay{CkptNext: make(map[string]int64)}
+	rep := &journalReplay{CkptNext: make(map[string]int64), Ledgers: make(map[string]*LedgerState)}
 
 	data, err := os.ReadFile(jl.path)
 	if err != nil && !os.IsNotExist(err) {
@@ -229,6 +247,12 @@ func openJournal(dir string, compactEvery int) (*jobJournal, *journalReplay, err
 		if n := jl.entries[id].next; n > 0 {
 			rep.CkptNext[id] = n
 		}
+		// Hand the replay a shallow snapshot: later appends extend the
+		// live entry's slice without disturbing this header.
+		if led := jl.entries[id].ledger; led != nil {
+			cp := *led
+			rep.Ledgers[id] = &cp
+		}
 	}
 
 	f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -255,8 +279,26 @@ func (jl *jobJournal) apply(rec *journalRecord) {
 		if rec.Next > e.next {
 			e.next = rec.Next
 		}
+	case "plan":
+		// A plan supersedes any earlier plan AND its deliveries: the
+		// coordinator writes one exactly when replayed state was invalid.
+		if rec.Plan != nil {
+			st := *rec.Plan
+			st.Deliveries = nil
+			e.ledger = &st
+		}
+	case "shard":
+		// Deliveries without a live plan (the plan append itself failed)
+		// are dropped: replay must never trust counts it cannot anchor to
+		// a validated span layout.
+		if e.ledger != nil && rec.Shard != nil {
+			e.ledger.Deliveries = append(e.ledger.Deliveries, *rec.Shard)
+		}
+	case "redispatch":
+		// Audit only; nothing to fold.
 	case "done", "fail", "cancel":
 		e.submit = nil // payload no longer needed; entry stays terminal
+		e.ledger = nil
 	}
 }
 
@@ -324,6 +366,22 @@ func (jl *jobJournal) compactLocked() error {
 				return err
 			}
 			frames++
+		}
+		// Rewrite the merge ledger: one plan frame plus one frame per
+		// delivery (redispatch audit records are dropped here).
+		if e.ledger != nil {
+			plan := *e.ledger
+			plan.Deliveries = nil
+			if buf, err = appendFrame(buf, &journalRecord{T: "plan", ID: id, Key: e.submit.Key, Plan: &plan}); err != nil {
+				return err
+			}
+			frames++
+			for i := range e.ledger.Deliveries {
+				if buf, err = appendFrame(buf, &journalRecord{T: "shard", ID: id, Key: e.submit.Key, Shard: &e.ledger.Deliveries[i]}); err != nil {
+					return err
+				}
+				frames++
+			}
 		}
 	}
 	if err := durable.WriteFileAtomic(jl.path, buf, "journal.compact"); err != nil {

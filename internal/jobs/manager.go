@@ -386,6 +386,9 @@ type Manager struct {
 	journal         *jobJournal
 	recovering      atomic.Bool
 	journalAppendEr atomic.Int64
+	// ledgers holds replayed distributed merge ledgers by job id until
+	// the job's first dispatch claims its state (guarded by mu).
+	ledgers map[string]*LedgerState
 	// onWindow feeds kernel-window wall times into the histogram; built
 	// once here so the per-job RunControl assignment allocates nothing.
 	onWindow func(perms int64, elapsed time.Duration)
@@ -462,6 +465,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		if replay.CorruptFrames > 0 {
 			m.met.journalCorrupt.Add(int64(replay.CorruptFrames))
 		}
+		m.ledgers = replay.Ledgers
 	}
 
 	m.registerGauges(cfg.Metrics)
